@@ -1,0 +1,279 @@
+// Benchmark harness: one benchmark per evaluation figure of the paper (see
+// DESIGN.md's per-experiment index) plus the efficiency comparison the paper
+// claims in Secs. 2/4.3 and ablation benches for the design choices called
+// out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package phlogon_test
+
+import (
+	"math/cmplx"
+	"testing"
+
+	phlogon "repro"
+	"repro/internal/figs"
+	"repro/internal/gae"
+	"repro/internal/phasemacro"
+	"repro/internal/phlogic"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+)
+
+// shared context: PSS + PPV extraction happens once, figures re-run per
+// iteration (the figure computation is what each bench measures).
+var benchCtx = figs.New("")
+
+func benchFig(b *testing.B, fn func() (*figs.Result, error)) {
+	b.Helper()
+	// Prime the shared PPVs outside the timed region.
+	if _, _, _, err := benchCtx.Ring1(); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, _, err := benchCtx.Ring2(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig04PSS(b *testing.B)           { benchFig(b, benchCtx.Fig04) }
+func BenchmarkFig05GAECurves(b *testing.B)     { benchFig(b, benchCtx.Fig05) }
+func BenchmarkFig06PPVCompare(b *testing.B)    { benchFig(b, benchCtx.Fig06) }
+func BenchmarkFig07LockingRange(b *testing.B)  { benchFig(b, benchCtx.Fig07) }
+func BenchmarkFig08PhaseError(b *testing.B)    { benchFig(b, benchCtx.Fig08) }
+func BenchmarkFig10DLatchCurves(b *testing.B)  { benchFig(b, benchCtx.Fig10) }
+func BenchmarkFig11DSweep(b *testing.B)        { benchFig(b, benchCtx.Fig11) }
+func BenchmarkFig12FlipTransient(b *testing.B) { benchFig(b, benchCtx.Fig12) }
+func BenchmarkFig14SRLatch(b *testing.B)       { benchFig(b, benchCtx.Fig14) }
+func BenchmarkFig16SerialAdder(b *testing.B)   { benchFig(b, benchCtx.Fig16) }
+func BenchmarkFig17SpiceVsGAE(b *testing.B)    { benchFig(b, benchCtx.Fig17) }
+func BenchmarkFig19FlipFlop(b *testing.B)      { benchFig(b, benchCtx.Fig19) }
+func BenchmarkFig20AdderStates(b *testing.B)   { benchFig(b, benchCtx.Fig20) }
+
+// --- Efficiency comparison (the paper's headline): identical physics
+// through the SPICE-level engine and the phase-macromodel engines. ---
+
+// benchFixture builds the shared latch PPV once.
+func benchFixture(b *testing.B) (*ringosc.Ring, *pss.Solution, *ppv.PPV) {
+	b.Helper()
+	r, sol, p, err := benchCtx.Ring1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, sol, p
+}
+
+// BenchmarkEffSpiceTransientBitFlip: 140 reference cycles of the Fig. 9 D
+// latch at SPICE level (trapezoidal, 512 steps/cycle).
+func BenchmarkEffSpiceTransientBitFlip(b *testing.B) {
+	_, sol, _ := benchFixture(b)
+	f1 := sol.F0
+	T1 := 1 / f1
+	cfg := ringosc.DefaultLatchConfig(f1)
+	cfg.SyncAmp = 120e-6
+	cfg.DAmp = 150e-6
+	cfg.DFlipTime = 40 * T1
+	l, err := ringosc.BuildLatch(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := l.KickStart()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Run(l.Sys, x0, 0, 140*T1, transient.Options{
+			Method: transient.Trap, Step: T1 / 512,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEffPhaseMacroBitFlip: the same 140 cycles on the scalar GAE.
+func BenchmarkEffPhaseMacroBitFlip(b *testing.B) {
+	_, sol, p := benchFixture(b)
+	f1 := sol.F0
+	T1 := 1 / f1
+	m := gae.NewModel(p, f1,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 120e-6, Harmonic: 2},
+		gae.Injection{Name: "D", Node: 0, Amp: 150e-6, Harmonic: 1, Phase: 0.1},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transient(0.497, 0, 140*T1, T1)
+	}
+}
+
+// BenchmarkEffSpiceTransientFSM: the full transistor/op-amp serial adder
+// (two latch rings, majority gates, clocked coupling) adding 101 + 101 over
+// 3 clock periods — the honest SPICE-level cost of the FSM scenario.
+func BenchmarkEffSpiceTransientFSM(b *testing.B) {
+	_, sol, p := benchFixture(b)
+	latch := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: 120e-6}
+	cal, err := phasemacro.Calibrate(latch, 10e3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr, cc, inv, err := ringosc.CouplingFromCalibration(cal.Coupling, sol.F0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aBits := []bool{true, false, true}
+	ac, err := ringosc.BuildSerialAdderCircuit(ringosc.AdderCircuitConfig{
+		Ring: ringosc.DefaultConfig(), F1: sol.F0,
+		SyncAmp: 120e-6, SyncPhase: cal.SyncPhase,
+		InputAmp: cmplx.Abs(cal.OutPhasor0), OutAngle: cmplx.Phase(cal.OutPhasor0),
+		CouplingR: cr, CouplingC: cc, Invert: inv,
+		ClockCycles: 120, ABits: aBits, BBits: aBits,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	T1 := 1 / sol.F0
+	x0 := ac.InitialState(sol, false, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Run(ac.Sys, x0, 0, 3*ac.ClockPeriod, transient.Options{
+			Method: transient.Trap, Step: T1 / 256, Record: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEffPhaseMacroFSM: the full serial adder (3 clock periods = 300
+// cycles) on phase macromodels.
+func BenchmarkEffPhaseMacroFSM(b *testing.B) {
+	_, _, p := benchFixture(b)
+	aBits := []bool{true, false, true}
+	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
+		SyncAmp: 100e-6, ClockCycles: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Run(3, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches for DESIGN.md's called-out choices. ---
+
+// BenchmarkAblationTransientFixed vs ...Adaptive: LTE-adaptive stepping on
+// the D-latch settle transient.
+func BenchmarkAblationTransientFixed(b *testing.B) {
+	_, sol, _ := benchFixture(b)
+	T1 := 1 / sol.F0
+	l, err := ringosc.BuildLatch(ringosc.DefaultLatchConfig(sol.F0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Run(l.Sys, l.KickStart(), 0, 20*T1, transient.Options{
+			Method: transient.Trap, Step: T1 / 512,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTransientAdaptive(b *testing.B) {
+	_, sol, _ := benchFixture(b)
+	T1 := 1 / sol.F0
+	l, err := ringosc.BuildLatch(ringosc.DefaultLatchConfig(sol.F0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Run(l.Sys, l.KickStart(), 0, 20*T1, transient.Options{
+			Method: transient.Trap, Step: T1 / 512, Adaptive: true, LTETol: 1e-3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGAEAveraged vs ...NonAveraged: the averaged GAE against
+// the unaveraged eq.-(13) phase model on the same flip.
+func BenchmarkAblationGAEAveraged(b *testing.B) {
+	_, sol, p := benchFixture(b)
+	T1 := 1 / sol.F0
+	m := gae.NewModel(p, sol.F0,
+		gae.Injection{Node: 0, Amp: 120e-6, Harmonic: 2},
+		gae.Injection{Node: 0, Amp: 150e-6, Harmonic: 1, Phase: 0.1},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transient(0.3, 0, 200*T1, T1)
+	}
+}
+
+func BenchmarkAblationGAENonAveraged(b *testing.B) {
+	_, sol, p := benchFixture(b)
+	T1 := 1 / sol.F0
+	m := gae.NewModel(p, sol.F0,
+		gae.Injection{Node: 0, Amp: 120e-6, Harmonic: 2},
+		gae.Injection{Node: 0, Amp: 150e-6, Harmonic: 1, Phase: 0.1},
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TransientNonAveraged(0.3, 0, 200*T1, 64, nil)
+	}
+}
+
+// BenchmarkAblationPPVTimeDomain vs ...PPVHB: the two extraction paths.
+func BenchmarkAblationPPVTimeDomain(b *testing.B) {
+	r, sol, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppv.FromSolution(r.Sys, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPPVHB(b *testing.B) {
+	r, sol, _ := benchFixture(b)
+	hb := pss.HBFromSolution(r.Sys, sol, 16)
+	if err := pss.RefineHB(r.Sys, hb, 12, 1e-10); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hb.PPVHB(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadePipeline measures the whole designer flow through the
+// public API (build → PSS → PPV).
+func BenchmarkFacadePipeline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := phlogon.RingPPV(phlogon.DefaultRingConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

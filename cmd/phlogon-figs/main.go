@@ -1,0 +1,89 @@
+// Command phlogon-figs regenerates every evaluation figure of the paper
+// (CSV + SVG into an output directory, metrics and ASCII previews on
+// stdout), plus the efficiency comparison table.
+//
+// Usage:
+//
+//	phlogon-figs [-out out] [-fig figNN] [-ascii] [-eff]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/figs"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "output directory for SVG/CSV artifacts ('' disables)")
+	only := flag.String("fig", "", "generate a single figure (e.g. fig07); empty = all")
+	ascii := flag.Bool("ascii", false, "print ASCII previews of the charts")
+	eff := flag.Bool("eff", true, "also run the efficiency comparison")
+	flag.Parse()
+
+	ctx := figs.New(*outDir)
+	var results []*figs.Result
+	if *only != "" {
+		gen := map[string]func() (*figs.Result, error){
+			"fig04": ctx.Fig04, "fig05": ctx.Fig05, "fig06": ctx.Fig06,
+			"fig07": ctx.Fig07, "fig08": ctx.Fig08, "fig10": ctx.Fig10,
+			"fig11": ctx.Fig11, "fig12": ctx.Fig12, "fig14": ctx.Fig14,
+			"fig16": ctx.Fig16, "fig17": ctx.Fig17, "fig19": ctx.Fig19,
+			"fig20": ctx.Fig20,
+		}
+		fn, ok := gen[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phlogon-figs: unknown figure %q\n", *only)
+			os.Exit(2)
+		}
+		r, err := fn()
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r)
+	} else {
+		var err error
+		results, err = ctx.All()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, r := range results {
+		fmt.Printf("== %s — %s\n", r.Name, r.Title)
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("   %-28s %g\n", k, r.Metrics[k])
+		}
+		if r.Notes != "" {
+			fmt.Printf("   note: %s\n", r.Notes)
+		}
+		if *ascii && r.Chart != nil {
+			fmt.Println(r.Chart.ASCII(92, 22))
+		}
+		fmt.Println()
+	}
+
+	if *eff && *only == "" {
+		rows, err := ctx.Efficiency()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== efficiency comparison (paper Secs. 2 / 4.3)")
+		fmt.Print(figs.EffSummary(rows))
+	}
+	if *outDir != "" {
+		fmt.Printf("artifacts written to %s/\n", *outDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phlogon-figs:", err)
+	os.Exit(1)
+}

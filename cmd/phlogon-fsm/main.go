@@ -1,0 +1,154 @@
+// Command phlogon-fsm simulates the paper's phase-logic serial adder
+// (Fig. 15) on PPV phase macromodels and prints the decoded outputs next to
+// the golden Boolean result.
+//
+// Usage:
+//
+//	phlogon-fsm -a 101 -b 101 [-sync 100u] [-clk 100] [-ascii]
+//
+// Bit strings are LSB-first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/netlist"
+	"repro/internal/phlogic"
+	"repro/internal/plot"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+func main() {
+	aStr := flag.String("a", "101", "input stream a, LSB first")
+	bStr := flag.String("b", "101", "input stream b, LSB first")
+	syncAmp := flag.String("sync", "100u", "SYNC amplitude per latch")
+	clk := flag.Float64("clk", 100, "reference cycles per clock period")
+	ascii := flag.Bool("ascii", false, "plot the phase trajectories")
+	flag.Parse()
+
+	aBits, err := parseBits(*aStr)
+	if err != nil {
+		fatal(err)
+	}
+	bBits, err := parseBits(*bStr)
+	if err != nil {
+		fatal(err)
+	}
+	if len(aBits) != len(bBits) {
+		fatal(fmt.Errorf("streams differ in length"))
+	}
+	sv, err := netlist.ParseValue(*syncAmp)
+	if err != nil {
+		fatal(err)
+	}
+
+	r, err := ringosc.Build(ringosc.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p, err := ppv.FromSolution(r.Sys, sol)
+	if err != nil {
+		fatal(err)
+	}
+	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, bBits, phlogic.SerialAdderConfig{
+		SyncAmp: sv, ClockCycles: *clk,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	n := len(aBits)
+	res, err := sa.Run(float64(n), 0.25)
+	if err != nil {
+		fatal(err)
+	}
+	sums, err := sa.ReadSums(res, n)
+	if err != nil {
+		fatal(err)
+	}
+	carries, err := sa.ReadCarries(res, n)
+	if err != nil {
+		fatal(err)
+	}
+	wantSum, wantCarry := phlogic.GoldenSerialAdder(aBits, bBits)
+
+	fmt.Printf("serial adder on phase macromodels: f0 = %.5g Hz, clock = %.0f cycles, %d RK4 steps\n\n",
+		p.F0, *clk, res.Steps)
+	fmt.Printf("%4s %3s %3s | %5s %5s | %9s %9s | %s\n", "bit", "a", "b", "sum", "cout", "want_sum", "want_cout", "ok")
+	allOK := true
+	for i := 0; i < n; i++ {
+		ok := sums[i] == wantSum[i] && carries[i] == wantCarry[i]
+		allOK = allOK && ok
+		fmt.Printf("%4d %3s %3s | %5s %5s | %9s %9s | %v\n",
+			i, b01(aBits[i]), b01(bBits[i]), b01(sums[i]), b01(carries[i]),
+			b01(wantSum[i]), b01(wantCarry[i]), ok)
+	}
+	fmt.Printf("\nresult: %s\n", map[bool]string{true: "CORRECT", false: "MISMATCH"}[allOK])
+
+	if *ascii {
+		P := sa.Clock.Period
+		x := make([]float64, len(res.T))
+		q1 := make([]float64, len(res.T))
+		q2 := make([]float64, len(res.T))
+		for i := range res.T {
+			x[i] = res.T[i] / P
+			q1[i] = wrap01(res.Dphi[0][i])
+			q2[i] = wrap01(res.Dphi[1][i])
+		}
+		ch := plot.New("Δφ of Q1 (master) and Q2 (slave)", "clock periods", "Δφ (cycles)")
+		ch.Add("Q1", x, q1)
+		ch.Add("Q2", x, q2)
+		fmt.Println(ch.ASCII(90, 18))
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}
+
+func parseBits(s string) ([]bool, error) {
+	out := make([]bool, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case '0':
+			out = append(out, false)
+		case '1':
+			out = append(out, true)
+		default:
+			return nil, fmt.Errorf("bit strings must be 0/1, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty bit string")
+	}
+	return out, nil
+}
+
+func b01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func wrap01(x float64) float64 {
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phlogon-fsm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command phlogon-gae runs the Generalized Adler analyses on the paper's
+// ring-oscillator latch: lock prediction, locking range, equilibrium and
+// phase-error sweeps, and bit-flip transients — the designer-facing
+// facilities of the paper's Sec. 4.
+//
+// Usage:
+//
+//	phlogon-gae lock    -sync 100u [-d 0] [-f1 9.6k] [-2n1p]
+//	phlogon-gae range   -sync 100u [-2n1p]
+//	phlogon-gae sweep-d -sync 120u -dmax 200u
+//	phlogon-gae flip    -sync 120u -d 150u [-cycles 3000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"os"
+
+	"repro/internal/gae"
+	"repro/internal/netlist"
+	"repro/internal/phasemacro"
+	"repro/internal/plot"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	syncAmp := fs.String("sync", "100u", "SYNC current amplitude")
+	dAmp := fs.String("d", "0", "D input current amplitude")
+	f1s := fs.String("f1", "", "reference frequency (default: the latch's f0)")
+	use2n1p := fs.Bool("2n1p", false, "use the 2N1P (asymmetric) ring")
+	dmax := fs.String("dmax", "200u", "sweep-d: maximum D amplitude")
+	cycles := fs.Float64("cycles", 3000, "flip: simulated reference cycles")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	cfg := ringosc.DefaultConfig()
+	if *use2n1p {
+		cfg = ringosc.Config2N1P()
+	}
+	r, err := ringosc.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p, err := ppv.FromSolution(r.Sys, sol)
+	if err != nil {
+		fatal(err)
+	}
+	latch := &phasemacro.Latch{P: p, Node: 0, Out: 0}
+	cal, err := phasemacro.Calibrate(latch, 10e3)
+	if err != nil {
+		fatal(err)
+	}
+	sv, err := netlist.ParseValue(*syncAmp)
+	if err != nil {
+		fatal(err)
+	}
+	dv, err := netlist.ParseValue(*dAmp)
+	if err != nil {
+		fatal(err)
+	}
+	f1 := p.F0
+	if *f1s != "" {
+		if f1, err = netlist.ParseValue(*f1s); err != nil {
+			fatal(err)
+		}
+	}
+	dPhase := cmplx.Phase(p.Harmonic(0, 1))/(2*math.Pi) - 0.25
+	m := gae.NewModel(p, f1,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: sv, Harmonic: 2, Phase: cal.SyncPhase},
+		gae.Injection{Name: "D", Node: 0, Amp: dv, Harmonic: 1, Phase: dPhase},
+	)
+	fmt.Printf("latch: f0 = %.6g Hz, |V1| = %.4g, |V2| = %.4g; f1 = %.6g Hz (detune %.3g)\n\n",
+		p.F0, p.NodeSeries[0].Magnitude(1), p.NodeSeries[0].Magnitude(2), f1, m.Detune())
+
+	switch cmd {
+	case "lock":
+		eq := m.Equilibria()
+		if len(eq) == 0 {
+			fmt.Println("no equilibria: SHIL/IL will NOT happen at this drive and detuning")
+			return
+		}
+		fmt.Printf("%d equilibria:\n", len(eq))
+		for _, e := range eq {
+			kind := "unstable"
+			if e.Stable {
+				kind = "STABLE"
+			}
+			fmt.Printf("  Δφ* = %.5f cycles   g' = %+.4g   %s\n", e.Dphi, e.GPrime, kind)
+		}
+		x, g := m.GCurve(121)
+		ch := plot.New("g(Δφ) vs LHS", "Δφ (cycles)", "g")
+		ch.Add("g", x, g)
+		lhs := make([]float64, len(x))
+		for i := range lhs {
+			lhs[i] = m.Detune()
+		}
+		ch.Add("LHS", x, lhs)
+		fmt.Println(ch.ASCII(80, 18))
+	case "range":
+		amps := gae.Linspace(0, 2*sv, 21)
+		pts := m.SweepSyncAmplitude(0, 2, amps)
+		fmt.Printf("%12s %14s %14s %12s\n", "SYNC [µA]", "f1_lo [Hz]", "f1_hi [Hz]", "width [Hz]")
+		for _, pt := range pts {
+			fmt.Printf("%12.4g %14.6g %14.6g %12.4g\n", pt.Amp*1e6, pt.F1Lo, pt.F1Hi, pt.F1Hi-pt.F1Lo)
+		}
+	case "sweep-d":
+		dm, err := netlist.ParseValue(*dmax)
+		if err != nil {
+			fatal(err)
+		}
+		amps := gae.Linspace(0, dm, 41)
+		pts := m.SweepInjectionAmplitude(1, amps)
+		fmt.Printf("%12s %10s  %s\n", "D [µA]", "#stable", "stable Δφ*")
+		for _, pt := range pts {
+			fmt.Printf("%12.4g %10d  %v\n", pt.Param*1e6, len(pt.Stable), pt.Stable)
+		}
+	case "flip":
+		T1 := 1 / f1
+		tr := m.Transient(0.497, 0, *cycles*T1, T1)
+		st := tr.SettleTime(0.02)
+		fmt.Printf("flip transient: final Δφ = %.4f, settle time = %.4g ms (%.0f cycles)\n",
+			tr.Final(), st*1e3, st/T1)
+		n := 200
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			tt := float64(i) / float64(n-1) * *cycles * T1
+			x[i] = tt * 1e3
+			j := 0
+			for j < len(tr.T)-1 && tr.T[j+1] <= tt {
+				j++
+			}
+			y[i] = tr.Dphi[j]
+		}
+		ch := plot.New("GAE flip transient", "t [ms]", "Δφ (cycles)")
+		ch.Add("Δφ", x, y)
+		fmt.Println(ch.ASCII(80, 18))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: phlogon-gae {lock|range|sweep-d|flip} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phlogon-gae:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command phlogon-pss computes the periodic steady state of an oscillator
+// netlist by shooting (autonomous: unknown period) and optionally refines
+// it with harmonic balance, reporting frequency, Floquet multipliers and
+// the PSS waveform.
+//
+// Usage:
+//
+//	phlogon-pss -deck ring.cir -f0 9.6k [-hb] [-csv pss.csv] [-ascii]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"os"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+	"repro/internal/plot"
+	"repro/internal/pss"
+	"repro/internal/wave"
+)
+
+func main() {
+	deck := flag.String("deck", "", "netlist file (required)")
+	f0guess := flag.String("f0", "", "frequency guess (required)")
+	hb := flag.Bool("hb", false, "refine with harmonic balance")
+	csvOut := flag.String("csv", "", "write the PSS waveforms as CSV")
+	ascii := flag.Bool("ascii", false, "plot node 0's PSS waveform")
+	flag.Parse()
+	if *deck == "" || *f0guess == "" {
+		fmt.Fprintln(os.Stderr, "phlogon-pss: -deck and -f0 are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*deck)
+	if err != nil {
+		fatal(err)
+	}
+	ckt, err := netlist.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := ckt.Assemble()
+	if err != nil {
+		fatal(err)
+	}
+	f0, err := netlist.ParseValue(*f0guess)
+	if err != nil {
+		fatal(err)
+	}
+	x0 := linalg.NewVec(sys.N)
+	for i := range x0 {
+		x0[i] = 1.5 + 1.2*float64(i%3-1)
+	}
+	sol, err := pss.ShootAutonomous(sys, x0, pss.Options{GuessT: 1 / f0, StepsPerPeriod: 1024})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("PSS: f0 = %.6g Hz, T0 = %.6g s, residual %.3g V after %d Newton iterations\n",
+		sol.F0, sol.T0, sol.Residual, sol.Iterations)
+	fmt.Println("Floquet multipliers:")
+	for _, m := range sol.Multipliers {
+		fmt.Printf("  %.6g %+.6gi   |µ| = %.6g\n", real(m), imag(m), cmplx.Abs(m))
+	}
+	_, largest, stable := sol.StabilityReport()
+	fmt.Printf("orbital stability: %v (largest non-trivial |µ| = %.4g)\n", stable, largest)
+	for n := 0; n < sys.N; n++ {
+		s := sol.NodeSeries(n, 16)
+		fmt.Printf("node %-8s fundamental %.4g V, THD %.3g, peak at %.4f cycles\n",
+			ckt.NodeName(n), 2*s.Magnitude(1), s.THD(), s.PeakPosition())
+	}
+	if *hb {
+		hbsol := pss.HBFromSolution(sys, sol, 20)
+		if err := pss.RefineHB(sys, hbsol, 12, 1e-10); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("HB refinement: f0 = %.8g Hz, residual %.3g A\n", hbsol.F0, hbsol.Residual)
+	}
+	if *ascii {
+		s := sol.NodeSeries(0, 32)
+		n := 160
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i) / float64(n-1)
+			y[i] = s.Eval(x[i])
+		}
+		ch := plot.New(fmt.Sprintf("PSS of %s", ckt.NodeName(0)), "t/T0", "V")
+		ch.Add(ckt.NodeName(0), x, y)
+		fmt.Println(ch.ASCII(90, 18))
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cols := map[string][]float64{}
+		var names []string
+		for n := 0; n < sys.N; n++ {
+			name := ckt.NodeName(n)
+			names = append(names, name)
+			col := make([]float64, len(sol.Grid))
+			for i := range sol.Grid {
+				col[i] = sol.States[i][n]
+			}
+			cols[name] = col
+		}
+		if err := wave.MultiCSV(f, sol.Grid, cols, names); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PSS waveforms written to %s\n", *csvOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phlogon-pss:", err)
+	os.Exit(1)
+}

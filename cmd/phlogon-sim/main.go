@@ -1,0 +1,134 @@
+// Command phlogon-sim runs SPICE-level transient analysis on a netlist deck
+// and writes node waveforms as CSV (stdout or file).
+//
+// Usage:
+//
+//	phlogon-sim -deck ring.cir -stop 5m -step 0.2u [-method trap|be]
+//	            [-adaptive] [-nodes n1,n2] [-o out.csv] [-ic n1=2.7,n2=0.3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+	"repro/internal/solver"
+	"repro/internal/transient"
+	"repro/internal/wave"
+)
+
+func main() {
+	deck := flag.String("deck", "", "netlist file (required)")
+	stop := flag.String("stop", "1m", "end time (SPICE units)")
+	step := flag.String("step", "1u", "time step (SPICE units)")
+	method := flag.String("method", "trap", "integration method: trap or be")
+	adaptive := flag.Bool("adaptive", false, "LTE-adaptive stepping")
+	nodes := flag.String("nodes", "", "comma-separated node names to record (default: all)")
+	out := flag.String("o", "", "output CSV file (default stdout)")
+	ic := flag.String("ic", "", "initial conditions node=V,node=V (default: DC operating point)")
+	record := flag.Int("record", 1, "record every Nth accepted step")
+	flag.Parse()
+
+	if *deck == "" {
+		fmt.Fprintln(os.Stderr, "phlogon-sim: -deck is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*deck)
+	if err != nil {
+		fatal(err)
+	}
+	ckt, err := netlist.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := ckt.Assemble()
+	if err != nil {
+		fatal(err)
+	}
+	t1, err := netlist.ParseValue(*stop)
+	if err != nil {
+		fatal(fmt.Errorf("bad -stop: %w", err))
+	}
+	h, err := netlist.ParseValue(*step)
+	if err != nil {
+		fatal(fmt.Errorf("bad -step: %w", err))
+	}
+
+	// Initial state.
+	var x0 linalg.Vec
+	if *ic == "" {
+		x0, err = solver.DCOperatingPoint(sys, nil, 0)
+		if err != nil {
+			fatal(fmt.Errorf("DC operating point: %w (try -ic)", err))
+		}
+	} else {
+		x0 = linalg.NewVec(sys.N)
+		for _, kv := range strings.Split(*ic, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad -ic entry %q", kv))
+			}
+			idx := ckt.NodeIndex(strings.TrimSpace(parts[0]))
+			if idx < 0 {
+				fatal(fmt.Errorf("-ic: unknown node %q", parts[0]))
+			}
+			v, err := netlist.ParseValue(parts[1])
+			if err != nil {
+				fatal(err)
+			}
+			x0[idx] = v
+		}
+	}
+
+	m := transient.Trap
+	if strings.EqualFold(*method, "be") {
+		m = transient.BE
+	}
+	res, err := transient.Run(sys, x0, 0, t1, transient.Options{
+		Method: m, Step: h, Adaptive: *adaptive, Record: *record,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "phlogon-sim: %s, %d steps (%d rejected), %d Newton iterations\n",
+		sys.Describe(), res.Steps, res.Rejected, res.NewtonIters)
+
+	// Select output nodes.
+	var names []string
+	if *nodes == "" {
+		for i := 0; i < sys.N; i++ {
+			names = append(names, ckt.NodeName(i))
+		}
+	} else {
+		names = strings.Split(*nodes, ",")
+	}
+	cols := map[string][]float64{}
+	for _, n := range names {
+		idx := ckt.NodeIndex(strings.TrimSpace(n))
+		if idx < 0 {
+			fatal(fmt.Errorf("unknown node %q", n))
+		}
+		cols[n] = res.Node(idx)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := wave.MultiCSV(w, res.T, cols, names); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phlogon-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Noise immunity of phase logic (the paper's motivating claim): the same
+// PPV that powers the deterministic design tools gives the oscillator's
+// phase-diffusion coefficient under device noise. A free-running oscillator
+// loses phase information as a random walk; under the SYNC injection that
+// stores the logic bit, SHIL confines the phase to a narrow distribution
+// around the lock, and bit errors require exponentially rare hops over the
+// saddle between the two states.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	phlogon "repro"
+	"repro/internal/noise"
+	"repro/internal/phasemacro"
+)
+
+func main() {
+	_, sol, p, err := phlogon.RingPPV(phlogon.DefaultRingConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := phasemacro.Calibrate(&phasemacro.Latch{P: p, Node: 0, Out: 0}, 10e3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Physical noise floor: thermal noise of the ~kΩ-scale resistive paths.
+	src := []noise.Source{{Node: 0, PSD: noise.ThermalCurrentPSD(1e3, 300)}}
+	c := noise.AlphaDiffusion(p, src)
+	fmt.Printf("oscillator: f0 = %.5g Hz\n", sol.F0)
+	fmt.Printf("thermal phase diffusion c = %.3g s²/s\n", c)
+	fmt.Printf("Lorentzian linewidth      = %.3g Hz\n", noise.Linewidth(p, src))
+	fmt.Printf("RMS jitter per cycle      = %.3g s (%.3g ppm of T0)\n\n",
+		noise.JitterPerCycle(p, src), noise.JitterPerCycle(p, src)/sol.T0*1e6)
+
+	// Exaggerated noise so a second of simulation shows the physics.
+	d := 5e-3 // Δφ diffusion, cycles²/s
+	free := phlogon.NewGAE(p, sol.F0)
+	locked := phlogon.NewGAE(p, sol.F0, phlogon.Injection{
+		Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase,
+	})
+
+	T := 2.0
+	rFree := noise.StochasticTransient(free, 0, d, 0, T, 1e-4, 1)
+	rLock := noise.StochasticTransient(locked, 0, d, 0, T, 1e-4, 1)
+	fmt.Printf("with Δφ diffusion D = %g cycles²/s over %g s:\n", d, T)
+	fmt.Printf("  free-running: final phase drift %+.3f cycles (random walk, information lost)\n",
+		rFree.Dphi[len(rFree.Dphi)-1])
+	fmt.Printf("  SHIL-locked:  phase variance %.2e cycles² (OU prediction %.2e), hops: %d\n",
+		rLock.Var(), noise.ConfinementVariance(locked, 0, d), rLock.Hops)
+
+	// Bit-error onset: hop counts vs noise level at two SYNC strengths.
+	fmt.Println("\nbit-retention (hops over 1 s, 8 seeds) vs noise and SYNC drive:")
+	fmt.Printf("%14s %14s %14s\n", "D [cyc²/s]", "SYNC 50 µA", "SYNC 150 µA")
+	for _, dd := range []float64{0.1, 1, 10, 40} {
+		row := [2]int{}
+		for i, amp := range []float64{50e-6, 150e-6} {
+			m := phlogon.NewGAE(p, sol.F0, phlogon.Injection{
+				Name: "SYNC", Node: 0, Amp: amp, Harmonic: 2, Phase: cal.SyncPhase,
+			})
+			for s := int64(0); s < 8; s++ {
+				row[i] += noise.StochasticTransient(m, 0, dd, 0, 1, 1e-4, 100+s).Hops
+			}
+		}
+		fmt.Printf("%14g %14d %14d\n", dd, row[0], row[1])
+	}
+	fmt.Println("\nstronger SYNC ⇒ stiffer lock ⇒ exponentially fewer bit errors —")
+	fmt.Println("the quantitative form of the paper's noise-immunity argument.")
+}

@@ -1,0 +1,379 @@
+// Package circuit provides the circuit-equation substrate for the PHLOGON
+// design tools. Circuits are described as a set of nodes and devices and are
+// assembled into the ODE form
+//
+//	C·dx/dt = -f(x, t)
+//
+// where x are the free node voltages, C is the (constant, symmetric positive
+// definite) capacitance matrix, and f collects all resistive and source
+// currents flowing out of each node (Kirchhoff's current law). This is the
+// paper's DAE (eq. 1) specialized to circuits in which every free node
+// carries capacitance — true by construction here, because a configurable
+// parasitic capacitance is added to any node that would otherwise be purely
+// algebraic. Index-0 form keeps the PSS, monodromy, and PPV machinery exact.
+//
+// Supply rails and level-based logic inputs (EN, CLK) are "fixed" nodes with
+// prescribed, possibly time-varying, potentials; they contribute no unknowns.
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// NodeID identifies a circuit node. IDs ≥ 0 index free (unknown-voltage)
+// nodes; IDs < 0 index fixed nodes (rails). The ground rail is predefined.
+type NodeID int
+
+// Ground is the reference rail at 0 V, present in every circuit.
+const Ground NodeID = -1
+
+// IsFree reports whether the node is a free unknown.
+func (n NodeID) IsFree() bool { return n >= 0 }
+
+// Rail describes a fixed node: a prescribed potential V(t) and its time
+// derivative (needed when capacitors attach to time-varying rails).
+type Rail struct {
+	Name string
+	V    func(t float64) float64
+	DVDt func(t float64) float64 // optional; nil means numerically differentiated
+}
+
+// Device is a circuit element. StampC is called once at assembly time to
+// contribute constant capacitances; Eval is called at every (x, t) to
+// contribute KCL currents and, when ctx.WantJacobian, their derivatives.
+type Device interface {
+	Label() string
+	StampC(c *CapStamper)
+	Eval(ctx *EvalContext)
+}
+
+// Circuit is a netlist of free nodes, rails, and devices.
+type Circuit struct {
+	nodeNames []string
+	nodeIndex map[string]int
+	rails     []Rail
+	railIndex map[string]int
+	devices   []Device
+
+	// ParasiticCap is added from every free node to ground so that the
+	// capacitance matrix is nonsingular (default 1 pF; see package doc).
+	ParasiticCap float64
+	// Gmin is a small conductance added from every free node to ground for
+	// Newton robustness (default 1e-12 S).
+	Gmin float64
+}
+
+// New returns an empty circuit with default parasitics.
+func New() *Circuit {
+	return &Circuit{
+		nodeIndex:    map[string]int{},
+		railIndex:    map[string]int{},
+		ParasiticCap: 1e-12,
+		Gmin:         1e-12,
+	}
+}
+
+// Node returns the NodeID for name, creating a free node on first use.
+func (c *Circuit) Node(name string) NodeID {
+	if name == "0" || name == "gnd" || name == "GND" {
+		return Ground
+	}
+	if i, ok := c.railIndex[name]; ok {
+		return NodeID(-2 - i)
+	}
+	if i, ok := c.nodeIndex[name]; ok {
+		return NodeID(i)
+	}
+	i := len(c.nodeNames)
+	c.nodeNames = append(c.nodeNames, name)
+	c.nodeIndex[name] = i
+	return NodeID(i)
+}
+
+// AddRail registers a fixed node with a prescribed potential and returns its
+// NodeID. Registering must happen before the name is used as a free node.
+func (c *Circuit) AddRail(name string, v func(t float64) float64) NodeID {
+	if _, ok := c.nodeIndex[name]; ok {
+		panic(fmt.Sprintf("circuit: node %q already exists as a free node", name))
+	}
+	if i, ok := c.railIndex[name]; ok {
+		c.rails[i].V = v
+		return NodeID(-2 - i)
+	}
+	i := len(c.rails)
+	c.rails = append(c.rails, Rail{Name: name, V: v})
+	c.railIndex[name] = i
+	return NodeID(-2 - i)
+}
+
+// AddDCRail registers a fixed node at a constant potential.
+func (c *Circuit) AddDCRail(name string, v float64) NodeID {
+	id := c.AddRail(name, func(float64) float64 { return v })
+	c.rails[-2-int(id)].DVDt = func(float64) float64 { return 0 }
+	return id
+}
+
+// Add appends devices to the circuit.
+func (c *Circuit) Add(devs ...Device) {
+	c.devices = append(c.devices, devs...)
+}
+
+// NumNodes returns the number of free nodes (the ODE dimension).
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// NodeName returns the name of free node i.
+func (c *Circuit) NodeName(i int) string { return c.nodeNames[i] }
+
+// NodeIndex returns the index of the named free node, or -1.
+func (c *Circuit) NodeIndex(name string) int {
+	if i, ok := c.nodeIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Devices returns the device list (shared slice; treat as read-only).
+func (c *Circuit) Devices() []Device { return c.devices }
+
+// RailVoltage evaluates the potential of a non-free node at time t.
+func (c *Circuit) RailVoltage(n NodeID, t float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	return c.rails[-2-int(n)].V(t)
+}
+
+// railDVDt evaluates dV/dt of a non-free node at time t.
+func (c *Circuit) railDVDt(n NodeID, t float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	r := c.rails[-2-int(n)]
+	if r.DVDt != nil {
+		return r.DVDt(t)
+	}
+	const h = 1e-9
+	return (r.V(t+h) - r.V(t-h)) / (2 * h)
+}
+
+// CapStamper accumulates the constant capacitance matrix.
+type CapStamper struct {
+	ckt *Circuit
+	C   *linalg.Mat
+	// railCaps[i] lists capacitances from free node i to time-varying rails;
+	// they contribute source currents C·dVrail/dt.
+	railCaps []railCap
+}
+
+type railCap struct {
+	node int
+	rail NodeID
+	cap  float64
+}
+
+// AddCap stamps a two-terminal capacitance between nodes a and b.
+func (s *CapStamper) AddCap(a, b NodeID, cap float64) {
+	if cap < 0 {
+		panic("circuit: negative capacitance")
+	}
+	if a.IsFree() {
+		s.C.Addf(int(a), int(a), cap)
+	}
+	if b.IsFree() {
+		s.C.Addf(int(b), int(b), cap)
+	}
+	if a.IsFree() && b.IsFree() {
+		s.C.Addf(int(a), int(b), -cap)
+		s.C.Addf(int(b), int(a), -cap)
+	}
+	// A capacitor to a moving rail injects C·dVrail/dt into the free node.
+	if a.IsFree() && !b.IsFree() && b != Ground {
+		s.railCaps = append(s.railCaps, railCap{int(a), b, cap})
+	}
+	if b.IsFree() && !a.IsFree() && a != Ground {
+		s.railCaps = append(s.railCaps, railCap{int(b), a, cap})
+	}
+}
+
+// EvalContext carries the operating point to Device.Eval and accumulates
+// KCL currents F (out of each node) and their Jacobian J = dF/dx.
+type EvalContext struct {
+	ckt          *Circuit
+	T            float64
+	X            linalg.Vec
+	F            linalg.Vec
+	J            *linalg.Mat
+	WantJacobian bool
+	// GminScale scales the circuit Gmin (used by gmin continuation).
+	GminScale float64
+	// SourceScale scales all independent sources (source stepping); devices
+	// honoring it multiply their source values by it.
+	SourceScale float64
+}
+
+// V returns the voltage of any node at the context's (x, t).
+func (e *EvalContext) V(n NodeID) float64 {
+	if n.IsFree() {
+		return e.X[int(n)]
+	}
+	return e.ckt.RailVoltage(n, e.T)
+}
+
+// AddCurrent adds a current i flowing out of node n into the device.
+func (e *EvalContext) AddCurrent(n NodeID, i float64) {
+	if n.IsFree() {
+		e.F[int(n)] += i
+	}
+}
+
+// AddJac adds dI(out of n)/dV(m) to the Jacobian.
+func (e *EvalContext) AddJac(n, m NodeID, d float64) {
+	if e.WantJacobian && n.IsFree() && m.IsFree() {
+		e.J.Addf(int(n), int(m), d)
+	}
+}
+
+// System is the assembled ODE-form circuit: C·ẋ = -f(x, t), with the
+// capacitance factorization cached for repeated solves.
+type System struct {
+	Ckt *Circuit
+	N   int
+	C   *linalg.Mat
+	CLU *linalg.LU
+
+	railCaps []railCap
+	// scratch to avoid per-eval allocation
+	fbuf linalg.Vec
+	jbuf *linalg.Mat
+}
+
+// Assemble builds the System: stamps capacitances (adding parasitics),
+// factorizes C, and validates that every node ended up dynamic.
+func (c *Circuit) Assemble() (*System, error) {
+	n := len(c.nodeNames)
+	st := &CapStamper{ckt: c, C: linalg.NewMat(n, n)}
+	for _, d := range c.devices {
+		d.StampC(st)
+	}
+	for i := 0; i < n; i++ {
+		st.C.Addf(i, i, c.ParasiticCap)
+	}
+	lu, err := linalg.Factorize(st.C)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: capacitance matrix singular (is ParasiticCap zero?): %w", err)
+	}
+	return &System{
+		Ckt:      c,
+		N:        n,
+		C:        st.C,
+		CLU:      lu,
+		railCaps: st.railCaps,
+		fbuf:     linalg.NewVec(n),
+		jbuf:     linalg.NewMat(n, n),
+	}, nil
+}
+
+// EvalF computes f(x, t) (KCL out-currents including Gmin and rail-cap
+// source terms) into dst. dst may be nil, in which case a new vector is
+// returned. The returned slice aliases dst when provided.
+func (s *System) EvalF(x linalg.Vec, t float64, dst linalg.Vec) linalg.Vec {
+	if dst == nil {
+		dst = linalg.NewVec(s.N)
+	}
+	dst.Zero()
+	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: dst, GminScale: 1, SourceScale: 1}
+	for _, d := range s.Ckt.devices {
+		d.Eval(ctx)
+	}
+	s.addImplicitTerms(ctx)
+	return dst
+}
+
+// EvalFJ computes f and its Jacobian J = df/dx at (x, t).
+func (s *System) EvalFJ(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat) {
+	f.Zero()
+	j.Zero()
+	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: f, J: j, WantJacobian: true, GminScale: 1, SourceScale: 1}
+	for _, d := range s.Ckt.devices {
+		d.Eval(ctx)
+	}
+	s.addImplicitTerms(ctx)
+}
+
+// EvalScaled is EvalFJ with gmin/source continuation scaling, for the DC
+// operating-point solver.
+func (s *System) EvalScaled(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
+	f.Zero()
+	wantJ := j != nil
+	if wantJ {
+		j.Zero()
+	}
+	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: f, J: j, WantJacobian: wantJ, GminScale: gminScale, SourceScale: srcScale}
+	for _, d := range s.Ckt.devices {
+		d.Eval(ctx)
+	}
+	s.addImplicitTerms(ctx)
+}
+
+func (s *System) addImplicitTerms(ctx *EvalContext) {
+	g := s.Ckt.Gmin * ctx.GminScale
+	for i := 0; i < s.N; i++ {
+		ctx.F[i] += g * ctx.X[i]
+		if ctx.WantJacobian {
+			ctx.J.Addf(i, i, g)
+		}
+	}
+	for _, rc := range s.railCaps {
+		ctx.F[rc.node] -= rc.cap * s.Ckt.railDVDt(rc.rail, ctx.T)
+	}
+}
+
+// XDot computes ẋ = -C⁻¹·f(x, t), the ODE right-hand side.
+func (s *System) XDot(x linalg.Vec, t float64) linalg.Vec {
+	f := s.EvalF(x, t, s.fbuf)
+	f.Scale(-1)
+	return s.CLU.Solve(f)
+}
+
+// RHSJacobian computes A(t) = d(ẋ)/dx = -C⁻¹·J(x, t), used by monodromy and
+// adjoint (PPV) integration.
+func (s *System) RHSJacobian(x linalg.Vec, t float64) *linalg.Mat {
+	s.EvalFJ(x, t, s.fbuf, s.jbuf)
+	a := linalg.NewMat(s.N, s.N)
+	for j := 0; j < s.N; j++ {
+		col := s.CLU.Solve(s.jbuf.Col(j))
+		for i := 0; i < s.N; i++ {
+			a.Set(i, j, -col[i])
+		}
+	}
+	return a
+}
+
+// InjectionGain returns the vector mapping a current injected *into* free
+// node k to the ODE right-hand side: ẋ += gain·I. (gain = C⁻¹·e_k.)
+func (s *System) InjectionGain(k int) linalg.Vec {
+	e := linalg.NewVec(s.N)
+	e[k] = 1
+	return s.CLU.Solve(e)
+}
+
+// Describe returns a one-line summary, useful in logs and errors.
+func (s *System) Describe() string {
+	return fmt.Sprintf("circuit with %d free nodes, %d rails, %d devices",
+		s.N, len(s.Ckt.rails), len(s.Ckt.devices))
+}
+
+// MaxCap returns the largest diagonal capacitance — a natural scale for
+// time-step heuristics.
+func (s *System) MaxCap() float64 {
+	m := 0.0
+	for i := 0; i < s.N; i++ {
+		if c := math.Abs(s.C.At(i, i)); c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+// Package device provides the circuit-element models used by the PHLOGON
+// design tools: linear passives, independent sources, a long-channel MOSFET
+// (with ALD1106/ALD1107-like parameter sets for breadboard-class parts), a
+// behavioural saturating op-amp summer (majority / NOT gates built from
+// op-amps with resistive feedback, as in the paper's breadboard FSM), and a
+// transmission-gate switch.
+package device
+
+import (
+	"repro/internal/circuit"
+)
+
+// Resistor is a linear two-terminal resistance.
+type Resistor struct {
+	Name string
+	A, B circuit.NodeID
+	R    float64 // ohms, must be > 0
+}
+
+// Label implements circuit.Device.
+func (r *Resistor) Label() string { return r.Name }
+
+// StampC implements circuit.Device (no capacitance).
+func (r *Resistor) StampC(*circuit.CapStamper) {}
+
+// Eval implements circuit.Device.
+func (r *Resistor) Eval(ctx *circuit.EvalContext) {
+	g := 1 / r.R
+	i := g * (ctx.V(r.A) - ctx.V(r.B))
+	ctx.AddCurrent(r.A, i)
+	ctx.AddCurrent(r.B, -i)
+	ctx.AddJac(r.A, r.A, g)
+	ctx.AddJac(r.A, r.B, -g)
+	ctx.AddJac(r.B, r.A, -g)
+	ctx.AddJac(r.B, r.B, g)
+}
+
+// Capacitor is a linear two-terminal capacitance.
+type Capacitor struct {
+	Name string
+	A, B circuit.NodeID
+	C    float64 // farads
+}
+
+// Label implements circuit.Device.
+func (c *Capacitor) Label() string { return c.Name }
+
+// StampC implements circuit.Device.
+func (c *Capacitor) StampC(s *circuit.CapStamper) { s.AddCap(c.A, c.B, c.C) }
+
+// Eval implements circuit.Device (capacitors carry no resistive current).
+func (c *Capacitor) Eval(*circuit.EvalContext) {}
+
+// Conductor is a linear conductance (occasionally handier than Resistor).
+type Conductor struct {
+	Name string
+	A, B circuit.NodeID
+	G    float64 // siemens
+}
+
+// Label implements circuit.Device.
+func (c *Conductor) Label() string { return c.Name }
+
+// StampC implements circuit.Device.
+func (c *Conductor) StampC(*circuit.CapStamper) {}
+
+// Eval implements circuit.Device.
+func (c *Conductor) Eval(ctx *circuit.EvalContext) {
+	i := c.G * (ctx.V(c.A) - ctx.V(c.B))
+	ctx.AddCurrent(c.A, i)
+	ctx.AddCurrent(c.B, -i)
+	ctx.AddJac(c.A, c.A, c.G)
+	ctx.AddJac(c.A, c.B, -c.G)
+	ctx.AddJac(c.B, c.A, -c.G)
+	ctx.AddJac(c.B, c.B, c.G)
+}
+
+// VCCS is a voltage-controlled current source: a current Gm·(Vcp - Vcn)
+// flows from OutP to OutN (out of OutP, into OutN).
+type VCCS struct {
+	Name       string
+	CtrlP      circuit.NodeID
+	CtrlN      circuit.NodeID
+	OutP, OutN circuit.NodeID
+	Gm         float64
+}
+
+// Label implements circuit.Device.
+func (v *VCCS) Label() string { return v.Name }
+
+// StampC implements circuit.Device.
+func (v *VCCS) StampC(*circuit.CapStamper) {}
+
+// Eval implements circuit.Device.
+func (v *VCCS) Eval(ctx *circuit.EvalContext) {
+	i := v.Gm * (ctx.V(v.CtrlP) - ctx.V(v.CtrlN))
+	ctx.AddCurrent(v.OutP, i)
+	ctx.AddCurrent(v.OutN, -i)
+	ctx.AddJac(v.OutP, v.CtrlP, v.Gm)
+	ctx.AddJac(v.OutP, v.CtrlN, -v.Gm)
+	ctx.AddJac(v.OutN, v.CtrlP, -v.Gm)
+	ctx.AddJac(v.OutN, v.CtrlN, v.Gm)
+}

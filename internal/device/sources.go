@@ -1,0 +1,131 @@
+package device
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// CurrentSource drives a time-dependent current I(t) from node From, through
+// the source, into node To (i.e. I(t) leaves From and enters To). Honors
+// source-stepping via EvalContext.SourceScale.
+type CurrentSource struct {
+	Name     string
+	From, To circuit.NodeID
+	I        func(t float64) float64
+}
+
+// Label implements circuit.Device.
+func (s *CurrentSource) Label() string { return s.Name }
+
+// StampC implements circuit.Device.
+func (s *CurrentSource) StampC(*circuit.CapStamper) {}
+
+// Eval implements circuit.Device.
+func (s *CurrentSource) Eval(ctx *circuit.EvalContext) {
+	i := s.I(ctx.T) * ctx.SourceScale
+	ctx.AddCurrent(s.From, i)
+	ctx.AddCurrent(s.To, -i)
+}
+
+// DCCurrent builds a constant current source.
+func DCCurrent(name string, from, to circuit.NodeID, amps float64) *CurrentSource {
+	return &CurrentSource{Name: name, From: from, To: to, I: func(float64) float64 { return amps }}
+}
+
+// SineCurrent builds I(t) = Amp·cos(2π·(Freq·t + Phase)) + Offset, flowing
+// from From into To. Phase is in cycles, matching the paper's normalized
+// phase convention.
+type SineCurrent struct {
+	Name     string
+	From, To circuit.NodeID
+	Amp      float64
+	Freq     float64
+	Phase    float64 // cycles
+	Offset   float64
+}
+
+// Label implements circuit.Device.
+func (s *SineCurrent) Label() string { return s.Name }
+
+// StampC implements circuit.Device.
+func (s *SineCurrent) StampC(*circuit.CapStamper) {}
+
+// Eval implements circuit.Device.
+func (s *SineCurrent) Eval(ctx *circuit.EvalContext) {
+	i := (s.Amp*math.Cos(2*math.Pi*(s.Freq*ctx.T+s.Phase)) + s.Offset) * ctx.SourceScale
+	ctx.AddCurrent(s.From, i)
+	ctx.AddCurrent(s.To, -i)
+}
+
+// PWLCurrent is a piecewise-linear current source defined by (time, value)
+// breakpoints; it holds the first/last value outside the breakpoint range.
+type PWLCurrent struct {
+	Name     string
+	From, To circuit.NodeID
+	Times    []float64
+	Values   []float64
+}
+
+// Label implements circuit.Device.
+func (s *PWLCurrent) Label() string { return s.Name }
+
+// StampC implements circuit.Device.
+func (s *PWLCurrent) StampC(*circuit.CapStamper) {}
+
+// At evaluates the PWL waveform at time t.
+func (s *PWLCurrent) At(t float64) float64 {
+	n := len(s.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.Times[0] {
+		return s.Values[0]
+	}
+	if t >= s.Times[n-1] {
+		return s.Values[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (t - s.Times[lo]) / (s.Times[hi] - s.Times[lo])
+	return s.Values[lo] + frac*(s.Values[hi]-s.Values[lo])
+}
+
+// Eval implements circuit.Device.
+func (s *PWLCurrent) Eval(ctx *circuit.EvalContext) {
+	i := s.At(ctx.T) * ctx.SourceScale
+	ctx.AddCurrent(s.From, i)
+	ctx.AddCurrent(s.To, -i)
+}
+
+// PulseFunc returns a SPICE-style pulse waveform function. Times are in
+// seconds; the pulse goes v1 → v2 with the given delay, rise/fall, width and
+// period (period 0 means a single pulse).
+func PulseFunc(v1, v2, delay, rise, fall, width, period float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		tt := t - delay
+		if tt < 0 {
+			return v1
+		}
+		if period > 0 {
+			tt = math.Mod(tt, period)
+		}
+		switch {
+		case tt < rise:
+			return v1 + (v2-v1)*tt/rise
+		case tt < rise+width:
+			return v2
+		case tt < rise+width+fall:
+			return v2 + (v1-v2)*(tt-rise-width)/fall
+		default:
+			return v1
+		}
+	}
+}

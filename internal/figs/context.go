@@ -1,0 +1,146 @@
+// Package figs regenerates every evaluation figure of the paper from this
+// repository's own engines, as catalogued in DESIGN.md. Each FigNN function
+// returns the chart plus quantitative metrics; when the context has an
+// output directory, it also writes <fig>.svg and <fig>.csv. The package is
+// shared by cmd/phlogon-figs and the root benchmark harness, so the numbers
+// in EXPERIMENTS.md and the bench output come from the same code.
+package figs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/phasemacro"
+	"repro/internal/plot"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// Result is one regenerated figure.
+type Result struct {
+	Name    string
+	Title   string
+	Chart   *plot.Chart
+	Metrics map[string]float64
+	Notes   string
+	// CSV rows (optional): header + data lines, written alongside the SVG.
+	CSV []string
+}
+
+// Context caches the expensive shared artifacts (PSS solutions and PPVs of
+// the two ring variants) across figure generators.
+type Context struct {
+	OutDir string
+
+	once1, once2 sync.Once
+	r1, r2       *ringosc.Ring
+	sol1, sol2   *pss.Solution
+	p1, p2       *ppv.PPV
+	err1, err2   error
+}
+
+// New returns a context; outDir == "" disables file output.
+func New(outDir string) *Context { return &Context{OutDir: outDir} }
+
+// Ring1 lazily builds the 1N1P ring, its PSS and PPV.
+func (c *Context) Ring1() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	c.once1.Do(func() {
+		c.r1, c.sol1, c.p1, c.err1 = buildChain(ringosc.DefaultConfig())
+	})
+	return c.r1, c.sol1, c.p1, c.err1
+}
+
+// Ring2 lazily builds the 2N1P ring, its PSS and PPV.
+func (c *Context) Ring2() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	c.once2.Do(func() {
+		c.r2, c.sol2, c.p2, c.err2 = buildChain(ringosc.Config2N1P())
+	})
+	return c.r2, c.sol2, c.p2, c.err2
+}
+
+func buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	r, err := ringosc.Build(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := ppv.FromSolution(r.Sys, sol)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return r, sol, p, nil
+}
+
+// calibration returns the latch calibration used by the FSM figures.
+func (c *Context) calibration() (*ppv.PPV, phasemacro.Calibration, error) {
+	_, _, p, err := c.Ring1()
+	if err != nil {
+		return nil, phasemacro.Calibration{}, err
+	}
+	l := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: 100e-6}
+	cal, err := phasemacro.Calibrate(l, 10e3)
+	return p, cal, err
+}
+
+// emit writes the figure artifacts when OutDir is set.
+func (c *Context) emit(res *Result) error {
+	if c.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+		return err
+	}
+	if res.Chart != nil {
+		svg := res.Chart.SVG(760, 460)
+		if err := os.WriteFile(filepath.Join(c.OutDir, res.Name+".svg"), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(res.CSV) > 0 {
+		data := strings.Join(res.CSV, "\n") + "\n"
+		if err := os.WriteFile(filepath.Join(c.OutDir, res.Name+".csv"), []byte(data), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// All runs every figure generator in paper order.
+func (c *Context) All() ([]*Result, error) {
+	gens := []struct {
+		name string
+		fn   func() (*Result, error)
+	}{
+		{"fig04", c.Fig04},
+		{"fig05", c.Fig05},
+		{"fig06", c.Fig06},
+		{"fig07", c.Fig07},
+		{"fig08", c.Fig08},
+		{"fig10", c.Fig10},
+		{"fig11", c.Fig11},
+		{"fig12", c.Fig12},
+		{"fig14", c.Fig14},
+		{"fig16", c.Fig16},
+		{"fig17", c.Fig17},
+		{"fig19", c.Fig19},
+		{"fig20", c.Fig20},
+	}
+	var out []*Result
+	for _, g := range gens {
+		r, err := g.fn()
+		if err != nil {
+			return out, fmt.Errorf("figs: %s: %w", g.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

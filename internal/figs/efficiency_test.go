@@ -1,0 +1,34 @@
+package figs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/figs"
+)
+
+func TestEfficiencyPhaseMacroWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency measurement is slow")
+	}
+	rows, err := ctx.Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	// The paper's claim: the macromodel engines are dramatically cheaper.
+	if rows[1].WallSecs >= rows[0].WallSecs/10 {
+		t.Errorf("bit-flip: GAE %.4gs vs SPICE %.4gs — expected ≥10× speedup",
+			rows[1].WallSecs, rows[0].WallSecs)
+	}
+	if rows[3].WallSecs >= rows[2].WallSecs/10 {
+		t.Errorf("FSM: phase macromodel %.4gs vs SPICE %.4gs — expected ≥10× speedup",
+			rows[3].WallSecs, rows[2].WallSecs)
+	}
+	s := figs.EffSummary(rows)
+	if !strings.Contains(s, "speedup") {
+		t.Error("summary missing speedups")
+	}
+}

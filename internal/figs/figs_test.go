@@ -1,0 +1,217 @@
+package figs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/figs"
+)
+
+// ctx is shared across the figure tests (PPV extraction is the slow part).
+var ctx = figs.New("")
+
+func TestFig04(t *testing.T) {
+	r, err := ctx.Fig04()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0 := r.Metrics["f0_Hz"]; f0 < 9.3e3 || f0 > 9.9e3 {
+		t.Errorf("f0 = %g", f0)
+	}
+	if p := r.Metrics["dphi_peak"]; p < 0 || p >= 1 {
+		t.Errorf("Δφ_peak = %g out of [0,1)", p)
+	}
+	if r.Metrics["vmax_V"]-r.Metrics["vmin_V"] < 2.4 {
+		t.Error("PSS swing too small")
+	}
+}
+
+func TestFig05ThresholdShape(t *testing.T) {
+	r, err := ctx.Fig05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the 70 µA threshold: no intersections; at/above: 4.
+	if n := r.Metrics["intersections_A30u"]; n != 0 {
+		t.Errorf("30 µA: %v intersections, want 0", n)
+	}
+	if n := r.Metrics["intersections_A50u"]; n != 0 {
+		t.Errorf("50 µA: %v intersections, want 0", n)
+	}
+	if n := r.Metrics["intersections_A100u"]; n != 4 {
+		t.Errorf("100 µA: %v intersections, want 4", n)
+	}
+	if n := r.Metrics["intersections_A150u"]; n != 4 {
+		t.Errorf("150 µA: %v intersections, want 4", n)
+	}
+}
+
+func TestFig06SecondHarmonic(t *testing.T) {
+	r, err := ctx.Fig06()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["ratio_2N1P"] <= r.Metrics["ratio_1N1P"] {
+		t.Errorf("2N1P relative 2nd harmonic %g not larger than 1N1P %g",
+			r.Metrics["ratio_2N1P"], r.Metrics["ratio_1N1P"])
+	}
+}
+
+func TestFig07ConeWider(t *testing.T) {
+	r, err := ctx.Fig07()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["width_ratio"] <= 1 {
+		t.Errorf("2N1P cone not wider: ratio %g", r.Metrics["width_ratio"])
+	}
+}
+
+func TestFig08ErrorGrowsTowardEdges(t *testing.T) {
+	r, err := ctx.Fig08()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["max_error_cycles"] < 0.05 || r.Metrics["max_error_cycles"] > 0.2 {
+		t.Errorf("max phase error %g, want near 1/8 cycle at band edges", r.Metrics["max_error_cycles"])
+	}
+}
+
+func TestFig10StableStateVanishes(t *testing.T) {
+	r, err := ctx.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["stable_D0u"] != 2 {
+		t.Errorf("D=0: %v stable, want 2", r.Metrics["stable_D0u"])
+	}
+	if r.Metrics["stable_D30u"] != 2 {
+		t.Errorf("D=30µ: %v stable, want 2 (below threshold)", r.Metrics["stable_D30u"])
+	}
+	if r.Metrics["stable_D100u"] != 1 {
+		t.Errorf("D=100µ: %v stable, want 1", r.Metrics["stable_D100u"])
+	}
+}
+
+func TestFig11ENGating(t *testing.T) {
+	r, err := ctx.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := r.Metrics["flip_threshold_uA_EN1"]
+	if thr < 30 || thr > 80 {
+		t.Errorf("EN=1 flip threshold %g µA, want near the paper's ≈50 µA", thr)
+	}
+	// EN=0 must stay bistable across the sweep: 2 branches × 81 points.
+	if n := r.Metrics["points_EN0_bistable"]; n < 160 {
+		t.Errorf("EN=0 bistable points = %v", n)
+	}
+}
+
+func TestFig12FlipOrdering(t *testing.T) {
+	r, err := ctx.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["flips_D30u"] != 0 {
+		t.Error("30 µA must not flip")
+	}
+	for _, k := range []string{"flips_D50u", "flips_D100u", "flips_D150u"} {
+		if r.Metrics[k] != 1 {
+			t.Errorf("%s = %v, want flip", k, r.Metrics[k])
+		}
+	}
+	s50 := r.Metrics["settle_ms_D50u"]
+	s100 := r.Metrics["settle_ms_D100u"]
+	s150 := r.Metrics["settle_ms_D150u"]
+	if !(s150 < s100 && s100 < s50) {
+		t.Errorf("settle times not ordered: 50µ=%g 100µ=%g 150µ=%g", s50, s100, s150)
+	}
+	// Paper: the 50→100 gap is much larger than the 100→150 gap.
+	if (s50 - s100) < 2*(s100-s150) {
+		t.Errorf("timing gaps don't show saturation: Δ(50,100)=%g Δ(100,150)=%g", s50-s100, s100-s150)
+	}
+}
+
+func TestFig14WeightStudy(t *testing.T) {
+	r, err := ctx.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["weighted_holds_5pct_mismatch"] != 1 {
+		t.Error("weighted latch must hold under mismatch")
+	}
+	if r.Metrics["uniform_holds_5pct_mismatch"] != 0 {
+		t.Error("uniform latch should lose the bit under mismatch")
+	}
+	if r.Metrics["weighted_flips_when_set"] != 1 {
+		t.Error("weighted latch must flip when set")
+	}
+	if r.Metrics["uniform_flips_when_set"] != 1 {
+		t.Error("uniform latch must flip when set")
+	}
+}
+
+func TestFig16AdderCorrect(t *testing.T) {
+	r, err := ctx.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["all_bits_correct"] != 1 {
+		t.Error("101 + 101 mis-added")
+	}
+}
+
+func TestFig17SpiceVsGAE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SPICE-level figure is slow")
+	}
+	r, err := ctx.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transition shapes coincide; absolute settle time differs by the
+	// saddle-dwell seed (log-sensitive to the initial offset), as in the
+	// paper's own "don't exactly overlap" remark. Accept a small factor.
+	ratio := r.Metrics["settle_ratio"]
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Errorf("SPICE/GAE settle ratio %g, want within 3×", ratio)
+	}
+	if r.Metrics["flip_amount_cycles"] < 0.3 {
+		t.Errorf("flip amount %g cycles, want ≈0.5", r.Metrics["flip_amount_cycles"])
+	}
+}
+
+func TestFig19Handoff(t *testing.T) {
+	r, err := ctx.Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["handoff_correct"] != 1 {
+		t.Error("master–slave hand-off broken")
+	}
+}
+
+func TestFig20BothCarryStates(t *testing.T) {
+	r, err := ctx.Fig20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["all_correct"] != 1 {
+		t.Errorf("adder state outputs wrong: %v", r.Metrics)
+	}
+}
+
+func TestEmitWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	c2 := figs.New(dir)
+	if _, err := c2.Fig04(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig04.svg", "fig04.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}

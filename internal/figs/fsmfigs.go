@@ -1,0 +1,457 @@
+package figs
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/gae"
+	"repro/internal/phlogic"
+	"repro/internal/plot"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+	"repro/internal/wave"
+)
+
+// Fig14 regenerates the SR-latch weight study (paper Fig. 14): stable
+// equilibria vs |S| = |R| for same-phase and opposite-phase inputs, with
+// uniform (1,1,1) and tuned (0.01, 0.01, 1) majority weights.
+func (c *Context) Fig14() (*Result, error) {
+	_, _, p, err := c.Ring1()
+	if err != nil {
+		return nil, err
+	}
+	const syncAmp = 6e-6
+	uniform, err := phlogic.NewSRLatch(p, 0, 0, p.F0, syncAmp, 10e3, [3]float64{1, 1, 1})
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := phlogic.NewSRLatch(p, 0, 0, p.F0, syncAmp, 10e3, [3]float64{0.01, 0.01, 1})
+	if err != nil {
+		return nil, err
+	}
+	mags := gae.Linspace(0, 1.5, 61)
+	ch := plot.New("Fig. 14 — SR latch equilibria vs |S|=|R| (weights 1,1,1 vs 0.01,0.01,1)",
+		"input magnitude [V]", "stable Δφ* (cycles)")
+	csv := []string{"mag_V,weights,phase_case,stable_dphi"}
+	add := func(l *phlogic.SRLatch, label, wname string, opposite bool) {
+		pts := l.SweepMagnitude(mags, opposite)
+		var xs, ys []float64
+		pc := "same"
+		if opposite {
+			pc = "opposite"
+		}
+		for i, pt := range pts {
+			for _, d := range pt.Stable {
+				xs = append(xs, mags[i])
+				ys = append(ys, d)
+				csv = append(csv, fmt.Sprintf("%.6g,%s,%s,%.6g", mags[i], wname, pc, d))
+			}
+		}
+		ch.AddScatter(label, xs, ys)
+	}
+	add(uniform, "uniform, same phase", "uniform", false)
+	add(uniform, "uniform, opposite+5% mismatch", "uniform", true)
+	add(weighted, "weighted, same phase", "weighted", false)
+	add(weighted, "weighted, opposite+5% mismatch", "weighted", true)
+	const vIn = 1.5
+	res := &Result{
+		Name: "fig14", Title: ch.Title, Chart: ch,
+		Metrics: map[string]float64{
+			"uniform_holds_5pct_mismatch":  b2f(uniform.HoldsUnderMismatch(vIn, 0.05)),
+			"weighted_holds_5pct_mismatch": b2f(weighted.HoldsUnderMismatch(vIn, 0.05)),
+			"uniform_flips_when_set":       b2f(uniform.FlipsWhenSet(vIn)),
+			"weighted_flips_when_set":      b2f(weighted.FlipsWhenSet(vIn)),
+		},
+		Notes: "paper: equal weights are unsuitable (mismatch flips the bit); 0.01/0.01/1 tolerates mismatch yet still flips at Vdd/2 = 1.5 V",
+		CSV:   csv,
+	}
+	return res, c.emit(res)
+}
+
+// Fig16 regenerates the serial-adder phase-macromodel transient (paper
+// Fig. 16): Δφ of Q1 and Q2 while adding a = b = 101, with Q2 following Q1
+// half a clock period later (the master–slave hand-off).
+func (c *Context) Fig16() (*Result, error) {
+	_, _, p, err := c.Ring1()
+	if err != nil {
+		return nil, err
+	}
+	aBits := []bool{true, false, true}
+	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
+		SyncAmp: 100e-6, ClockCycles: 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res0, err := sa.Run(3, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	P := sa.Clock.Period
+	n := len(res0.T)
+	x := make([]float64, n)
+	q1 := make([]float64, n)
+	q2 := make([]float64, n)
+	clk := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = res0.T[i] / P
+		q1[i] = wrap01(res0.Dphi[0][i])
+		q2[i] = wrap01(res0.Dphi[1][i])
+		if sa.Clock.Level(res0.T[i]) {
+			clk[i] = 0.55 // drawn as a level band above the phase traces
+		} else {
+			clk[i] = 0.62
+		}
+	}
+	ch := plot.New("Fig. 16 — serial adder transient on PPV macromodels (a = b = 101)",
+		"time (clock periods)", "Δφ (cycles); 0 ↔ logic 1, 0.5 ↔ logic 0")
+	ch.Add("Δφ(Q1) master", x, q1)
+	ch.Add("Δφ(Q2) slave", x, q2)
+	ch.Add("CLK (level trace)", x, clk)
+	sums, err := sa.ReadSums(res0, 3)
+	if err != nil {
+		return nil, err
+	}
+	carries, err := sa.ReadCarries(res0, 3)
+	if err != nil {
+		return nil, err
+	}
+	wantSum, wantCarry := phlogic.GoldenSerialAdder(aBits, aBits)
+	correct := 1.0
+	for i := range wantSum {
+		if sums[i] != wantSum[i] || carries[i] != wantCarry[i] {
+			correct = 0
+		}
+	}
+	csv := []string{"t_periods,dphi_q1,dphi_q2,clk"}
+	for i := 0; i < n; i += 4 {
+		lvl := 0
+		if sa.Clock.Level(res0.T[i]) {
+			lvl = 1
+		}
+		csv = append(csv, fmt.Sprintf("%.6g,%.6g,%.6g,%d", x[i], q1[i], q2[i], lvl))
+	}
+	res := &Result{
+		Name: "fig16", Title: ch.Title, Chart: ch,
+		Metrics: map[string]float64{
+			"all_bits_correct": correct,
+			"phase_steps":      float64(res0.Steps),
+		},
+		Notes: "paper: Q1/Q2 phase transitions between 0.5 and 1 (≡0) as 101+101 shifts through; Q2 follows Q1",
+		CSV:   csv,
+	}
+	return res, c.emit(res)
+}
+
+func wrap01(x float64) float64 {
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	return x
+}
+
+// Fig17 validates the GAE bit-flip prediction against SPICE-level transient
+// simulation (paper Fig. 17): the latch waveform's zero-crossing phase
+// versus REF, overlaid with the GAE transient.
+func (c *Context) Fig17() (*Result, error) {
+	_, _, p, err := c.Ring1()
+	if err != nil {
+		return nil, err
+	}
+	_, cal, err := c.calibration()
+	if err != nil {
+		return nil, err
+	}
+	f1 := p.F0 * (1 + fig12Detune) // the generator runs near, not at, f0
+	T1 := 1 / f1
+	dPhase1 := cmplx.Phase(p.Harmonic(0, 1))/(2*math.Pi) - 0.25 // logic 1
+	const settleCycles, totalCycles = 40.0, 140.0
+	flipT := settleCycles * T1
+
+	cfg := ringosc.DefaultLatchConfig(f1)
+	cfg.SyncAmp = fig10SyncAmp
+	cfg.SyncPhase = cal.SyncPhase
+	cfg.DAmp = 150e-6
+	cfg.DPhase = dPhase1 + 0.5 // start as logic 0; flips to logic 1
+	cfg.DFlipTime = flipT
+	l, err := ringosc.BuildLatch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := transient.Run(l.Sys, l.KickStart(), 0, totalCycles*T1, transient.Options{
+		Method: transient.Trap, Step: T1 / 512,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sig, err := wave.New(tr.T, tr.Node(l.OutputIndex()))
+	if err != nil {
+		return nil, err
+	}
+	ref := wave.FromFunc(l.ReferenceWaveform(0), 0, totalCycles*T1, len(tr.T))
+	pts := wave.PhaseVsReference(sig, ref, cfg.Ring.Vdd/2, T1)
+
+	// GAE prediction from the locked logic-0 state at the flip instant (the
+	// pre-flip equilibrium of the D-at-logic-0 model).
+	m := gae.NewModel(p, f1,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: cfg.SyncAmp, Harmonic: 2, Phase: cal.SyncPhase},
+		gae.Injection{Name: "D", Node: 0, Amp: cfg.DAmp, Harmonic: 1, Phase: dPhase1},
+	)
+	pre := gae.NewModel(p, f1,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: cfg.SyncAmp, Harmonic: 2, Phase: cal.SyncPhase},
+		gae.Injection{Name: "D", Node: 0, Amp: cfg.DAmp, Harmonic: 1, Phase: dPhase1 + 0.5},
+	)
+	gaeTr := m.Transient(preFlipPhase(pre), flipT, totalCycles*T1, T1)
+
+	// Offset the GAE trace so its pre-flip level matches the measured
+	// zero-crossing phase (the two phase definitions differ by a constant —
+	// the paper makes the same remark).
+	preMeasured := 0.0
+	nPre := 0
+	for _, pp := range pts {
+		if pp.T > flipT*0.5 && pp.T < flipT*0.95 {
+			preMeasured += pp.Phi
+			nPre++
+		}
+	}
+	if nPre > 0 {
+		preMeasured /= float64(nPre)
+	}
+	offset := preMeasured - gaeTr.Dphi[0]
+
+	var mx, my []float64
+	for _, pp := range pts {
+		mx = append(mx, pp.T*1e3)
+		my = append(my, pp.Phi)
+	}
+	var gx, gy []float64
+	for i := range gaeTr.T {
+		gx = append(gx, gaeTr.T[i]*1e3)
+		gy = append(gy, gaeTr.Dphi[i]+offset)
+	}
+	ch := plot.New("Fig. 17 — SPICE-level bit flip vs GAE prediction",
+		"time [ms]", "phase vs REF (cycles)")
+	ch.AddScatter("zero-crossing phase (SPICE transient)", mx, my)
+	ch.Add("GAE prediction", gx, gy)
+
+	// Settle-time comparison (the paper's headline agreement).
+	measSettle := settleFromPoints(pts, flipT)
+	gaeSettle := gaeTr.SettleTime(0.02) - flipT
+	csv := []string{"t_ms,measured_phase,source"}
+	for i := range mx {
+		csv = append(csv, fmt.Sprintf("%.6g,%.6g,spice", mx[i], my[i]))
+	}
+	for i := 0; i < len(gx); i += 4 {
+		csv = append(csv, fmt.Sprintf("%.6g,%.6g,gae", gx[i], gy[i]))
+	}
+	res := &Result{
+		Name: "fig17", Title: ch.Title, Chart: ch,
+		Metrics: map[string]float64{
+			"spice_settle_ms":    measSettle * 1e3,
+			"gae_settle_ms":      gaeSettle * 1e3,
+			"settle_ratio":       measSettle / gaeSettle,
+			"spice_steps":        float64(tr.Steps),
+			"flip_amount_cycles": math.Abs(my[len(my)-1] - preMeasured),
+		},
+		Notes: "paper: GAE and SPICE agree on the time to settle at the new phase (definitions of phase differ by a constant)",
+		CSV:   csv,
+	}
+	return res, c.emit(res)
+}
+
+// settleFromPoints estimates when the measured phase reaches and stays
+// within 0.02 cycles of its final value, relative to flipT.
+func settleFromPoints(pts []wave.PhasePoint, flipT float64) float64 {
+	if len(pts) == 0 {
+		return math.NaN()
+	}
+	final := pts[len(pts)-1].Phi
+	settle := pts[0].T
+	for i := len(pts) - 1; i >= 0; i-- {
+		if math.Abs(pts[i].Phi-final) > 0.02 {
+			if i < len(pts)-1 {
+				settle = pts[i+1].T
+			}
+			break
+		}
+		settle = pts[i].T
+	}
+	return settle - flipT
+}
+
+// spiceAdder builds the transistor-level serial adder (the hardware
+// stand-in of Figs. 18–20) from the cached calibration.
+func (c *Context) spiceAdder(aBits, bBits []bool) (*ringosc.AdderCircuit, *pss.Solution, error) {
+	_, sol, _, err := c.Ring1()
+	if err != nil {
+		return nil, nil, err
+	}
+	_, cal, err := c.calibration()
+	if err != nil {
+		return nil, nil, err
+	}
+	cr, cc, inv, err := ringosc.CouplingFromCalibration(cal.Coupling, sol.F0)
+	if err != nil {
+		return nil, nil, err
+	}
+	ac, err := ringosc.BuildSerialAdderCircuit(ringosc.AdderCircuitConfig{
+		Ring: ringosc.DefaultConfig(), F1: sol.F0,
+		SyncAmp: 120e-6, SyncPhase: cal.SyncPhase,
+		InputAmp: cmplx.Abs(cal.OutPhasor0), OutAngle: cmplx.Phase(cal.OutPhasor0),
+		CouplingR: cr, CouplingC: cc, Invert: inv,
+		ClockCycles: 120, ABits: aBits, BBits: bBits,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ac, sol, nil
+}
+
+// Fig19 regenerates the master–slave flip-flop waveforms (paper Fig. 19, an
+// oscilloscope photo) from the transistor-level serial adder — the closest
+// thing to re-shooting the scope photo: REF, Q1 (master) and Q2 (slave)
+// across two clock periods, with the hand-off decoded and checked.
+func (c *Context) Fig19() (*Result, error) {
+	aBits := []bool{true, true, false}
+	bBits := []bool{true, true, true}
+	ac, sol, err := c.spiceAdder(aBits, bBits)
+	if err != nil {
+		return nil, err
+	}
+	T1 := 1 / ac.Cfg.F1
+	run, err := transient.Run(ac.Sys, ac.InitialState(sol, false, false), 0, 3*ac.ClockPeriod,
+		transient.Options{Method: transient.Trap, Step: T1 / 256, Record: 4})
+	if err != nil {
+		return nil, err
+	}
+	P := ac.ClockPeriod
+	q1raw := run.Node(ac.MasterOut)
+	q2raw := run.Node(ac.SlaveOut)
+	var xs, q1, q2, refv []float64
+	lo, hi := 0.4*P, 2.4*P
+	for i := range run.T {
+		tt := run.T[i]
+		if tt < lo || tt > hi {
+			continue
+		}
+		xs = append(xs, tt*1e3)
+		q1 = append(q1, q1raw[i])
+		q2 = append(q2, q2raw[i])
+		refv = append(refv, 1.5+1.5*math.Cos(2*math.Pi*ac.Cfg.F1*tt+ac.Cfg.OutAngle))
+	}
+	ch := plot.New("Fig. 19 — master–slave flip-flop, SPICE-level (scope stand-in)",
+		"time [ms]", "V [V]")
+	ch.Add("REF", xs, refv)
+	ch.Add("Q1 = V(m1)", xs, q1)
+	ch.Add("Q2 = V(s1)", xs, q2)
+	// Hand-off: per period, decode master late in CLK-high and slave late in
+	// CLK-low; the slave must take the master's value.
+	handoff := 1.0
+	for k := 0; k < 3; k++ {
+		base := float64(k) * P
+		m, okM, _ := ac.DecodePhase(run.T, q1raw, base+0.30*P, base+0.45*P)
+		s, okS, _ := ac.DecodePhase(run.T, q2raw, base+0.80*P, base+0.95*P)
+		if !okM || !okS || m != s {
+			handoff = 0
+		}
+	}
+	csv := []string{"t_ms,ref,q1,q2"}
+	for i := 0; i < len(xs); i += 4 {
+		csv = append(csv, fmt.Sprintf("%.6g,%.6g,%.6g,%.6g", xs[i], refv[i], q1[i], q2[i]))
+	}
+	res := &Result{
+		Name: "fig19", Title: ch.Title, Chart: ch,
+		Metrics: map[string]float64{
+			"handoff_correct": handoff,
+			"spice_steps":     float64(run.Steps),
+		},
+		Notes: "paper (scope): Q1 follows D at CLK falling edges, Q2 follows Q1 at rising edges — here from the full transistor/op-amp FSM",
+		CSV:   csv,
+	}
+	return res, c.emit(res)
+}
+
+// Fig20 regenerates the serial-adder truth observation (paper Fig. 20, a
+// scope photo) at the transistor level: with a = 0, b = 1 the adder outputs
+// sum = 1, cout = 0 in the carry-0 state and sum = 0, cout = 1 in the
+// carry-1 state. The phase-macromodel prediction is checked alongside (the
+// paper's "predicted to be working in our design tools ... will also work
+// in reality" narrative).
+func (c *Context) Fig20() (*Result, error) {
+	_, _, p, err := c.Ring1()
+	if err != nil {
+		return nil, err
+	}
+	metrics := map[string]float64{}
+	csv := []string{"scenario,engine,sum,cout,expected_sum,expected_cout"}
+	ok := 1.0
+	for _, sc := range []struct {
+		name  string
+		carry bool
+		want  [2]bool // sum, cout
+	}{
+		{"carry0", false, [2]bool{true, false}},
+		{"carry1", true, [2]bool{false, true}},
+	} {
+		// SPICE level: one clock period from the prepared carry state.
+		ac, sol, err := c.spiceAdder([]bool{false}, []bool{true})
+		if err != nil {
+			return nil, err
+		}
+		T1 := 1 / ac.Cfg.F1
+		run, err := transient.Run(ac.Sys, ac.InitialState(sol, sc.carry, sc.carry), 0, ac.ClockPeriod,
+			transient.Options{Method: transient.Trap, Step: T1 / 256, Record: 4})
+		if err != nil {
+			return nil, err
+		}
+		P := ac.ClockPeriod
+		sum, okS, _ := ac.DecodePhase(run.T, run.Node(ac.SumNode), 0.30*P, 0.45*P)
+		cout, okC, _ := ac.DecodePhase(run.T, run.Node(ac.CoutNode), 0.30*P, 0.45*P)
+		good := okS && okC && sum == sc.want[0] && cout == sc.want[1]
+		if !good {
+			ok = 0
+		}
+		metrics["spice_correct_"+sc.name] = b2f(good)
+		csv = append(csv, fmt.Sprintf("%s,spice,%v,%v,%v,%v", sc.name, sum, cout, sc.want[0], sc.want[1]))
+
+		// Phase-macromodel prediction: streams whose bit 0 establishes the
+		// same carry state, decoded at bit 1 with a = 0, b = 1.
+		aB := []bool{sc.carry, false}
+		bB := []bool{sc.carry, true}
+		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aB, bB, phlogic.SerialAdderConfig{
+			SyncAmp: 100e-6, ClockCycles: 100,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mrun, err := sa.Run(2, 0.25)
+		if err != nil {
+			return nil, err
+		}
+		sums, err := sa.ReadSums(mrun, 2)
+		if err != nil {
+			return nil, err
+		}
+		carries, err := sa.ReadCarries(mrun, 2)
+		if err != nil {
+			return nil, err
+		}
+		mGood := sums[1] == sc.want[0] && carries[1] == sc.want[1]
+		if !mGood {
+			ok = 0
+		}
+		metrics["macro_correct_"+sc.name] = b2f(mGood)
+		csv = append(csv, fmt.Sprintf("%s,macromodel,%v,%v,%v,%v", sc.name, sums[1], carries[1], sc.want[0], sc.want[1]))
+	}
+	metrics["all_correct"] = ok
+	res := &Result{
+		Name: "fig20", Title: "Fig. 20 — serial adder outputs for a=0, b=1 in both carry states (SPICE + macromodel)",
+		Metrics: metrics,
+		Notes:   "paper (scope): carry-0 state gives sum=1, cout=0; carry-1 state gives sum=0, cout=1 — reproduced by both the transistor-level circuit and the phase macromodel",
+		CSV:     csv,
+	}
+	return res, c.emit(res)
+}

@@ -1,0 +1,137 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownSpectrum(t *testing.T) {
+	// x[n] = cos(2π·3n/16) has spikes at bins 3 and 13 with value N/2.
+	n := 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 3 * float64(i) / float64(n))
+	}
+	spec := FFTReal(x)
+	for k, v := range spec {
+		want := 0.0
+		if k == 3 || k == 13 {
+			want = float64(n) / 2
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("bin %d: |X| = %g, want %g", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		// Mix of power-of-two and arbitrary lengths (exercises Bluestein).
+		n := int(nRaw%200) + 1
+		r := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%128) + 2
+		r := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		var ex float64
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		spec := FFT(x)
+		var es float64
+		for _, v := range spec {
+			es += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(es/float64(n)-ex) < 1e-8*(1+ex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 37 // non power of two
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		y[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	alpha := complex(1.5, -0.5)
+	z := make([]complex128, n)
+	for i := range z {
+		z[i] = x[i] + alpha*y[i]
+	}
+	fx, fy, fz := FFT(x), FFT(y), FFT(z)
+	for i := range fz {
+		if cmplx.Abs(fz[i]-(fx[i]+alpha*fy[i])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 5, 8, 12, 16, 31} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		fast := FFT(x)
+		for k := 0; k < n; k++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+				s += x[j] * cmplx.Exp(complex(0, ang))
+			}
+			if cmplx.Abs(fast[k]-s) > 1e-8 {
+				t.Fatalf("n=%d bin %d: FFT=%v naive=%v", n, k, fast[k], s)
+			}
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein1000(b *testing.B) {
+	x := make([]complex128, 1000)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

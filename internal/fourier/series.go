@@ -1,0 +1,168 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Series holds a truncated complex Fourier series of a real 1-periodic
+// function:
+//
+//	f(t) = Σ_{n=-H}^{H} C[n]·e^{2πi·n·t}
+//
+// with the reality condition C[-n] = conj(C[n]). Only n ≥ 0 coefficients are
+// stored. The independent variable t is in *cycles* (normalized time t/T),
+// matching the Δφ convention used throughout the GAE machinery.
+type Series struct {
+	// Coef[n] is the complex coefficient of e^{2πi·n·t} for n = 0..H.
+	Coef []complex128
+}
+
+// NewSeriesFromSamples builds a Fourier series from uniform samples of one
+// period, keeping harmonics up to maxHarm (capped at len(samples)/2 - 1).
+// Sample k is taken at t = k/len(samples) cycles.
+func NewSeriesFromSamples(samples []float64, maxHarm int) *Series {
+	n := len(samples)
+	if n == 0 {
+		return &Series{Coef: []complex128{0}}
+	}
+	spec := FFTReal(samples)
+	h := maxHarm
+	if lim := n/2 - 1; h > lim {
+		h = lim
+	}
+	if h < 0 {
+		h = 0
+	}
+	coef := make([]complex128, h+1)
+	inv := complex(1/float64(n), 0)
+	for k := 0; k <= h; k++ {
+		coef[k] = spec[k] * inv
+	}
+	return &Series{Coef: coef}
+}
+
+// Harmonics returns the number of stored harmonics H.
+func (s *Series) Harmonics() int { return len(s.Coef) - 1 }
+
+// Coefficient returns C[n] for any integer n, applying the reality condition
+// for negative n and returning 0 beyond the truncation.
+func (s *Series) Coefficient(n int) complex128 {
+	if n < 0 {
+		return cmplx.Conj(s.Coefficient(-n))
+	}
+	if n >= len(s.Coef) {
+		return 0
+	}
+	return s.Coef[n]
+}
+
+// Eval evaluates the series at normalized time t (cycles).
+func (s *Series) Eval(t float64) float64 {
+	v := real(s.Coef[0])
+	for n := 1; n < len(s.Coef); n++ {
+		c := s.Coef[n]
+		ang := 2 * math.Pi * float64(n) * t
+		v += 2 * (real(c)*math.Cos(ang) - imag(c)*math.Sin(ang))
+	}
+	return v
+}
+
+// EvalDeriv evaluates df/dt at normalized time t (per cycle).
+func (s *Series) EvalDeriv(t float64) float64 {
+	v := 0.0
+	for n := 1; n < len(s.Coef); n++ {
+		c := s.Coef[n]
+		w := 2 * math.Pi * float64(n)
+		ang := w * t
+		// d/dt 2·Re[c·e^{iωt}] = 2·Re[iω·c·e^{iωt}]
+		v += 2 * w * (-real(c)*math.Sin(ang) - imag(c)*math.Cos(ang))
+	}
+	return v
+}
+
+// Sample returns n uniform samples of one period.
+func (s *Series) Sample(n int) []float64 {
+	out := make([]float64, n)
+	for k := range out {
+		out[k] = s.Eval(float64(k) / float64(n))
+	}
+	return out
+}
+
+// Magnitude returns |C[n]|.
+func (s *Series) Magnitude(n int) float64 { return cmplx.Abs(s.Coefficient(n)) }
+
+// Phase returns arg(C[n]) in radians.
+func (s *Series) Phase(n int) float64 { return cmplx.Phase(s.Coefficient(n)) }
+
+// RMS returns the root-mean-square value of the series over one period.
+func (s *Series) RMS() float64 {
+	p := real(s.Coef[0]) * real(s.Coef[0])
+	for n := 1; n < len(s.Coef); n++ {
+		m := cmplx.Abs(s.Coef[n])
+		p += 2 * m * m
+	}
+	return math.Sqrt(p)
+}
+
+// THD returns total harmonic distortion relative to the fundamental:
+// sqrt(Σ_{n≥2}|C_n|²) / |C_1|. Returns 0 when the fundamental vanishes.
+func (s *Series) THD() float64 {
+	if s.Harmonics() < 1 {
+		return 0
+	}
+	f := cmplx.Abs(s.Coef[1])
+	if f == 0 {
+		return 0
+	}
+	p := 0.0
+	for n := 2; n < len(s.Coef); n++ {
+		m := cmplx.Abs(s.Coef[n])
+		p += m * m
+	}
+	return math.Sqrt(p) / f
+}
+
+// Shifted returns the series of f(t - dt), i.e. the waveform delayed by dt
+// cycles.
+func (s *Series) Shifted(dt float64) *Series {
+	out := &Series{Coef: make([]complex128, len(s.Coef))}
+	for n := range s.Coef {
+		out.Coef[n] = s.Coef[n] * cmplx.Exp(complex(0, -2*math.Pi*float64(n)*dt))
+	}
+	return out
+}
+
+// PeakPosition locates the position (in cycles, within [0,1)) of the global
+// maximum of the waveform, refined by golden-section search around the best
+// sample. This computes Δφ_peak of eq. (6)/(7) in the paper.
+func (s *Series) PeakPosition() float64 {
+	const coarse = 512
+	best, bestV := 0.0, math.Inf(-1)
+	for k := 0; k < coarse; k++ {
+		t := float64(k) / coarse
+		if v := s.Eval(t); v > bestV {
+			best, bestV = t, v
+		}
+	}
+	// Golden-section refinement on [best-1/coarse, best+1/coarse].
+	lo, hi := best-1.0/coarse, best+1.0/coarse
+	const phi = 0.6180339887498949
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, fb := s.Eval(a), s.Eval(b)
+	for i := 0; i < 60; i++ {
+		if fa < fb {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = s.Eval(b)
+		} else {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = s.Eval(a)
+		}
+	}
+	p := (lo + hi) / 2
+	p -= math.Floor(p)
+	return p
+}

@@ -1,0 +1,126 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesReconstructsCosine(t *testing.T) {
+	// f(t) = 1 + 2·cos(2πt + 0.3) + 0.5·cos(2π·3t - 1).
+	fn := func(t float64) float64 {
+		return 1 + 2*math.Cos(2*math.Pi*t+0.3) + 0.5*math.Cos(2*math.Pi*3*t-1)
+	}
+	n := 64
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = fn(float64(i) / float64(n))
+	}
+	s := NewSeriesFromSamples(samples, 8)
+	for _, tt := range []float64{0, 0.13, 0.37, 0.5, 0.77, 0.999} {
+		if math.Abs(s.Eval(tt)-fn(tt)) > 1e-10 {
+			t.Errorf("Eval(%g) = %g, want %g", tt, s.Eval(tt), fn(tt))
+		}
+	}
+	if math.Abs(s.Magnitude(1)-1) > 1e-10 { // coefficient magnitude is A/2
+		t.Errorf("|C1| = %g, want 1", s.Magnitude(1))
+	}
+	if math.Abs(s.Magnitude(3)-0.25) > 1e-10 {
+		t.Errorf("|C3| = %g, want 0.25", s.Magnitude(3))
+	}
+	if math.Abs(s.Phase(1)-0.3) > 1e-10 {
+		t.Errorf("arg C1 = %g, want 0.3", s.Phase(1))
+	}
+}
+
+func TestSeriesDerivative(t *testing.T) {
+	fn := func(t float64) float64 { return math.Cos(2 * math.Pi * t) }
+	dfn := func(t float64) float64 { return -2 * math.Pi * math.Sin(2*math.Pi*t) }
+	n := 32
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = fn(float64(i) / float64(n))
+	}
+	s := NewSeriesFromSamples(samples, 4)
+	for _, tt := range []float64{0.1, 0.25, 0.6} {
+		if math.Abs(s.EvalDeriv(tt)-dfn(tt)) > 1e-9 {
+			t.Errorf("EvalDeriv(%g) = %g, want %g", tt, s.EvalDeriv(tt), dfn(tt))
+		}
+	}
+}
+
+func TestSeriesShiftProperty(t *testing.T) {
+	f := func(seed int64, shiftRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = r.NormFloat64()
+		}
+		s := NewSeriesFromSamples(samples, 12)
+		dt := float64(shiftRaw) / 256.0
+		sh := s.Shifted(dt)
+		for _, tt := range []float64{0.0, 0.21, 0.64, 0.9} {
+			if math.Abs(sh.Eval(tt)-s.Eval(tt-dt)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesPeakPosition(t *testing.T) {
+	// Peak of cos(2π(t - 0.21)) is at t = 0.21 — the paper's Δφ_peak example.
+	n := 128
+	samples := make([]float64, n)
+	for i := range samples {
+		tt := float64(i) / float64(n)
+		samples[i] = math.Cos(2 * math.Pi * (tt - 0.21))
+	}
+	s := NewSeriesFromSamples(samples, 4)
+	if p := s.PeakPosition(); math.Abs(p-0.21) > 1e-6 {
+		t.Errorf("PeakPosition = %g, want 0.21", p)
+	}
+}
+
+func TestSeriesRMSAndTHD(t *testing.T) {
+	// Pure fundamental: RMS = A/√2, THD = 0.
+	n := 64
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = 3 * math.Cos(2*math.Pi*float64(i)/float64(n))
+	}
+	s := NewSeriesFromSamples(samples, 8)
+	if math.Abs(s.RMS()-3/math.Sqrt2) > 1e-9 {
+		t.Errorf("RMS = %g, want %g", s.RMS(), 3/math.Sqrt2)
+	}
+	if s.THD() > 1e-9 {
+		t.Errorf("THD = %g, want 0", s.THD())
+	}
+	// Add a 2nd harmonic of amplitude 0.3: THD = 0.1.
+	for i := range samples {
+		samples[i] += 0.3 * math.Cos(2*math.Pi*2*float64(i)/float64(n))
+	}
+	s = NewSeriesFromSamples(samples, 8)
+	if math.Abs(s.THD()-0.1) > 1e-9 {
+		t.Errorf("THD = %g, want 0.1", s.THD())
+	}
+}
+
+func TestSeriesNegativeCoefficientConjugate(t *testing.T) {
+	samples := []float64{1, 2, 0, -1, 0.5, 2, -2, 0}
+	s := NewSeriesFromSamples(samples, 3)
+	for n := 1; n <= 3; n++ {
+		c, cm := s.Coefficient(n), s.Coefficient(-n)
+		if math.Abs(real(c)-real(cm)) > 1e-12 || math.Abs(imag(c)+imag(cm)) > 1e-12 {
+			t.Errorf("C[-%d] is not conj(C[%d])", n, n)
+		}
+	}
+	if s.Coefficient(99) != 0 {
+		t.Error("coefficient beyond truncation must be 0")
+	}
+}

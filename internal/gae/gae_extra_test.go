@@ -1,0 +1,114 @@
+package gae_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gae"
+)
+
+func TestSHILPhasesErrNoLock(t *testing.T) {
+	p := ringPPV(t)
+	// Weak SYNC at large detuning: no lock at all.
+	m := gae.NewModel(p, p.F0*1.05, gae.Injection{Node: 0, Amp: 1e-8, Harmonic: 2})
+	_, _, err := m.SHILPhases()
+	if !errors.Is(err, gae.ErrNoLock) {
+		t.Fatalf("want ErrNoLock, got %v", err)
+	}
+}
+
+func TestLockingBandConsistentWithWillLock(t *testing.T) {
+	// Property: for any SYNC amplitude, f1 strictly inside the predicted
+	// band locks; f1 clearly outside does not.
+	p := ringPPV(t)
+	f := func(ampRaw uint8) bool {
+		amp := 40e-6 + float64(ampRaw)/255*160e-6
+		m0 := gae.NewModel(p, p.F0, gae.Injection{Node: 0, Amp: amp, Harmonic: 2})
+		lo, hi := m0.LockingBand()
+		if hi <= lo {
+			return false
+		}
+		mid := (lo + hi) / 2
+		inside := gae.NewModel(p, mid, gae.Injection{Node: 0, Amp: amp, Harmonic: 2})
+		outside := gae.NewModel(p, hi+(hi-lo), gae.Injection{Node: 0, Amp: amp, Harmonic: 2})
+		return inside.WillLock() && !outside.WillLock()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCurveEndpointsPeriodic(t *testing.T) {
+	p := ringPPV(t)
+	m := gae.NewModel(p, p.F0,
+		gae.Injection{Node: 0, Amp: 80e-6, Harmonic: 2, Phase: 0.13},
+		gae.Injection{Node: 0, Amp: 40e-6, Harmonic: 1, Phase: 0.71},
+	)
+	x, g := m.GCurve(101)
+	if x[0] != 0 || x[len(x)-1] != 1 {
+		t.Fatalf("GCurve endpoints %g..%g", x[0], x[len(x)-1])
+	}
+	if math.Abs(g[0]-g[len(g)-1]) > 1e-12 {
+		t.Fatalf("g not 1-periodic: %g vs %g", g[0], g[len(g)-1])
+	}
+}
+
+func TestWithDoesNotMutateOriginal(t *testing.T) {
+	p := ringPPV(t)
+	m := gae.NewModel(p, p.F0, gae.Injection{Name: "SYNC", Node: 0, Amp: 1e-4, Harmonic: 2})
+	m2 := m.With(gae.Injection{Name: "D", Node: 0, Amp: 5e-5, Harmonic: 1})
+	if len(m.Injections) != 1 {
+		t.Fatal("With mutated the original model")
+	}
+	if len(m2.Injections) != 2 {
+		t.Fatal("With did not add the injection")
+	}
+	// Appending to the copy must not leak into the original backing array.
+	m3 := m.With(gae.Injection{Name: "X", Node: 0, Amp: 1e-5, Harmonic: 3})
+	if m2.Injections[1].Name != "D" || m3.Injections[1].Name != "X" {
+		t.Fatal("With copies share backing storage")
+	}
+}
+
+func TestGPrimeMatchesFiniteDifference(t *testing.T) {
+	p := ringPPV(t)
+	m := gae.NewModel(p, p.F0,
+		gae.Injection{Node: 0, Amp: 90e-6, Harmonic: 2, Phase: 0.2},
+		gae.Injection{Node: 0, Amp: 60e-6, Harmonic: 1, Phase: 0.8},
+		gae.Injection{Node: 1, Amp: 30e-6, Harmonic: 3, Phase: 0.4},
+	)
+	const h = 1e-7
+	for _, x := range []float64{0.0, 0.17, 0.43, 0.76, 0.99} {
+		fd := (m.G(x+h) - m.G(x-h)) / (2 * h)
+		if math.Abs(fd-m.GPrime(x)) > 1e-5*(1+math.Abs(fd)) {
+			t.Errorf("GPrime(%g) = %g, finite difference %g", x, m.GPrime(x), fd)
+		}
+	}
+}
+
+func TestExtraGIncludedInEquilibria(t *testing.T) {
+	p := ringPPV(t)
+	m := gae.NewModel(p, p.F0, gae.Injection{Node: 0, Amp: 1e-4, Harmonic: 2})
+	base := len(m.StableEquilibria())
+	if base != 2 {
+		t.Fatalf("baseline stable count %d", base)
+	}
+	// A large constant ExtraG shifts g beyond the detuning line: no roots.
+	m.ExtraG = func(float64) float64 { return 10 * p.NodeSeries[0].Magnitude(2) * 1e-4 }
+	if len(m.Equilibria()) != 0 {
+		t.Fatal("constant offset should remove all equilibria")
+	}
+}
+
+func TestCircularDistance(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {0.2, 0.7, 0.5}, {0.95, 0.05, 0.1}, {1.2, 0.2, 0}, {-0.1, 0.1, 0.2},
+	}
+	for _, c := range cases {
+		if got := gae.CircularDistance(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CircularDistance(%g, %g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}

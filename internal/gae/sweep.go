@@ -1,0 +1,104 @@
+package gae
+
+// Sweep utilities: the DC-sweep analyses the paper's tools run over SYNC
+// amplitude, detuning frequency and logic-input magnitude (Figs. 7, 8, 11
+// and 14).
+
+// LockPoint is one sample of a locking-range sweep.
+type LockPoint struct {
+	Amp        float64 // swept injection amplitude, A
+	F1Lo, F1Hi float64 // locking band edges (absolute Hz)
+	Locks      bool
+}
+
+// SweepSyncAmplitude computes the locking band as a function of SYNC
+// amplitude (Fig. 7's V-shaped locking cone). syncNode/syncHarm describe the
+// SYNC injection; other injections in the model are held fixed.
+func (m *Model) SweepSyncAmplitude(syncNode, syncHarm int, amps []float64) []LockPoint {
+	out := make([]LockPoint, 0, len(amps))
+	for _, a := range amps {
+		mm := m.With(Injection{Name: "sweep-sync", Node: syncNode, Amp: a, Harmonic: syncHarm})
+		lo, hi := mm.LockingBand()
+		out = append(out, LockPoint{Amp: a, F1Lo: lo, F1Hi: hi, Locks: hi > lo})
+	}
+	return out
+}
+
+// EquilibriumPoint is one sample of an equilibrium sweep: all equilibria of
+// the model at a given swept parameter value.
+type EquilibriumPoint struct {
+	Param  float64
+	Equil  []Equilibrium
+	Stable []float64 // stable Δφ* values only (convenience)
+}
+
+// SweepInjectionAmplitude sweeps the amplitude of one injection (identified
+// by index in the model's list) and records every equilibrium — the Fig. 11
+// and Fig. 14 machinery. The model itself is unchanged.
+func (m *Model) SweepInjectionAmplitude(index int, amps []float64) []EquilibriumPoint {
+	out := make([]EquilibriumPoint, 0, len(amps))
+	for _, a := range amps {
+		mm := *m
+		mm.Injections = append([]Injection(nil), m.Injections...)
+		mm.Injections[index].Amp = a
+		eq := mm.Equilibria()
+		p := EquilibriumPoint{Param: a, Equil: eq}
+		for _, e := range eq {
+			if e.Stable {
+				p.Stable = append(p.Stable, e.Dphi)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// SweepDetuning sweeps f1 and records equilibria (Fig. 8's input).
+func (m *Model) SweepDetuning(f1s []float64) []EquilibriumPoint {
+	out := make([]EquilibriumPoint, 0, len(f1s))
+	for _, f1 := range f1s {
+		mm := *m
+		mm.F1 = f1
+		eq := mm.Equilibria()
+		p := EquilibriumPoint{Param: f1, Equil: eq}
+		for _, e := range eq {
+			if e.Stable {
+				p.Stable = append(p.Stable, e.Dphi)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// PhaseErrorPoint is one sample of the Fig. 8 locking-phase-error plot.
+type PhaseErrorPoint struct {
+	F1     float64
+	Errors []float64 // |Δφᵢ − Δφ̄ᵢ| per stable lock, cycles
+}
+
+// SweepPhaseError computes, across the detunings f1s, the circular distance
+// of every stable lock phase from the reference phases refs (typically the
+// zero-detuning SHIL phases). Points outside the locking range yield empty
+// Errors.
+func (m *Model) SweepPhaseError(f1s []float64, refs []float64) []PhaseErrorPoint {
+	out := make([]PhaseErrorPoint, 0, len(f1s))
+	for _, f1 := range f1s {
+		mm := *m
+		mm.F1 = f1
+		out = append(out, PhaseErrorPoint{F1: f1, Errors: mm.LockedPhaseVsReference(refs)})
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values over [lo, hi] inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

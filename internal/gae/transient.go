@@ -1,0 +1,139 @@
+package gae
+
+import (
+	"math"
+)
+
+// TransientResult is a phase trajectory of the scalar GAE.
+type TransientResult struct {
+	T    []float64
+	Dphi []float64
+}
+
+// Final returns the last phase sample.
+func (r *TransientResult) Final() float64 { return r.Dphi[len(r.Dphi)-1] }
+
+// SettleTime returns the first time after which the trajectory stays within
+// tol cycles of its final value, or +Inf if it never settles. This is the
+// bit-flip timing metric of Fig. 12.
+func (r *TransientResult) SettleTime(tol float64) float64 {
+	final := r.Final()
+	for i := len(r.T) - 1; i >= 0; i-- {
+		if math.Abs(r.Dphi[i]-final) > tol {
+			if i == len(r.T)-1 {
+				return math.Inf(1)
+			}
+			return r.T[i+1]
+		}
+	}
+	return r.T[0]
+}
+
+// Transient integrates the averaged GAE dΔφ/dt = (f0−f1) + f0·g(Δφ) with
+// classic RK4 and adaptive step halving/doubling on the embedded half-step
+// estimate. The GAE is autonomous, so this is cheap and robust; the paper's
+// Fig. 12 uses exactly this facility to predict bit-flip timing.
+func (m *Model) Transient(dphi0, t0, t1, dt float64) *TransientResult {
+	res := &TransientResult{}
+	x := dphi0
+	t := t0
+	h := dt
+	res.T = append(res.T, t)
+	res.Dphi = append(res.Dphi, x)
+	rhs := m.RHS
+	step := func(x0, h float64) float64 {
+		k1 := rhs(x0)
+		k2 := rhs(x0 + h/2*k1)
+		k3 := rhs(x0 + h/2*k2)
+		k4 := rhs(x0 + h*k3)
+		return x0 + h/6*(k1+2*k2+2*k3+k4)
+	}
+	const tol = 1e-8
+	for t < t1 {
+		if t+h > t1 {
+			h = t1 - t
+		}
+		full := step(x, h)
+		half := step(step(x, h/2), h/2)
+		err := math.Abs(full - half)
+		if err > tol && h > dt/1024 {
+			h /= 2
+			continue
+		}
+		x = half
+		t += h
+		res.T = append(res.T, t)
+		res.Dphi = append(res.Dphi, x)
+		if err < tol/16 && h < dt*16 {
+			h *= 2
+		}
+	}
+	return res
+}
+
+// TimeVarying is a time-dependent injection program for the unaveraged
+// model: Amp and Phase may change over time (EN gating, input phase flips).
+type TimeVarying struct {
+	Node     int
+	Harmonic int
+	Amp      func(t float64) float64
+	Phase    func(t float64) float64 // cycles
+}
+
+// TransientNonAveraged integrates the unaveraged single-oscillator phase
+// equation (the paper's eq. 13, fast-varying mode preserved):
+//
+//	dΔφ/dt = (f0 − f1) + f0 · Σₖ VIₖ((Δφ + f1·t)/f0) · Iₖ(t)
+//
+// with fixed-step RK4 (stepsPerCycle steps per 1/f1). This serves as the
+// ablation reference for the averaged GAE and as the building block of the
+// full-system phase-macromodel simulation in package phasemacro.
+func (m *Model) TransientNonAveraged(dphi0, t0, t1 float64, stepsPerCycle int, programs []TimeVarying) *TransientResult {
+	if stepsPerCycle <= 0 {
+		stepsPerCycle = 64
+	}
+	h := 1 / m.F1 / float64(stepsPerCycle)
+	rhs := func(t, x float64) float64 {
+		tau := x + m.F1*t
+		s := 0.0
+		for _, in := range m.Injections {
+			if in.Amp == 0 {
+				continue
+			}
+			cur := in.Amp * math.Cos(2*math.Pi*(float64(in.Harmonic)*m.F1*t+in.Phase))
+			s += m.P.NodeSeries[in.Node].Eval(tau) * cur
+		}
+		for _, pr := range programs {
+			amp := pr.Amp(t)
+			if amp == 0 {
+				continue
+			}
+			ph := 0.0
+			if pr.Phase != nil {
+				ph = pr.Phase(t)
+			}
+			cur := amp * math.Cos(2*math.Pi*(float64(pr.Harmonic)*m.F1*t+ph))
+			s += m.P.NodeSeries[pr.Node].Eval(tau) * cur
+		}
+		return (m.P.F0 - m.F1) + m.P.F0*s
+	}
+	res := &TransientResult{}
+	x := dphi0
+	res.T = append(res.T, t0)
+	res.Dphi = append(res.Dphi, x)
+	for t := t0; t < t1; {
+		hh := h
+		if t+hh > t1 {
+			hh = t1 - t
+		}
+		k1 := rhs(t, x)
+		k2 := rhs(t+hh/2, x+hh/2*k1)
+		k3 := rhs(t+hh/2, x+hh/2*k2)
+		k4 := rhs(t+hh, x+hh*k3)
+		x += hh / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		t += hh
+		res.T = append(res.T, t)
+		res.Dphi = append(res.Dphi, x)
+	}
+	return res
+}

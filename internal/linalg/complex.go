@@ -1,0 +1,314 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CVec is a dense complex vector.
+type CVec []complex128
+
+// NewCVec returns a zero complex vector of length n.
+func NewCVec(n int) CVec { return make(CVec, n) }
+
+// Clone returns a copy of v.
+func (v CVec) Clone() CVec {
+	w := make(CVec, len(v))
+	copy(w, v)
+	return w
+}
+
+// AXPY performs v += s*w.
+func (v CVec) AXPY(s complex128, w CVec) {
+	for i := range v {
+		v[i] += s * w[i]
+	}
+}
+
+// Scale multiplies every entry by s.
+func (v CVec) Scale(s complex128) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dotc returns the conjugate inner product ⟨v, w⟩ = Σ conj(v_i)·w_i.
+func (v CVec) Dotc(w CVec) complex128 {
+	if len(v) != len(w) {
+		panic("linalg: Dotc length mismatch")
+	}
+	var s complex128
+	for i := range v {
+		s += cmplx.Conj(v[i]) * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v CVec) Norm2() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v to unit norm and returns the original norm.
+func (v CVec) Normalize() float64 {
+	n := v.Norm2()
+	if n > 0 {
+		v.Scale(complex(1/n, 0))
+	}
+	return n
+}
+
+// NormInf returns the maximum entry magnitude.
+func (v CVec) NormInf() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := cmplx.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// CMat is a dense complex matrix in row-major storage.
+type CMat struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMat returns a zero Rows×Cols complex matrix.
+func NewCMat(rows, cols int) *CMat {
+	return &CMat{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// CEye returns the n×n complex identity.
+func CEye(n int) *CMat {
+	m := NewCMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *CMat) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMat) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Addf adds v to element (i, j).
+func (m *CMat) Addf(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *CMat) Clone() *CMat {
+	c := NewCMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// ConjClone returns an elementwise-conjugated copy.
+func (m *CMat) ConjClone() *CMat {
+	c := NewCMat(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		c.Data[i] = cmplx.Conj(v)
+	}
+	return c
+}
+
+// Zero clears every entry.
+func (m *CMat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CTranspose returns the conjugate transpose.
+func (m *CMat) CTranspose() *CMat {
+	t := NewCMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return t
+}
+
+// MulVec returns m·v.
+func (m *CMat) MulVec(v CVec) CVec {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: CMat.MulVec dimension mismatch %d vs %d", m.Cols, len(v)))
+	}
+	out := NewCVec(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// NormInf returns the maximum absolute row sum.
+func (m *CMat) NormInf() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, x := range m.Data[i*m.Cols : (i+1)*m.Cols] {
+			s += cmplx.Abs(x)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// CLU is a complex LU factorization with partial pivoting.
+type CLU struct {
+	lu  *CMat
+	piv []int
+	n   int
+}
+
+// CFactorize computes a complex LU factorization with partial pivoting.
+func CFactorize(a *CMat) (*CLU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: CFactorize requires a square matrix")
+	}
+	n := a.Rows
+	f := &CLU{lu: a.Clone(), piv: make([]int, n), n: n}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	scale := lu.NormInf()
+	if scale == 0 && n > 0 {
+		return nil, ErrSingular
+	}
+	tol := scale * 1e-300
+	for k := 0; k < n; k++ {
+		p, maxAbs := k, cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs <= tol {
+			return nil, fmt.Errorf("%w (complex pivot %d)", ErrSingular, k)
+		}
+		if p != k {
+			rk := lu.Data[k*n : (k+1)*n]
+			rp := lu.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri := lu.Data[i*n : (i+1)*n]
+			rk := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b.
+func (f *CLU) Solve(b CVec) CVec {
+	if len(b) != f.n {
+		panic("linalg: CLU.Solve dimension mismatch")
+	}
+	n, lu := f.n, f.lu
+	x := NewCVec(n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := lu.Data[i*n : (i+1)*n]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := lu.Data[i*n : (i+1)*n]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// CNullVector extracts an approximate right null vector of a nearly
+// singular complex matrix via inverse iteration with a tiny shift.
+func CNullVector(a *CMat, maxIter int, tol float64) (CVec, error) {
+	n := a.Rows
+	eps := a.NormInf() * 1e-12
+	if eps == 0 {
+		eps = 1e-12
+	}
+	var f *CLU
+	var err error
+	shift := complex(0, 0)
+	for attempt := 0; attempt < 6; attempt++ {
+		m := a.Clone()
+		for i := 0; i < n; i++ {
+			m.Addf(i, i, -shift)
+		}
+		f, err = CFactorize(m)
+		if err == nil {
+			break
+		}
+		shift += complex(eps, eps)
+		eps *= 10
+	}
+	if err != nil {
+		return nil, err
+	}
+	v := NewCVec(n)
+	for i := range v {
+		v[i] = complex(1/float64(i+2), 1/float64(2*i+3))
+	}
+	v.Normalize()
+	prev := v.Clone()
+	for iter := 0; iter < maxIter; iter++ {
+		w := f.Solve(v)
+		if w.Normalize() == 0 {
+			return nil, fmt.Errorf("linalg: complex inverse iteration collapsed")
+		}
+		// Align phase with the previous iterate to detect convergence.
+		ph := prev.Dotc(w)
+		if cmplx.Abs(ph) > 0 {
+			w.Scale(cmplx.Conj(ph) / complex(cmplx.Abs(ph), 0))
+		}
+		diff := 0.0
+		for i := range w {
+			if d := cmplx.Abs(w[i] - prev[i]); d > diff {
+				diff = d
+			}
+		}
+		prev = w.Clone()
+		v = w
+		if diff < tol && iter > 0 {
+			break
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,363 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// PowerIteration approximates the dominant eigenpair of a, starting from v0
+// (or a default seed when v0 is nil). It returns the eigenvalue estimate
+// (Rayleigh-style, via the ratio of iterates) and the unit eigenvector.
+func PowerIteration(a *Mat, v0 Vec, maxIter int, tol float64) (float64, Vec, error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: PowerIteration requires a square matrix")
+	}
+	v := v0
+	if v == nil {
+		v = NewVec(n)
+		for i := range v {
+			v[i] = 1 / math.Sqrt(float64(n)+float64(i)) // deterministic, non-symmetric seed
+		}
+	} else {
+		v = v.Clone()
+	}
+	v.Normalize()
+	lambda := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		w := a.MulVec(v)
+		nl := w.Dot(v) // Rayleigh quotient
+		norm := w.Normalize()
+		if norm == 0 {
+			return 0, v, errors.New("linalg: power iteration hit the null space")
+		}
+		// Fix sign flips for negative dominant eigenvalues.
+		if w.Dot(v) < 0 {
+			w.Scale(-1)
+		}
+		diff := NewVec(n)
+		diff.Sub(w, v)
+		v = w
+		if diff.NormInf() < tol && iter > 0 {
+			return nl, v, nil
+		}
+		lambda = nl
+	}
+	return lambda, v, errors.New("linalg: power iteration did not converge")
+}
+
+// InverseIteration finds the eigenvector of a for the eigenvalue closest to
+// shift. It returns the refined eigenvalue and the unit eigenvector. When
+// (a - shift·I) is exactly singular the shift is perturbed slightly, which is
+// the standard trick for extracting a null vector.
+func InverseIteration(a *Mat, shift float64, maxIter int, tol float64) (float64, Vec, error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("linalg: InverseIteration requires a square matrix")
+	}
+	eps := a.NormInf() * 1e-12
+	if eps == 0 {
+		eps = 1e-12
+	}
+	var f *LU
+	var err error
+	for attempt := 0; attempt < 6; attempt++ {
+		m := a.Clone()
+		for i := 0; i < n; i++ {
+			m.Addf(i, i, -shift)
+		}
+		f, err = Factorize(m)
+		if err == nil {
+			break
+		}
+		shift += eps * math.Pow(10, float64(attempt))
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	v := NewVec(n)
+	for i := range v {
+		v[i] = 1 / float64(i+2)
+	}
+	v.Normalize()
+	for iter := 0; iter < maxIter; iter++ {
+		w := f.Solve(v)
+		if w.Normalize() == 0 {
+			return 0, nil, errors.New("linalg: inverse iteration collapsed")
+		}
+		if w.Dot(v) < 0 {
+			w.Scale(-1)
+		}
+		diff := NewVec(n)
+		diff.Sub(w, v)
+		v = w
+		if diff.NormInf() < tol {
+			break
+		}
+	}
+	// Rayleigh quotient for the refined eigenvalue.
+	av := a.MulVec(v)
+	return av.Dot(v), v, nil
+}
+
+// NullVector extracts a (right) null-space vector of a nearly singular
+// matrix via inverse iteration with zero shift.
+func NullVector(a *Mat, maxIter int, tol float64) (Vec, error) {
+	_, v, err := InverseIteration(a, 0, maxIter, tol)
+	return v, err
+}
+
+// LeftNullVector extracts a left null vector wᵀa ≈ 0.
+func LeftNullVector(a *Mat, maxIter int, tol float64) (Vec, error) {
+	return NullVector(a.T(), maxIter, tol)
+}
+
+// Eigenvalues returns all eigenvalues of the square real matrix a as complex
+// numbers, sorted by decreasing magnitude. It reduces a to upper Hessenberg
+// form by Householder similarity transforms and then applies the classic
+// Francis-style shifted QR iteration (eigenvalues only). Intended for the
+// small matrices arising in Floquet (monodromy) analysis.
+func Eigenvalues(a *Mat) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Eigenvalues requires a square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, nil
+	}
+	h := a.Clone()
+	hessenberg(h)
+	ev, err := hqr(h)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ev, func(i, j int) bool { return cmplx.Abs(ev[i]) > cmplx.Abs(ev[j]) })
+	return ev, nil
+}
+
+// hessenberg reduces h to upper Hessenberg form in place using stabilized
+// elementary similarity transforms (Gaussian elimination with pivoting).
+func hessenberg(h *Mat) {
+	n := h.Rows
+	for m := 1; m < n-1; m++ {
+		// Find pivot below the subdiagonal.
+		x, i := 0.0, m
+		for j := m; j < n; j++ {
+			if math.Abs(h.At(j, m-1)) > math.Abs(x) {
+				x = h.At(j, m-1)
+				i = j
+			}
+		}
+		if i != m {
+			for j := m - 1; j < n; j++ {
+				v := h.At(i, j)
+				h.Set(i, j, h.At(m, j))
+				h.Set(m, j, v)
+			}
+			for j := 0; j < n; j++ {
+				v := h.At(j, i)
+				h.Set(j, i, h.At(j, m))
+				h.Set(j, m, v)
+			}
+		}
+		if x != 0 {
+			for i := m + 1; i < n; i++ {
+				y := h.At(i, m-1)
+				if y == 0 {
+					continue
+				}
+				y /= x
+				h.Set(i, m-1, y)
+				for j := m; j < n; j++ {
+					h.Addf(i, j, -y*h.At(m, j))
+				}
+				for j := 0; j < n; j++ {
+					h.Addf(j, m, y*h.At(j, i))
+				}
+			}
+		}
+	}
+	// Zero the junk below the subdiagonal (multipliers were stored there).
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			h.Set(i, j, 0)
+		}
+	}
+}
+
+// hqr computes all eigenvalues of an upper Hessenberg matrix using the
+// double-shift QR algorithm (adapted from the classic HQR routine).
+func hqr(h *Mat) ([]complex128, error) {
+	n := h.Rows
+	ev := make([]complex128, 0, n)
+	anorm := 0.0
+	for i := 0; i < n; i++ {
+		for j := max(i-1, 0); j < n; j++ {
+			anorm += math.Abs(h.At(i, j))
+		}
+	}
+	if anorm == 0 {
+		for i := 0; i < n; i++ {
+			ev = append(ev, 0)
+		}
+		return ev, nil
+	}
+	nn := n - 1
+	t := 0.0
+	for nn >= 0 {
+		its := 0
+		var l int
+		for {
+			// Look for a single small subdiagonal element.
+			for l = nn; l >= 1; l-- {
+				s := math.Abs(h.At(l-1, l-1)) + math.Abs(h.At(l, l))
+				if s == 0 {
+					s = anorm
+				}
+				if math.Abs(h.At(l, l-1)) <= 1e-15*s {
+					h.Set(l, l-1, 0)
+					break
+				}
+			}
+			x := h.At(nn, nn)
+			if l == nn { // one root found
+				ev = append(ev, complex(x+t, 0))
+				nn--
+				break
+			}
+			y := h.At(nn-1, nn-1)
+			w := h.At(nn, nn-1) * h.At(nn-1, nn)
+			if l == nn-1 { // two roots found
+				p := 0.5 * (y - x)
+				q := p*p + w
+				z := math.Sqrt(math.Abs(q))
+				x += t
+				if q >= 0 { // real pair
+					if p >= 0 {
+						z = p + z
+					} else {
+						z = p - z
+					}
+					ev = append(ev, complex(x+z, 0))
+					if z != 0 {
+						ev = append(ev, complex(x-w/z, 0))
+					} else {
+						ev = append(ev, complex(x, 0))
+					}
+				} else { // complex pair
+					ev = append(ev, complex(x+p, z), complex(x+p, -z))
+				}
+				nn -= 2
+				break
+			}
+			// No root yet: QR step.
+			if its == 60 {
+				return nil, errors.New("linalg: too many QR iterations in Eigenvalues")
+			}
+			if its == 10 || its == 20 {
+				// Exceptional shift.
+				t += x
+				for i := 0; i <= nn; i++ {
+					h.Addf(i, i, -x)
+				}
+				s := math.Abs(h.At(nn, nn-1)) + math.Abs(h.At(nn-1, nn-2))
+				y = 0.75 * s
+				x = y
+				w = -0.4375 * s * s
+			}
+			its++
+			var m int
+			var p, q, r, z float64
+			for m = nn - 2; m >= l; m-- {
+				z = h.At(m, m)
+				r = x - z
+				s := y - z
+				p = (r*s-w)/h.At(m+1, m) + h.At(m, m+1)
+				q = h.At(m+1, m+1) - z - r - s
+				r = h.At(m+2, m+1)
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p, q, r = p/s, q/s, r/s
+				if m == l {
+					break
+				}
+				u := math.Abs(h.At(m, m-1)) * (math.Abs(q) + math.Abs(r))
+				v := math.Abs(p) * (math.Abs(h.At(m-1, m-1)) + math.Abs(z) + math.Abs(h.At(m+1, m+1)))
+				if u <= 1e-15*v {
+					break
+				}
+			}
+			for i := m + 2; i <= nn; i++ {
+				h.Set(i, i-2, 0)
+				if i != m+2 {
+					h.Set(i, i-3, 0)
+				}
+			}
+			for k := m; k <= nn-1; k++ {
+				if k != m {
+					p = h.At(k, k-1)
+					q = h.At(k+1, k-1)
+					r = 0
+					if k != nn-1 {
+						r = h.At(k+2, k-1)
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x != 0 {
+						p, q, r = p/x, q/x, r/x
+					}
+				}
+				s := math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s == 0 {
+					continue
+				}
+				if k == m {
+					if l != m {
+						h.Set(k, k-1, -h.At(k, k-1))
+					}
+				} else {
+					h.Set(k, k-1, -s*x)
+				}
+				p += s
+				x = p / s
+				y = q / s
+				z = r / s
+				q /= p
+				r /= p
+				for j := k; j <= nn; j++ { // row modification
+					p = h.At(k, j) + q*h.At(k+1, j)
+					if k != nn-1 {
+						p += r * h.At(k+2, j)
+						h.Addf(k+2, j, -p*z)
+					}
+					h.Addf(k+1, j, -p*y)
+					h.Addf(k, j, -p*x)
+				}
+				mmin := nn
+				if k+3 < nn {
+					mmin = k + 3
+				}
+				for i := l; i <= mmin; i++ { // column modification
+					p = x*h.At(i, k) + y*h.At(i, k+1)
+					if k != nn-1 {
+						p += z * h.At(i, k+2)
+						h.Addf(i, k+2, -p*r)
+					}
+					h.Addf(i, k+1, -p*q)
+					h.Addf(i, k, -p)
+				}
+			}
+		}
+	}
+	return ev, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	lu   *Mat  // packed L (unit lower) and U
+	piv  []int // row permutation
+	sign int   // permutation sign, for Det
+	n    int
+}
+
+// Factorize computes the LU factorization of the square matrix a with
+// partial pivoting. a is not modified. It returns ErrSingular when a pivot
+// underflows relative to the matrix scale.
+func Factorize(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Factorize requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, n: n}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	scale := lu.NormInf()
+	if scale == 0 {
+		if n == 0 {
+			return f, nil
+		}
+		return nil, ErrSingular
+	}
+	tol := scale * 1e-300 // absolute floor; relative conditioning handled by caller
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs <= tol || math.IsNaN(maxAbs) {
+			return nil, fmt.Errorf("%w (pivot %d, |pivot|=%.3g)", ErrSingular, k, maxAbs)
+		}
+		if p != k {
+			rk := lu.Data[k*n : (k+1)*n]
+			rp := lu.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri := lu.Data[i*n : (i+1)*n]
+			rk := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b and returns x; b is not modified.
+func (f *LU) Solve(b Vec) Vec {
+	if len(b) != f.n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	x := NewVec(f.n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	f.solveInPlace(x)
+	return x
+}
+
+// SolveT solves Aᵀ·x = b and returns x (used for adjoint systems).
+func (f *LU) SolveT(b Vec) Vec {
+	n := f.n
+	if len(b) != n {
+		panic("linalg: LU.SolveT dimension mismatch")
+	}
+	lu := f.lu
+	// Aᵀ = Uᵀ Lᵀ P, so solve Uᵀ y = b, Lᵀ z = y, then x = Pᵀ z.
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			y[i] -= lu.At(k, i) * y[k]
+		}
+		y[i] /= lu.At(i, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			y[i] -= lu.At(k, i) * y[k]
+		}
+	}
+	x := NewVec(n)
+	for i, p := range f.piv {
+		x[p] = y[i]
+	}
+	return x
+}
+
+// solveInPlace applies forward/back substitution to a permuted RHS.
+func (f *LU) solveInPlace(x Vec) {
+	n, lu := f.n, f.lu
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := lu.Data[i*n : (i+1)*n]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := lu.Data[i*n : (i+1)*n]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+}
+
+// SolveMat solves A·X = B column by column.
+func (f *LU) SolveMat(b *Mat) *Mat {
+	if b.Rows != f.n {
+		panic("linalg: LU.SolveMat dimension mismatch")
+	}
+	x := NewMat(f.n, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		x.SetCol(j, f.Solve(b.Col(j)))
+	}
+	return x
+}
+
+// Det returns det(A) from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve is a convenience wrapper: factorize a and solve a·x = b.
+func Solve(a *Mat, b Vec) (Vec, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A⁻¹ (small matrices only; used in tests and Floquet work).
+func Inverse(a *Mat) (*Mat, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMat(Eye(a.Rows)), nil
+}

@@ -1,0 +1,144 @@
+// Package linalg provides the dense linear-algebra kernels used throughout
+// the PHLOGON design tools: real and complex matrices, LU factorization with
+// partial pivoting, eigenvalue routines for small matrices (Floquet
+// multiplier analysis), and inverse/power iteration for extracting the
+// perturbation projection vector from monodromy and harmonic-balance
+// Jacobians.
+//
+// Everything is implemented from scratch on the standard library; matrices
+// are small (circuit node counts and harmonic-balance block sizes), so dense
+// storage with partial pivoting is the right tool.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense real vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// CopyFrom copies w into v; the lengths must match.
+func (v Vec) CopyFrom(w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: CopyFrom length mismatch %d vs %d", len(v), len(w)))
+	}
+	copy(v, w)
+}
+
+// Zero sets every entry of v to 0.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every entry of v to s.
+func (v Vec) Fill(s float64) {
+	for i := range v {
+		v[i] = s
+	}
+}
+
+// Add stores a+b into v. Aliasing with a or b is allowed.
+func (v Vec) Add(a, b Vec) {
+	for i := range v {
+		v[i] = a[i] + b[i]
+	}
+}
+
+// Sub stores a-b into v. Aliasing with a or b is allowed.
+func (v Vec) Sub(a, b Vec) {
+	for i := range v {
+		v[i] = a[i] - b[i]
+	}
+}
+
+// AXPY performs v += s*w.
+func (v Vec) AXPY(s float64, w Vec) {
+	for i := range v {
+		v[i] += s * w[i]
+	}
+}
+
+// Scale multiplies every entry of v by s.
+func (v Vec) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow.
+func (v Vec) Norm2() float64 {
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum absolute entry of v.
+func (v Vec) NormInf() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsIndex returns the index of the entry with the largest magnitude
+// (0 for an empty vector).
+func (v Vec) MaxAbsIndex() int {
+	idx, m := 0, -1.0
+	for i, x := range v {
+		if a := math.Abs(x); a > m {
+			m, idx = a, i
+		}
+	}
+	return idx
+}
+
+// Normalize scales v to unit Euclidean norm and returns the original norm.
+// A zero vector is left unchanged.
+func (v Vec) Normalize() float64 {
+	n := v.Norm2()
+	if n > 0 {
+		v.Scale(1 / n)
+	}
+	return n
+}

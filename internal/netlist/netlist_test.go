@@ -1,0 +1,200 @@
+package netlist_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+	"repro/internal/solver"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"4.7n": 4.7e-9, "100u": 1e-4, "1k": 1e3, "10meg": 1e7,
+		"1m": 1e-3, "2.5": 2.5, "100g": 1e11, "3p": 3e-12, "1f": 1e-15,
+		"1t": 1e12, "-5u": -5e-6,
+	}
+	for in, want := range cases {
+		got, err := netlist.ParseValue(in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("ParseValue(%q) = %g, want %g", in, got, want)
+		}
+	}
+	if _, err := netlist.ParseValue("abc"); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestParseDividerAndSolve(t *testing.T) {
+	src := `
+* resistive divider
+.rail vdd 3.0
+R1 vdd mid 1k
+R2 mid 0 2k
+.end
+ignored garbage after .end
+`
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := solver.DCOperatingPoint(sys, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[ckt.NodeIndex("mid")]-2.0) > 1e-6 {
+		t.Errorf("divider = %g, want 2", x[0])
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	src := `
+.param rload=5k
+R1 a 0 {rload}
+`
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := ckt.Devices()[0].(interface{ Label() string })
+	if !ok || r.Label() != "R1" {
+		t.Fatal("device missing")
+	}
+}
+
+func TestParseRingOscillatorDeck(t *testing.T) {
+	// The paper's Fig. 3 ring as a netlist; PSS must find ≈9.6 kHz, same as
+	// the programmatic builder.
+	src := `
+* 3-stage ring oscillator, ALD1106/07, C = 4.7 nF
+.rail vdd 3.0
+Mn1 n1 n3 0   nmos model=ald1106
+Mp1 n1 n3 vdd pmos model=ald1107
+C1  n1 0 4.7n
+Mn2 n2 n1 0   nmos model=ald1106
+Mp2 n2 n1 vdd pmos model=ald1107
+C2  n2 0 4.7n
+Mn3 n3 n2 0   nmos model=ald1106
+Mp3 n3 n2 vdd pmos model=ald1107
+C3  n3 0 4.7n
+.end
+`
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N != 3 {
+		t.Fatalf("ring deck has %d nodes, want 3", sys.N)
+	}
+	// Borrow the programmatic builder's kick start.
+	r, _ := ringosc.Build(ringosc.DefaultConfig())
+	x0 := linalg.Vec(r.KickStart())
+	sol, err := pss.ShootAutonomous(sys, x0, pss.Options{GuessT: 1 / 9.6e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.F0 < 9.3e3 || sol.F0 > 9.9e3 {
+		t.Errorf("netlist ring f0 = %g", sol.F0)
+	}
+}
+
+func TestParseSources(t *testing.T) {
+	src := `
+I1 0 a dc 1m
+I2 0 a sin(100u 9.6k 0.25)
+I3 0 a 2m
+`
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckt.Devices()) != 3 {
+		t.Fatalf("want 3 sources, got %d", len(ckt.Devices()))
+	}
+	sys, err := ckt.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sys.EvalF(linalg.Vec{0}, 0, nil)
+	// At t=0: dc 1m + sin at quarter phase (0) + dc 2m, all INTO a → f = -3m.
+	if math.Abs(f[0]+3e-3) > 1e-9 {
+		t.Errorf("f = %g, want -3e-3", f[0])
+	}
+}
+
+func TestParseRailWaveforms(t *testing.T) {
+	src := `
+.rail en pulse(0 3 1m 10u 10u 2m 5m)
+.rail ref sin(1.5 1.5 1k 0)
+R1 en a 1k
+R2 ref a 1k
+`
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := ckt.Node("en")
+	ref := ckt.Node("ref")
+	if v := ckt.RailVoltage(en, 2e-3); math.Abs(v-3) > 1e-9 {
+		t.Errorf("pulse mid = %g", v)
+	}
+	if v := ckt.RailVoltage(ref, 0); math.Abs(v-3) > 1e-9 {
+		t.Errorf("sin rail peak = %g", v)
+	}
+	if v := ckt.RailVoltage(ref, 0.5e-3); math.Abs(v-0) > 1e-9 {
+		t.Errorf("sin rail trough = %g", v)
+	}
+}
+
+func TestParseSummerAndTgate(t *testing.T) {
+	src := `
+.rail vdd 3.0
+S1 out mid=1.5 swing=1.4 rout=10k in=a:1 in=b:-2
+T1 out c vdd ron=1k roff=100g
+`
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckt.Devices()) != 2 {
+		t.Fatalf("want 2 devices, got %d", len(ckt.Devices()))
+	}
+	if _, err := ckt.Assemble(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R1 a b",            // missing value
+		"Q1 a b c",          // unknown element
+		"M1 a b c njfet",    // bad type
+		".rail vdd",         // missing value
+		"I1 0 a sin(1)",     // too few sin args
+		"S1 out mid=1.5",    // no inputs
+		".bogus 1",          // unknown directive
+		"T1 a b c ron",      // bad key=value
+		"M1 d g s nmos vt0", // bad key=value
+		"R1 a b 1z2",        // bad number
+	}
+	for _, src := range bad {
+		if _, err := netlist.Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package noise_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/gae"
+	"repro/internal/noise"
+	"repro/internal/phasemacro"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+var (
+	fixOnce sync.Once
+	fixPPV  *ppv.PPV
+	fixCal  phasemacro.Calibration
+	fixErr  error
+)
+
+func ringPPV(t testing.TB) (*ppv.PPV, phasemacro.Calibration) {
+	t.Helper()
+	fixOnce.Do(func() {
+		r, err := ringosc.Build(ringosc.DefaultConfig())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+			GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixPPV, fixErr = ppv.FromSolution(r.Sys, sol)
+		if fixErr != nil {
+			return
+		}
+		fixCal, fixErr = phasemacro.Calibrate(&phasemacro.Latch{P: fixPPV, Node: 0, Out: 0}, 10e3)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixPPV, fixCal
+}
+
+func TestThermalCurrentPSD(t *testing.T) {
+	// 1 kΩ at 300 K: 4kT/R = 1.657e-23 A²/Hz.
+	got := noise.ThermalCurrentPSD(1e3, 300)
+	want := 4 * 1.380649e-23 * 300 / 1e3
+	if math.Abs(got-want) > 1e-30 {
+		t.Fatalf("PSD = %g, want %g", got, want)
+	}
+}
+
+func TestAlphaDiffusionScalesWithPSD(t *testing.T) {
+	p, _ := ringPPV(t)
+	src := []noise.Source{{Node: 0, PSD: 1e-20}}
+	c1 := noise.AlphaDiffusion(p, src)
+	src[0].PSD = 3e-20
+	c3 := noise.AlphaDiffusion(p, src)
+	if c1 <= 0 {
+		t.Fatal("diffusion must be positive")
+	}
+	if math.Abs(c3/c1-3) > 1e-9 {
+		t.Fatalf("diffusion not linear in PSD: %g vs %g", c1, c3)
+	}
+}
+
+func TestFreeRunningDiffusionMatchesSimulation(t *testing.T) {
+	// Brute force: without injections the GAE RHS is (f0−f1) = 0 at f1=f0,
+	// so Δφ performs a pure random walk with variance D·t.
+	p, _ := ringPPV(t)
+	d := 1e-2 // cycles²/s, exaggerated for fast statistics
+	m := gae.NewModel(p, p.F0)
+	T := 0.5
+	nRuns := 60
+	var sum2 float64
+	for i := 0; i < nRuns; i++ {
+		r := noise.StochasticTransient(m, 0, d, 0, T, 1e-4, int64(1000+i))
+		final := r.Dphi[len(r.Dphi)-1]
+		sum2 += final * final
+	}
+	got := sum2 / float64(nRuns)
+	want := d * T
+	if got < want/2 || got > want*2 {
+		t.Fatalf("random-walk variance %g, want ≈%g", got, want)
+	}
+}
+
+func TestSHILConfinesPhaseNoise(t *testing.T) {
+	// The paper's noise-immunity claim, quantified: identical noise, with
+	// and without SYNC. Free: variance grows ∝ t. Locked: variance
+	// saturates near the OU prediction D/(2λ).
+	p, cal := ringPPV(t)
+	d := 2e-3
+	T := 2.0
+	free := gae.NewModel(p, p.F0)
+	locked := gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase})
+
+	rFree := noise.StochasticTransient(free, 0, d, 0, T, 1e-4, 42)
+	rLock := noise.StochasticTransient(locked, 0, d, 0, T, 1e-4, 42)
+
+	// Free-running phase wanders far beyond a basin; locked stays put.
+	if math.Abs(rFree.Dphi[len(rFree.Dphi)-1]) < 0.2 {
+		t.Log("free run happened to wander little; checking variance instead")
+	}
+	vLock := rLock.Var()
+	predicted := noise.ConfinementVariance(locked, 0, d)
+	if vLock > 10*predicted || vLock < predicted/10 {
+		t.Errorf("locked variance %g far from OU prediction %g", vLock, predicted)
+	}
+	// And the locked latch must not hop at this noise level.
+	if rLock.Hops > 0 {
+		t.Errorf("locked latch hopped %d times at D=%g", rLock.Hops, d)
+	}
+}
+
+func TestHopRateGrowsWithNoise(t *testing.T) {
+	p, cal := ringPPV(t)
+	locked := gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 50e-6, Harmonic: 2, Phase: cal.SyncPhase})
+	hops := func(d float64) int {
+		total := 0
+		for s := int64(0); s < 6; s++ {
+			r := noise.StochasticTransient(locked, 0, d, 0, 1.0, 1e-4, 77+s)
+			total += r.Hops
+		}
+		return total
+	}
+	low := hops(0.01)
+	high := hops(30)
+	if high <= low {
+		t.Errorf("hop count did not grow with noise: %d → %d", low, high)
+	}
+	if low > 2 {
+		t.Errorf("too many hops at low noise: %d", low)
+	}
+}
+
+func TestLinewidthAndJitterConsistency(t *testing.T) {
+	p, _ := ringPPV(t)
+	src := []noise.Source{{Node: 0, PSD: 1e-22}}
+	c := noise.AlphaDiffusion(p, src)
+	lw := noise.Linewidth(p, src)
+	if math.Abs(lw-2*math.Pi*p.F0*p.F0*c) > 1e-12*lw {
+		t.Error("linewidth formula inconsistent")
+	}
+	j := noise.JitterPerCycle(p, src)
+	if math.Abs(j-math.Sqrt(c*p.T0)) > 1e-15 {
+		t.Error("jitter formula inconsistent")
+	}
+	if lw <= 0 || j <= 0 {
+		t.Error("noise metrics must be positive")
+	}
+}
+
+func TestLockStiffnessPositiveAtLock(t *testing.T) {
+	p, cal := ringPPV(t)
+	m := gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase})
+	lam := noise.LockStiffness(m, 0)
+	if lam <= 0 {
+		t.Fatalf("stiffness %g at a stable lock", lam)
+	}
+	// Stiffness doubles with SYNC amplitude (g′ linear in A for pure m=2).
+	m2 := gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 200e-6, Harmonic: 2, Phase: cal.SyncPhase})
+	lam2 := noise.LockStiffness(m2, 0)
+	if math.Abs(lam2/lam-2) > 0.05 {
+		t.Errorf("stiffness ratio %g, want 2", lam2/lam)
+	}
+}

@@ -1,0 +1,244 @@
+// Package phasemacro implements the paper's Sec. 4.3: full-system transient
+// simulation with every oscillator latch replaced by its PPV phase
+// macromodel. Each latch contributes a single scalar unknown Δφᵢ (its phase
+// difference, in cycles, against the f1 reference), governed by
+//
+//	dΔφᵢ/dt = (f0 − f1) + f0·[ A_s·Re(V₂·e^{j2π(2Δφᵢ − ψ_s)})
+//	                          + Re(V₁·e^{j2πΔφᵢ}·conj(k·Dᵢ(t))) ]
+//
+// where the first term is the SYNC injection that makes the latch bistable
+// (the stored bit) and Dᵢ is the voltage phasor driving the latch's input —
+// produced by the phase-domain combinational network (majority / NOT gates
+// operating on the other latches' output phasors and external inputs).
+// Latch outputs are reconstructed from the PSS waveform as
+// x(t) = xₛ((f1·t + Δφ)/f0), eq. (12).
+//
+// Calibration (the job the paper's tools do with Δφ_peak and the reference
+// signals of eqs. 6–10) happens in Calibrate: the SYNC phase ψ_s is chosen
+// so the two stable SHIL phases land exactly at Δφ ∈ {0, ½} (logic 1 and 0),
+// and the input coupling k carries the rotation that makes a gate output
+// phasor pull the receiving latch toward the phase it encodes.
+package phasemacro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/ppv"
+)
+
+// Latch is one oscillator latch in the system, reduced to its macromodel.
+type Latch struct {
+	Name string
+	P    *ppv.PPV
+	// Node is the free-node index (in the latch's own circuit) where SYNC
+	// and the logic input inject; Out is the observed output node.
+	Node, Out int
+	// SyncAmp is the SYNC current amplitude (A) at 2·f1.
+	SyncAmp float64
+	// F0Shift models per-latch free-running-frequency mismatch (Hz), as
+	// unavoidable between physical latch instances on a breadboard. A
+	// nonzero shift also breaks the exact antipodal-saddle degeneracy that
+	// would otherwise freeze a deterministic noise-free flip forever.
+	F0Shift float64
+}
+
+// Calibration fixes the phase conventions of a latch design.
+type Calibration struct {
+	// SyncPhase ψ_s (cycles) placing the stable SHIL phases at 0 and ½.
+	SyncPhase float64
+	// Coupling k (complex, A/V): magnitude 1/Rc of the input network, with
+	// the rotation that aligns gate outputs with injection references.
+	Coupling complex128
+	// OutPhasor0 is the output fundamental phasor of a latch at Δφ = 0
+	// (logic 1); at Δφ = ½ the phasor is its negative.
+	OutPhasor0 complex128
+}
+
+// Calibrate computes the latch calibration from its PPV. rc is the coupling
+// resistance of the input network (V-to-A conversion, e.g. 10 kΩ).
+func Calibrate(l *Latch, rc float64) (Calibration, error) {
+	v2 := l.P.Harmonic(l.Node, 2)
+	v1 := l.P.Harmonic(l.Node, 1)
+	if cmplx.Abs(v2) == 0 || cmplx.Abs(v1) == 0 {
+		return Calibration{}, errors.New("phasemacro: PPV lacks required harmonics")
+	}
+	// Stable SHIL equilibria of A·Re[V₂ e^{j2π(2Δφ−ψ)}] sit where the cosine
+	// crosses zero with negative slope: 2π(2Δφ−ψ) + ∠V₂ = π/2 (mod 2π).
+	// Demanding Δφ* = 0 gives ψ_s = (∠V₂ − π/2)/(2π).
+	psi := (cmplx.Phase(v2) - math.Pi/2) / (2 * math.Pi)
+	// An input phasor P pulls the latch toward phase φ_t iff
+	// ∠P = ∠V₁ − π/2 + 2πφ_t. A latch at phase φ_t outputs the fundamental
+	// phasor O = 2·X₁·e^{j2πφ_t}; the coupling rotation must therefore be
+	// ρ = ∠V₁ − π/2 − ∠(2X₁).
+	x1 := l.P.Sol.NodeSeries(l.Out, 8).Coefficient(1)
+	if cmplx.Abs(x1) == 0 {
+		return Calibration{}, errors.New("phasemacro: output node has no fundamental")
+	}
+	rho := cmplx.Phase(v1) - math.Pi/2 - cmplx.Phase(2*x1)
+	return Calibration{
+		SyncPhase:  psi,
+		Coupling:   cmplx.Rect(1/rc, rho),
+		OutPhasor0: 2 * x1,
+	}, nil
+}
+
+// LogicPhasor returns the drive phasor encoding a logic level with the
+// given voltage amplitude under the system's canonical convention
+// (logic 1 ↔ Δφ = 0 ↔ +O direction, logic 0 ↔ Δφ = ½ ↔ −O).
+func (c Calibration) LogicPhasor(level bool, amp float64) complex128 {
+	p := c.OutPhasor0 / complex(cmplx.Abs(c.OutPhasor0), 0) * complex(amp, 0)
+	if !level {
+		return -p
+	}
+	return p
+}
+
+// DriveFunc computes, at time t, the input voltage phasor for every latch
+// given the current output phasors of all latches. This is where the
+// combinational network (majority / NOT gates, clock gating) lives.
+type DriveFunc func(t float64, out []complex128) []complex128
+
+// System couples latches through a combinational drive network.
+type System struct {
+	F1      float64
+	Latches []*Latch
+	Cal     Calibration
+	Drive   DriveFunc
+}
+
+// Result is the multi-latch phase trajectory.
+type Result struct {
+	T    []float64
+	Dphi [][]float64 // [latch][step]
+	// Steps counts RK4 steps (cost metric for the efficiency comparison).
+	Steps int
+}
+
+// Bit decodes latch i's phase at step s into a logic level (nearest of the
+// canonical phases; true ↔ Δφ ≈ 0).
+func (r *Result) Bit(i, s int) bool {
+	d := math.Mod(math.Mod(r.Dphi[i][s], 1)+1, 1)
+	return d < 0.25 || d > 0.75
+}
+
+// FinalBits decodes all latches at the last step.
+func (r *Result) FinalBits() []bool {
+	out := make([]bool, len(r.Dphi))
+	for i := range out {
+		out[i] = r.Bit(i, len(r.T)-1)
+	}
+	return out
+}
+
+// OutPhasors computes the output phasors of all latches at the given phases.
+func (s *System) OutPhasors(dphi []float64) []complex128 {
+	out := make([]complex128, len(s.Latches))
+	for i := range s.Latches {
+		out[i] = s.Cal.OutPhasor0 * cmplx.Exp(complex(0, 2*math.Pi*dphi[i]))
+	}
+	return out
+}
+
+// rhs evaluates dΔφ/dt for every latch.
+func (s *System) rhs(t float64, dphi []float64, dst []float64) {
+	outs := s.OutPhasors(dphi)
+	drives := s.Drive(t, outs)
+	for i, l := range s.Latches {
+		v2 := l.P.Harmonic(l.Node, 2)
+		v1 := l.P.Harmonic(l.Node, 1)
+		g := l.SyncAmp * real(v2*cmplx.Exp(complex(0, 2*math.Pi*(2*dphi[i]-s.Cal.SyncPhase))))
+		if i < len(drives) {
+			inj := s.Cal.Coupling * drives[i]
+			g += real(v1 * cmplx.Exp(complex(0, 2*math.Pi*dphi[i])) * cmplx.Conj(inj))
+		}
+		f0 := l.P.F0 + l.F0Shift
+		dst[i] = (f0 - s.F1) + f0*g
+	}
+}
+
+// Run integrates the coupled phase system from dphi0 over [t0, t1] with
+// fixed-step RK4 (dt in reference cycles; 0 chooses ¼ cycle). The phase
+// dynamics' natural time scale is tens of cycles, so this is orders of
+// magnitude cheaper than SPICE-level simulation of the same FSM — the
+// paper's headline efficiency claim, measured in the benchmarks.
+func (s *System) Run(dphi0 []float64, t0, t1, dtCycles float64) (*Result, error) {
+	n := len(s.Latches)
+	if len(dphi0) != n {
+		return nil, fmt.Errorf("phasemacro: %d initial phases for %d latches", len(dphi0), n)
+	}
+	if dtCycles <= 0 {
+		dtCycles = 0.25
+	}
+	h := dtCycles / s.F1
+	res := &Result{Dphi: make([][]float64, n)}
+	x := append([]float64(nil), dphi0...)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+	record := func(t float64) {
+		res.T = append(res.T, t)
+		for i := range x {
+			res.Dphi[i] = append(res.Dphi[i], x[i])
+		}
+	}
+	record(t0)
+	for t := t0; t < t1; {
+		hh := h
+		if t+hh > t1 {
+			hh = t1 - t
+		}
+		s.rhs(t, x, k1)
+		for i := range x {
+			tmp[i] = x[i] + hh/2*k1[i]
+		}
+		s.rhs(t+hh/2, tmp, k2)
+		for i := range x {
+			tmp[i] = x[i] + hh/2*k2[i]
+		}
+		s.rhs(t+hh/2, tmp, k3)
+		for i := range x {
+			tmp[i] = x[i] + hh*k3[i]
+		}
+		s.rhs(t+hh, tmp, k4)
+		for i := range x {
+			x[i] += hh / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+		t += hh
+		res.Steps++
+		record(t)
+	}
+	return res, nil
+}
+
+// ReconstructOutput materializes latch i's output voltage waveform from the
+// phase trajectory and the PSS waveform (eq. 12): x(t) = xₛ((f1·t + Δφ)/f0),
+// sampled on samplesPerCycle points per reference cycle.
+func (s *System) ReconstructOutput(res *Result, i, samplesPerCycle int) (ts, vs []float64) {
+	l := s.Latches[i]
+	series := l.P.Sol.NodeSeries(l.Out, 16)
+	t0, t1 := res.T[0], res.T[len(res.T)-1]
+	dt := 1 / s.F1 / float64(samplesPerCycle)
+	idx := 0
+	for t := t0; t <= t1; t += dt {
+		for idx < len(res.T)-1 && res.T[idx+1] < t {
+			idx++
+		}
+		// Linear interpolation of Δφ.
+		var d float64
+		if idx >= len(res.T)-1 {
+			d = res.Dphi[i][len(res.T)-1]
+		} else {
+			f := (t - res.T[idx]) / (res.T[idx+1] - res.T[idx])
+			d = res.Dphi[i][idx] + f*(res.Dphi[i][idx+1]-res.Dphi[i][idx])
+		}
+		tau := s.F1*t + d // normalized time in cycles
+		ts = append(ts, t)
+		vs = append(vs, series.Eval(tau))
+	}
+	return ts, vs
+}

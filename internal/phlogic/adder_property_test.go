@@ -1,0 +1,96 @@
+package phlogic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/phlogic"
+)
+
+// TestSerialAdderRandomStreamsProperty drives the phase-macromodel FSM with
+// seeded random bit streams and demands bit-exact agreement with the golden
+// Boolean serial adder — the strongest end-to-end functional property of the
+// phase-logic layer.
+func TestSerialAdderRandomStreamsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-period FSM property test")
+	}
+	p := ringPPV(t)
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + rng.Intn(3)
+		a := make([]bool, n)
+		b := make([]bool, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Intn(2) == 1
+			b[i] = rng.Intn(2) == 1
+		}
+		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, a, b, phlogic.SerialAdderConfig{
+			SyncAmp: 100e-6, ClockCycles: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sa.Run(float64(n), 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := sa.ReadSums(res, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		carries, err := sa.ReadCarries(res, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum, wantCarry := phlogic.GoldenSerialAdder(a, b)
+		for i := 0; i < n; i++ {
+			if sums[i] != wantSum[i] || carries[i] != wantCarry[i] {
+				t.Errorf("trial %d (a=%v b=%v): bit %d got (sum %v, cout %v), want (%v, %v)",
+					trial, a, b, i, sums[i], carries[i], wantSum[i], wantCarry[i])
+			}
+		}
+	}
+}
+
+// TestSerialAdderClockRateLimit documents the FSM's speed limit: when the
+// clock period shrinks below the latch flip time, computation fails — and
+// the design tools predict exactly this boundary (the paper's timing-spec
+// discussion in Sec. 4.2).
+func TestSerialAdderClockRateLimit(t *testing.T) {
+	p := ringPPV(t)
+	a := []bool{true, false, true}
+	run := func(clockCycles float64) bool {
+		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, a, a, phlogic.SerialAdderConfig{
+			SyncAmp: 100e-6, ClockCycles: clockCycles,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sa.Run(3, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums, err := sa.ReadSums(res, 3)
+		if err != nil {
+			return false
+		}
+		carries, err := sa.ReadCarries(res, 3)
+		if err != nil {
+			return false
+		}
+		wantSum, wantCarry := phlogic.GoldenSerialAdder(a, a)
+		for i := range wantSum {
+			if sums[i] != wantSum[i] || carries[i] != wantCarry[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !run(100) {
+		t.Error("adder must work at 100 cycles/period")
+	}
+	if run(4) {
+		t.Error("adder should fail at 4 cycles/period (flip time ≫ transparent window)")
+	}
+}

@@ -1,0 +1,58 @@
+package phlogic_test
+
+import (
+	"testing"
+
+	"repro/internal/phlogic"
+)
+
+// TestPhaseDLatchLoadsData: the fully phase-based D latch (Fig. 13,
+// MAJ(D, CLK, Q)) must hold the presented bit at the end of every full
+// clock cycle, independent of its previous state.
+func TestPhaseDLatchLoadsData(t *testing.T) {
+	p := ringPPV(t)
+	bits := []bool{true, false, false, true, true, false}
+	for _, init := range []bool{false, true} {
+		dl, err := phlogic.NewPhaseDLatch(p, 0, 0, p.F0, bits, phlogic.PhaseDLatchConfig{
+			SyncAmp: 100e-6, ClockCycles: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dl.Run(init, float64(len(bits)), 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dl.ReadBits(res, len(bits))
+		for i, want := range bits {
+			if got[i] != want {
+				t.Errorf("init=%v: bit %d = %v, want %v", init, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPhaseDLatchHoldsWhenDataMatches: with a constant data stream the
+// output never glitches out of the presented value after the first load.
+func TestPhaseDLatchHoldsWhenDataMatches(t *testing.T) {
+	p := ringPPV(t)
+	bits := []bool{true, true, true, true}
+	dl, err := phlogic.NewPhaseDLatch(p, 0, 0, p.F0, bits, phlogic.PhaseDLatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dl.Run(true, 4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first quarter period, the phase must stay in the logic-1
+	// basin throughout.
+	for i, tt := range res.T {
+		if tt < dl.Clock.Period/4 {
+			continue
+		}
+		if !res.Bit(0, i) {
+			t.Fatalf("latch left the logic-1 basin at t=%g (Δφ=%g)", tt, res.Dphi[0][i])
+		}
+	}
+}

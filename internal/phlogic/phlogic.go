@@ -1,0 +1,109 @@
+// Package phlogic is the phase-logic layer of the PHLOGON design tools: the
+// encoding of Boolean levels as oscillator phases, the majority / NOT
+// combinational gates (logically complete, per the paper's footnote 1), the
+// clocked D-latch abstraction, master–slave flip-flops, and the serial-adder
+// FSM of Fig. 15 — together with golden Boolean-domain models used to verify
+// that a phase-domain system computes correctly.
+//
+// Conventions (fixed by phasemacro.Calibrate): logic 1 ↔ Δφ = 0, logic 0 ↔
+// Δφ = ½; a signal's fundamental phasor is ±P₀ along the calibrated output
+// axis. Combinational gates operate on these phasors: a weighted sum
+// followed by the op-amp's saturating restoration (Sec. 5.2 builds them
+// exactly this way, from op-amps with resistive feedback).
+package phlogic
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Maj computes a weighted majority gate on phase-logic phasors: the weighted
+// sum, soft-limited to amplitude sat (the op-amp restoration). Phase is
+// preserved; only the magnitude saturates.
+func Maj(sat float64, weights []float64, inputs []complex128) complex128 {
+	if len(weights) != len(inputs) {
+		panic("phlogic: Maj weights/inputs mismatch")
+	}
+	var s complex128
+	for i, in := range inputs {
+		s += complex(weights[i], 0) * in
+	}
+	m := cmplx.Abs(s)
+	if m == 0 {
+		return 0
+	}
+	lim := sat * math.Tanh(m/sat)
+	return s * complex(lim/m, 0)
+}
+
+// Maj3 is the plain three-input majority gate with unit weights.
+func Maj3(sat float64, a, b, c complex128) complex128 {
+	return Maj(sat, []float64{1, 1, 1}, []complex128{a, b, c})
+}
+
+// Not inverts a phase-logic signal (a 180° phase shift — on the breadboard,
+// an inverting op-amp stage).
+func Not(in complex128) complex128 { return -in }
+
+// FullAdder computes the phase-domain full adder used by the serial adder:
+//
+//	cout = MAJ(a, b, c)
+//	sum  = MAJ(a, b, c, cout; weights 1, 1, 1, −2)
+//
+// The weighted form is the standard majority-logic identity for the parity
+// function (sum = a⊕b⊕c), realizable with one op-amp summer.
+func FullAdder(sat float64, a, b, c complex128) (sum, cout complex128) {
+	cout = Maj3(sat, a, b, c)
+	sum = Maj(sat, []float64{1, 1, 1, -2}, []complex128{a, b, c, cout})
+	return sum, cout
+}
+
+// DecodeLevel reads a phasor back into a Boolean level given the calibrated
+// logic-1 axis p0 (true ↔ aligned with p0). It returns ok=false when the
+// signal is too small or too close to quadrature to decide.
+func DecodeLevel(sig, p0 complex128) (level, ok bool) {
+	if cmplx.Abs(sig) < 1e-3*cmplx.Abs(p0) {
+		return false, false
+	}
+	c := real(sig * cmplx.Conj(p0))
+	q := imag(sig * cmplx.Conj(p0))
+	if math.Abs(c) < math.Abs(q) {
+		return false, false
+	}
+	return c > 0, true
+}
+
+// GoldenFullAdder is the Boolean reference.
+func GoldenFullAdder(a, b, c bool) (sum, cout bool) {
+	n := 0
+	for _, x := range []bool{a, b, c} {
+		if x {
+			n++
+		}
+	}
+	return n%2 == 1, n >= 2
+}
+
+// GoldenSerialAdder adds two LSB-first bit streams through a carry chain,
+// returning the sum stream and the carry stream (carry *out* of each step).
+func GoldenSerialAdder(a, b []bool) (sum, carry []bool) {
+	c := false
+	for i := range a {
+		s, co := GoldenFullAdder(a[i], b[i], c)
+		sum = append(sum, s)
+		carry = append(carry, co)
+		c = co
+	}
+	return sum, carry
+}
+
+// GoldenMaj3 is the Boolean majority reference.
+func GoldenMaj3(a, b, c bool) bool {
+	n := 0
+	for _, x := range []bool{a, b, c} {
+		if x {
+			n++
+		}
+	}
+	return n >= 2
+}

@@ -1,0 +1,296 @@
+// Package plot renders the design tools' visualizations — the facility the
+// paper emphasizes alongside simulation. Two backends are provided, both
+// dependency-free: a terminal (ASCII) renderer for interactive use in the
+// cmd tools, and an SVG writer for the figure-regeneration pipeline.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve. Scatter selects point rendering (used for
+// equilibrium sweeps, which are set-valued per abscissa).
+type Series struct {
+	Name    string
+	X, Y    []float64
+	Scatter bool
+}
+
+// Chart is a 2-D plot description.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Optional fixed ranges; NaN means auto.
+	XMin, XMax, YMin, YMax float64
+}
+
+// New creates a chart with automatic ranges.
+func New(title, xlabel, ylabel string) *Chart {
+	return &Chart{
+		Title: title, XLabel: xlabel, YLabel: ylabel,
+		XMin: math.NaN(), XMax: math.NaN(), YMin: math.NaN(), YMax: math.NaN(),
+	}
+}
+
+// Add appends a line series.
+func (c *Chart) Add(name string, x, y []float64) *Chart {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+	return c
+}
+
+// AddScatter appends a scatter series.
+func (c *Chart) AddScatter(name string, x, y []float64) *Chart {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y, Scatter: true})
+	return c
+}
+
+// ranges computes the plotting window.
+func (c *Chart) ranges() (x0, x1, y0, y1 float64) {
+	x0, x1 = math.Inf(1), math.Inf(-1)
+	y0, y1 = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if !math.IsNaN(s.X[i]) && !math.IsInf(s.X[i], 0) {
+				x0 = math.Min(x0, s.X[i])
+				x1 = math.Max(x1, s.X[i])
+			}
+			if !math.IsNaN(s.Y[i]) && !math.IsInf(s.Y[i], 0) {
+				y0 = math.Min(y0, s.Y[i])
+				y1 = math.Max(y1, s.Y[i])
+			}
+		}
+	}
+	if !math.IsNaN(c.XMin) {
+		x0 = c.XMin
+	}
+	if !math.IsNaN(c.XMax) {
+		x1 = c.XMax
+	}
+	if !math.IsNaN(c.YMin) {
+		y0 = c.YMin
+	}
+	if !math.IsNaN(c.YMax) {
+		y1 = c.YMax
+	}
+	if x1 <= x0 {
+		x1 = x0 + 1
+	}
+	if y1 <= y0 {
+		y0, y1 = y0-0.5, y0+0.5
+	}
+	// 5% headroom on y.
+	pad := 0.05 * (y1 - y0)
+	return x0, x1, y0 - pad, y1 + pad
+}
+
+var asciiMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the chart into a width×height character canvas.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	x0, x1, y0, y1 := c.ranges()
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plotPt := func(x, y float64, mark byte) {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return
+		}
+		col := int((x - x0) / (x1 - x0) * float64(width-1))
+		row := int((y1 - y) / (y1 - y0) * float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = mark
+		}
+	}
+	for si, s := range c.Series {
+		mark := asciiMarks[si%len(asciiMarks)]
+		if s.Scatter {
+			for i := range s.X {
+				plotPt(s.X[i], s.Y[i], mark)
+			}
+			continue
+		}
+		// Dense line: interpolate between consecutive points.
+		for i := 1; i < len(s.X); i++ {
+			steps := width / 2
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plotPt(s.X[i-1]+f*(s.X[i]-s.X[i-1]), s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), mark)
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%.4g ┤\n", y1)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "     │%s\n", row)
+	}
+	fmt.Fprintf(&b, "%.4g ┤%s\n", y0, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "      %-.4g%s%.4g\n", x0, strings.Repeat(" ", max(1, width-16)), x1)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "      x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", asciiMarks[si%len(asciiMarks)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "      %s\n", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var svgColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+	"#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG(width, height int) string {
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 440
+	}
+	const mL, mR, mT, mB = 70, 20, 40, 55
+	pw, ph := float64(width-mL-mR), float64(height-mT-mB)
+	x0, x1, y0, y1 := c.ranges()
+	px := func(x float64) float64 { return float64(mL) + (x-x0)/(x1-x0)*pw }
+	py := func(y float64) float64 { return float64(mT) + (y1-y)/(y1-y0)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes box and grid.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		mL, mT, pw, ph)
+	for _, tx := range ticks(x0, x1, 6) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			px(tx), mT, px(tx), float64(mT)+ph)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" fill="#333">%s</text>`+"\n",
+			px(tx), float64(mT)+ph+16, fmtTick(tx))
+	}
+	for _, ty := range ticks(y0, y1, 6) {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			mL, py(ty), float64(mL)+pw, py(ty))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#333">%s</text>`+"\n",
+			mL-6, py(ty)+4, fmtTick(ty))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := svgColors[si%len(svgColors)]
+		if s.Scatter {
+			for i := range s.X {
+				if math.IsNaN(s.Y[i]) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.4" fill="%s"/>`+"\n",
+					px(s.X[i]), py(s.Y[i]), color)
+			}
+		} else {
+			var pts []string
+			for i := range s.X {
+				if math.IsNaN(s.Y[i]) {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// Legend entry.
+		lx, ly := mL+12, mT+16+18*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#111">%s</text>`+"\n", lx+18, ly, xmlEscape(s.Name))
+	}
+	// Labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="14" font-weight="bold" fill="#111">%s</text>`+"\n",
+		mL, 22, xmlEscape(c.Title))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle" fill="#111">%s</text>`+"\n",
+		float64(mL)+pw/2, height-12, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" fill="#111" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(mT)+ph/2, float64(mT)+ph/2, xmlEscape(c.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ticks picks ~n round tick positions across [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return nil
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e5 || a < 1e-3:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		s := fmt.Sprintf("%.4g", v)
+		return s
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SortedByX returns a copy of the series points sorted by x (utility for
+// scatter data assembled from sweeps).
+func SortedByX(x, y []float64) ([]float64, []float64) {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	xs := make([]float64, len(x))
+	ys := make([]float64, len(y))
+	for i, j := range idx {
+		xs[i], ys[i] = x[j], y[j]
+	}
+	return xs, ys
+}

@@ -1,0 +1,85 @@
+package plot_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/plot"
+)
+
+func sine(n int) ([]float64, []float64) {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = math.Sin(2 * math.Pi * x[i])
+	}
+	return x, y
+}
+
+func TestASCIIContainsMarksAndLegend(t *testing.T) {
+	x, y := sine(100)
+	c := plot.New("test", "t", "v").Add("sine", x, y)
+	out := c.ASCII(60, 15)
+	if !strings.Contains(out, "*") {
+		t.Error("no line marks rendered")
+	}
+	if !strings.Contains(out, "sine") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+}
+
+func TestSVGWellFormedAndComplete(t *testing.T) {
+	x, y := sine(50)
+	c := plot.New("chart &title", "x<label>", "y").
+		Add("line", x, y).
+		AddScatter("dots", []float64{0.2, 0.5}, []float64{0.1, -0.4})
+	svg := c.SVG(640, 400)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "&amp;title", "&lt;label&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Error("multiple svg roots")
+	}
+	// No raw NaNs leaked into coordinates.
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN in SVG output")
+	}
+}
+
+func TestNaNValuesSkipped(t *testing.T) {
+	c := plot.New("n", "x", "y").Add("s", []float64{0, 1, 2}, []float64{1, math.NaN(), 3})
+	svg := c.SVG(300, 200)
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked")
+	}
+	_ = c.ASCII(30, 10) // must not panic
+}
+
+func TestFixedRanges(t *testing.T) {
+	c := plot.New("r", "x", "y").Add("s", []float64{0, 1}, []float64{0, 1})
+	c.YMin, c.YMax = -2, 2
+	svg := c.SVG(300, 200)
+	if !strings.Contains(svg, ">-2<") && !strings.Contains(svg, ">-1<") {
+		t.Error("fixed y range not reflected in ticks")
+	}
+}
+
+func TestSortedByX(t *testing.T) {
+	x, y := plot.SortedByX([]float64{3, 1, 2}, []float64{30, 10, 20})
+	if x[0] != 1 || y[0] != 10 || x[2] != 3 || y[2] != 30 {
+		t.Errorf("SortedByX = %v %v", x, y)
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	c := plot.New("empty", "", "")
+	_ = c.ASCII(40, 10)
+	_ = c.SVG(200, 100)
+}

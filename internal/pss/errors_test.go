@@ -1,0 +1,92 @@
+package pss_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+func TestShootAutonomousRequiresGuess(t *testing.T) {
+	r := buildRing(t, ringosc.DefaultConfig())
+	if _, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{}); err == nil {
+		t.Fatal("missing GuessT must error")
+	}
+}
+
+func TestShootDrivenOnAutonomousFindsOrbitPoint(t *testing.T) {
+	// On an autonomous oscillator every orbit point is a fixed point of the
+	// exact-period map, so driven shooting (given the true period) may land
+	// on an arbitrary phase — but whatever it returns must genuinely be a
+	// periodic point, and the degenerate phase direction must show up as a
+	// unit Floquet multiplier.
+	r := buildRing(t, ringosc.DefaultConfig())
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := sol.X0.Clone()
+	x0[0] += 0.3
+	drv, err := pss.ShootDriven(r.Sys, x0, sol.T0, pss.Options{MaxIter: 20})
+	if err != nil {
+		// Equally acceptable: the near-singular (M − I) may be refused.
+		if !strings.Contains(err.Error(), "singular") && !strings.Contains(err.Error(), "converge") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if drv.Residual > 1e-6 {
+		t.Fatalf("returned a non-periodic point: residual %g", drv.Residual)
+	}
+	trivial, _, _ := drv.StabilityReport()
+	if real(trivial) < 0.98 || real(trivial) > 1.02 {
+		t.Fatalf("expected a unit multiplier betraying autonomy, got %v", trivial)
+	}
+}
+
+func TestShootAutonomousNonOscillator(t *testing.T) {
+	// A damped RC has no limit cycle: the shooting loop must fail (either
+	// by recurrence detection or by a singular bordered system), never
+	// fabricate a period.
+	c := circuit.New()
+	c.ParasiticCap = 0
+	n1 := c.Node("n1")
+	c.Add(
+		&device.Resistor{Name: "r", A: n1, B: circuit.Ground, R: 1e3},
+		&device.Capacitor{Name: "c", A: n1, B: circuit.Ground, C: 1e-6},
+	)
+	sys, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pss.ShootAutonomous(sys, linalg.Vec{1}, pss.Options{
+		GuessT: 1e-3, MaxIter: 6, SettleCycles: 2,
+	}); err == nil {
+		t.Fatal("non-oscillating circuit must not yield a PSS")
+	}
+}
+
+func TestSolutionKAndGrid(t *testing.T) {
+	r := buildRing(t, ringosc.DefaultConfig())
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.K() != 256 {
+		t.Fatalf("K = %d", sol.K())
+	}
+	if len(sol.Grid) != 257 || sol.Grid[0] != 0 {
+		t.Fatalf("grid malformed")
+	}
+	if g := sol.Grid[256]; g != sol.T0 {
+		t.Fatalf("grid end %g ≠ T0 %g", g, sol.T0)
+	}
+}

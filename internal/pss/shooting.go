@@ -1,0 +1,338 @@
+// Package pss computes periodic steady states of circuits. For autonomous
+// (self-sustaining) oscillators the period is itself an unknown, so the
+// shooting method solves the bordered system
+//
+//	x(T; x0) − x0 = 0      (n equations)
+//	x0[a] − anchor = 0     (phase condition)
+//
+// for (x0, T) by Newton iteration, with the monodromy matrix ∂x(T)/∂x0
+// supplied by the transient integrator's sensitivity propagation. The
+// monodromy's Floquet multipliers certify orbital stability (one multiplier
+// pinned at 1, the rest inside the unit circle) and feed directly into the
+// PPV extraction of package ppv.
+//
+// A frequency-domain (harmonic balance) refinement of the same orbit is
+// provided in hb.go; the PPV-HB extraction path builds on it.
+package pss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/fourier"
+	"repro/internal/linalg"
+	"repro/internal/transient"
+)
+
+// Options tunes the shooting solver.
+type Options struct {
+	GuessT         float64 // initial period guess (required; see ringosc.EstimatedF0)
+	StepsPerPeriod int     // fixed integration steps per period (default 512)
+	MaxIter        int     // Newton iterations (default 30)
+	Tol            float64 // ∞-norm tolerance on the periodicity residual, volts (default 1e-7)
+	Method         transient.Method
+	// SettleCycles integrates this many free-running cycles before shooting
+	// starts, to land near the limit cycle (default 20).
+	SettleCycles int
+}
+
+// Solution is a converged periodic steady state on a uniform grid.
+type Solution struct {
+	T0 float64 // period, s
+	F0 float64 // 1/T0
+	X0 linalg.Vec
+	// Grid holds K+1 uniform times spanning [0, T0]; States[k] = x(Grid[k]).
+	// States[K] ≈ States[0].
+	Grid   []float64
+	States []linalg.Vec
+	// Monodromy is ∂x(T)/∂x(0) around the orbit.
+	Monodromy *linalg.Mat
+	// Multipliers are the Floquet (characteristic) multipliers, sorted by
+	// decreasing magnitude; Multipliers[0] ≈ 1 for an autonomous oscillator.
+	Multipliers []complex128
+	// Residual is the final periodicity error.
+	Residual float64
+	// Iterations is the Newton count.
+	Iterations int
+}
+
+// K returns the number of grid intervals.
+func (s *Solution) K() int { return len(s.Grid) - 1 }
+
+// NodeSeries returns the Fourier series (in normalized time t/T0) of free
+// node k's PSS waveform, keeping maxHarm harmonics.
+func (s *Solution) NodeSeries(k, maxHarm int) *fourier.Series {
+	kk := s.K()
+	samples := make([]float64, kk)
+	for i := 0; i < kk; i++ {
+		samples[i] = s.States[i][k]
+	}
+	return fourier.NewSeriesFromSamples(samples, maxHarm)
+}
+
+// StateAt interpolates the PSS state at an arbitrary time (t mod T0) from
+// the grid (linear interpolation; use NodeSeries for spectral accuracy).
+func (s *Solution) StateAt(t float64) linalg.Vec {
+	tt := math.Mod(t, s.T0)
+	if tt < 0 {
+		tt += s.T0
+	}
+	k := s.K()
+	pos := tt / s.T0 * float64(k)
+	i := int(pos)
+	if i >= k {
+		i = k - 1
+	}
+	f := pos - float64(i)
+	out := linalg.NewVec(len(s.X0))
+	for j := range out {
+		out[j] = s.States[i][j] + f*(s.States[i+1][j]-s.States[i][j])
+	}
+	return out
+}
+
+// ShootAutonomous finds the limit cycle of an autonomous circuit starting
+// from the (non-equilibrium) state x0.
+func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution, error) {
+	if opt.GuessT <= 0 {
+		return nil, errors.New("pss: Options.GuessT must be a positive period guess")
+	}
+	if opt.StepsPerPeriod == 0 {
+		opt.StepsPerPeriod = 512
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 30
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-7
+	}
+	if opt.SettleCycles == 0 {
+		opt.SettleCycles = 20
+	}
+	n := sys.N
+
+	// Settle onto the limit cycle and refine the period guess from the
+	// trajectory's recurrence before shooting.
+	T := opt.GuessT
+	x := x0.Clone()
+	if opt.SettleCycles > 0 {
+		res, err := transient.Run(sys, x, 0, float64(opt.SettleCycles)*T, transient.Options{
+			Method: transient.Trap, Step: T / float64(opt.StepsPerPeriod),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pss: settle transient failed: %w", err)
+		}
+		x = res.Final()
+		if Tref, err := estimatePeriodFromRecurrence(res, T); err == nil {
+			T = Tref
+		}
+	}
+
+	// Phase anchor: the component with the largest |ẋ| moves fastest through
+	// its anchor value, making the bordered system well conditioned.
+	xd := sys.XDot(x, 0)
+	anchor := xd.MaxAbsIndex()
+	anchorVal := x[anchor]
+
+	var lastRes float64
+	var mono *linalg.Mat
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		run, err := transient.Run(sys, x, 0, T, transient.Options{
+			Method:      opt.Method,
+			Step:        T / float64(opt.StepsPerPeriod),
+			Sensitivity: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pss: shooting transient failed: %w", err)
+		}
+		xT := run.Final()
+		mono = run.Sens
+		r := linalg.NewVec(n)
+		r.Sub(xT, x)
+		lastRes = r.NormInf()
+		if lastRes <= opt.Tol {
+			return buildSolution(sys, x, T, anchor, opt, mono, iter)
+		}
+		// Bordered Newton system:
+		//   [ M − I   ẋ(T) ] [Δx]   [ −r ]
+		//   [ e_aᵀ      0  ] [ΔT] = [  0 ]
+		big := linalg.NewMat(n+1, n+1)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				big.Set(i, j, mono.At(i, j))
+			}
+			big.Addf(i, i, -1)
+		}
+		fT := sys.XDot(xT, T)
+		for i := 0; i < n; i++ {
+			big.Set(i, n, fT[i])
+		}
+		big.Set(n, anchor, 1)
+		rhs := linalg.NewVec(n + 1)
+		for i := 0; i < n; i++ {
+			rhs[i] = -r[i]
+		}
+		rhs[n] = anchorVal - x[anchor]
+		lu, err := linalg.Factorize(big)
+		if err != nil {
+			return nil, fmt.Errorf("pss: singular bordered Jacobian: %w", err)
+		}
+		dz := lu.Solve(rhs)
+		// Damping: limit the period update to ±20% per iteration.
+		if dT := dz[n]; math.Abs(dT) > 0.2*T {
+			dz.Scale(0.2 * T / math.Abs(dT))
+		}
+		for i := 0; i < n; i++ {
+			x[i] += dz[i]
+		}
+		T += dz[n]
+		if T <= 0 {
+			return nil, errors.New("pss: period iterate became non-positive")
+		}
+	}
+	return nil, fmt.Errorf("pss: shooting did not converge (residual %.3g V after %d iterations)", lastRes, opt.MaxIter)
+}
+
+// ShootDriven finds the periodic steady state of a circuit driven at a known
+// period T (no phase condition; the source defines time zero).
+func ShootDriven(sys *circuit.System, x0 linalg.Vec, T float64, opt Options) (*Solution, error) {
+	if opt.StepsPerPeriod == 0 {
+		opt.StepsPerPeriod = 512
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 30
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-7
+	}
+	n := sys.N
+	x := x0.Clone()
+	var lastRes float64
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		run, err := transient.Run(sys, x, 0, T, transient.Options{
+			Method:      opt.Method,
+			Step:        T / float64(opt.StepsPerPeriod),
+			Sensitivity: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pss: driven shooting transient failed: %w", err)
+		}
+		xT := run.Final()
+		r := linalg.NewVec(n)
+		r.Sub(xT, x)
+		lastRes = r.NormInf()
+		if lastRes <= opt.Tol {
+			return buildSolution(sys, x, T, -1, opt, run.Sens, iter)
+		}
+		jac := run.Sens.Clone()
+		for i := 0; i < n; i++ {
+			jac.Addf(i, i, -1)
+		}
+		lu, err := linalg.Factorize(jac)
+		if err != nil {
+			return nil, fmt.Errorf("pss: singular shooting Jacobian (is the circuit autonomous?): %w", err)
+		}
+		dx := lu.Solve(r)
+		for i := 0; i < n; i++ {
+			x[i] -= dx[i]
+		}
+	}
+	return nil, fmt.Errorf("pss: driven shooting did not converge (residual %.3g V)", lastRes)
+}
+
+// buildSolution integrates one final period on the converged orbit, records
+// the uniform grid, and computes Floquet multipliers.
+func buildSolution(sys *circuit.System, x0 linalg.Vec, T float64, anchor int, opt Options, mono *linalg.Mat, iters int) (*Solution, error) {
+	k := opt.StepsPerPeriod
+	run, err := transient.Run(sys, x0, 0, T, transient.Options{
+		Method:      opt.Method,
+		Step:        T / float64(k),
+		Sensitivity: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(run.X) != k+1 {
+		return nil, fmt.Errorf("pss: expected %d grid points, got %d", k+1, len(run.X))
+	}
+	grid := make([]float64, k+1)
+	for i := range grid {
+		grid[i] = T * float64(i) / float64(k)
+	}
+	mult, err := linalg.Eigenvalues(run.Sens)
+	if err != nil {
+		mult = nil // multipliers are advisory; don't fail the PSS
+	}
+	resid := linalg.NewVec(sys.N)
+	resid.Sub(run.Final(), x0)
+	return &Solution{
+		T0: T, F0: 1 / T, X0: x0.Clone(),
+		Grid: grid, States: run.X,
+		Monodromy:   run.Sens,
+		Multipliers: mult,
+		Residual:    resid.NormInf(),
+		Iterations:  iters,
+	}, nil
+}
+
+// estimatePeriodFromRecurrence refines a period guess by measuring spacing
+// of rising crossings of node 0 through its midpoint over the trailing half
+// of a settle run.
+func estimatePeriodFromRecurrence(res *transient.Result, guess float64) (float64, error) {
+	v := res.Node(0)
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	mid := (lo + hi) / 2
+	var crossings []float64
+	start := res.T[len(res.T)-1] / 2
+	for i := 1; i < len(v); i++ {
+		if res.T[i] < start {
+			continue
+		}
+		if v[i-1] < mid && v[i] >= mid {
+			f := (mid - v[i-1]) / (v[i] - v[i-1])
+			crossings = append(crossings, res.T[i-1]+f*(res.T[i]-res.T[i-1]))
+		}
+	}
+	if len(crossings) < 2 {
+		return 0, errors.New("pss: no recurrence found")
+	}
+	T := (crossings[len(crossings)-1] - crossings[0]) / float64(len(crossings)-1)
+	if T < guess/4 || T > guess*4 {
+		return 0, fmt.Errorf("pss: recurrence period %.3g far from guess %.3g", T, guess)
+	}
+	return T, nil
+}
+
+// StabilityReport classifies the orbit from the Floquet multipliers: the
+// autonomous multiplier nearest 1 is identified, and the largest remaining
+// magnitude is returned (orbitally stable iff < 1).
+func (s *Solution) StabilityReport() (trivial complex128, largestOther float64, stable bool) {
+	if len(s.Multipliers) == 0 {
+		return 0, math.NaN(), false
+	}
+	best := 0
+	bd := math.Inf(1)
+	for i, m := range s.Multipliers {
+		if d := cmplx.Abs(m - 1); d < bd {
+			bd, best = d, i
+		}
+	}
+	trivial = s.Multipliers[best]
+	largestOther = 0
+	for i, m := range s.Multipliers {
+		if i == best {
+			continue
+		}
+		if a := cmplx.Abs(m); a > largestOther {
+			largestOther = a
+		}
+	}
+	return trivial, largestOther, largestOther < 1
+}

@@ -1,0 +1,19 @@
+package solver
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+)
+
+// DCOperatingPoint computes a DC solution of the assembled circuit at time t
+// (sources evaluated at t, capacitors open). x0 seeds the iteration; nil
+// starts from all-zeros.
+func DCOperatingPoint(sys *circuit.System, x0 linalg.Vec, t float64) (linalg.Vec, error) {
+	if x0 == nil {
+		x0 = linalg.NewVec(sys.N)
+	}
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
+		sys.EvalScaled(x, t, f, j, gminScale, srcScale)
+	}
+	return DCSolve(fn, x0, DefaultOptions())
+}

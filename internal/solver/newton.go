@@ -1,0 +1,159 @@
+// Package solver implements the damped Newton–Raphson iteration and the
+// gmin / source-stepping continuation schemes used for DC operating points
+// and for the implicit corrector inside transient integration.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Options tunes the Newton iteration.
+type Options struct {
+	MaxIter int     // maximum iterations (default 60)
+	AbsTol  float64 // residual ∞-norm tolerance (default 1e-9)
+	RelTol  float64 // step-size relative tolerance (default 1e-9)
+	Damping bool    // enable line-search damping (default true via DefaultOptions)
+	MaxStep float64 // per-iteration ∞-norm clamp on Δx (0 = unlimited)
+}
+
+// DefaultOptions returns the standard solver settings.
+func DefaultOptions() Options {
+	return Options{MaxIter: 60, AbsTol: 1e-9, RelTol: 1e-9, Damping: true, MaxStep: 2.0}
+}
+
+// Func evaluates residual f(x) and, when j is non-nil, the Jacobian df/dx.
+type Func func(x linalg.Vec, f linalg.Vec, j *linalg.Mat)
+
+// Stats reports what a Newton solve did.
+type Stats struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// ErrNoConvergence is returned when the iteration stalls.
+var ErrNoConvergence = errors.New("solver: Newton iteration did not converge")
+
+// Solve runs damped Newton–Raphson from x0 and returns the solution.
+func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
+	n := len(x0)
+	if opt.MaxIter == 0 {
+		opt = DefaultOptions()
+	}
+	x := x0.Clone()
+	f := linalg.NewVec(n)
+	j := linalg.NewMat(n, n)
+	xTry := linalg.NewVec(n)
+	fTry := linalg.NewVec(n)
+
+	fn(x, f, j)
+	res := f.NormInf()
+	st := Stats{Residual: res}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		if res <= opt.AbsTol {
+			st.Converged = true
+			st.Iterations = iter
+			st.Residual = res
+			return x, st, nil
+		}
+		lu, err := linalg.Factorize(j)
+		if err != nil {
+			return x, st, fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, err)
+		}
+		dx := lu.Solve(f)
+		dx.Scale(-1)
+		if opt.MaxStep > 0 {
+			if m := dx.NormInf(); m > opt.MaxStep {
+				dx.Scale(opt.MaxStep / m)
+			}
+		}
+		// Line search: halve the step until the residual decreases (or accept
+		// a full step when damping is off).
+		lambda := 1.0
+		accepted := false
+		for ls := 0; ls < 12; ls++ {
+			for i := range xTry {
+				xTry[i] = x[i] + lambda*dx[i]
+			}
+			fn(xTry, fTry, j) // Jacobian refreshed at the candidate point
+			newRes := fTry.NormInf()
+			if !opt.Damping || newRes < res || newRes <= opt.AbsTol || math.IsNaN(res) {
+				if math.IsNaN(newRes) || math.IsInf(newRes, 0) {
+					lambda /= 2
+					continue
+				}
+				x.CopyFrom(xTry)
+				f.CopyFrom(fTry)
+				res = newRes
+				accepted = true
+				break
+			}
+			lambda /= 2
+		}
+		if !accepted {
+			// Residual would not decrease: accept the tiny step anyway; some
+			// strongly nonlinear corners need to pass through a ridge.
+			x.CopyFrom(xTry)
+			f.CopyFrom(fTry)
+			res = fTry.NormInf()
+		}
+		st.Iterations = iter + 1
+		// Step-based convergence: a vanishing Newton step with finite
+		// residual indicates stagnation at machine precision.
+		if lambda*dx.NormInf() <= opt.RelTol*(1+x.NormInf()) && res <= 100*opt.AbsTol {
+			st.Converged = true
+			st.Residual = res
+			return x, st, nil
+		}
+	}
+	st.Residual = res
+	if res <= 10*opt.AbsTol { // close enough for continuation purposes
+		st.Converged = true
+		return x, st, nil
+	}
+	return x, st, fmt.Errorf("%w (residual %.3g after %d iterations)", ErrNoConvergence, res, st.Iterations)
+}
+
+// ScaledFunc evaluates residual/Jacobian under continuation scaling
+// (gminScale multiplies the stabilizing shunt conductances, srcScale
+// multiplies all independent sources).
+type ScaledFunc func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64)
+
+// DCSolve finds a DC solution of fn using plain Newton first, then gmin
+// stepping, then source stepping — the standard SPICE escalation ladder.
+func DCSolve(fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
+	plain := func(g, s float64) Func {
+		return func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) { fn(x, f, j, g, s) }
+	}
+	if x, _, err := Solve(plain(1, 1), x0, opt); err == nil {
+		return x, nil
+	}
+	// Gmin stepping: start with heavy shunts and relax geometrically.
+	x := x0.Clone()
+	ok := true
+	for _, g := range []float64{1e9, 1e7, 1e5, 1e3, 1e2, 10, 1} {
+		var err error
+		x, _, err = Solve(plain(g, 1), x, opt)
+		if err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return x, nil
+	}
+	// Source stepping: ramp sources from 0.
+	x = x0.Clone()
+	for _, s := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
+		var err error
+		x, _, err = Solve(plain(1, s), x, opt)
+		if err != nil {
+			return nil, fmt.Errorf("solver: DC continuation failed at source scale %g: %w", s, err)
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,139 @@
+package solver_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+func TestNewtonScalarRoot(t *testing.T) {
+	// f(x) = x² - 4, root at 2.
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = x[0]*x[0] - 4
+		if j != nil {
+			j.Set(0, 0, 2*x[0])
+		}
+	}
+	x, st, err := solver.Solve(fn, linalg.Vec{5}, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-8 {
+		t.Fatalf("root = %g, want 2", x[0])
+	}
+	if !st.Converged {
+		t.Fatal("stats must report convergence")
+	}
+}
+
+func TestNewtonCoupledSystem(t *testing.T) {
+	// x² + y² = 25, x - y = 1 → (4, 3).
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = x[0]*x[0] + x[1]*x[1] - 25
+		f[1] = x[0] - x[1] - 1
+		if j != nil {
+			j.Set(0, 0, 2*x[0])
+			j.Set(0, 1, 2*x[1])
+			j.Set(1, 0, 1)
+			j.Set(1, 1, -1)
+		}
+	}
+	x, _, err := solver.Solve(fn, linalg.Vec{10, 10}, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-7 || math.Abs(x[1]-3) > 1e-7 {
+		t.Fatalf("solution = %v, want (4, 3)", x)
+	}
+}
+
+func TestNewtonDampingOnStiffFunction(t *testing.T) {
+	// tanh-dominated residual defeats undamped Newton from a far start.
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = math.Tanh(5*x[0]) - 0.5
+		if j != nil {
+			th := math.Tanh(5 * x[0])
+			j.Set(0, 0, 5*(1-th*th))
+		}
+	}
+	x, _, err := solver.Solve(fn, linalg.Vec{0.6}, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Atanh(0.5) / 5
+	if math.Abs(x[0]-want) > 1e-7 {
+		t.Fatalf("root = %g, want %g", x[0], want)
+	}
+}
+
+func TestDCOperatingPointDivider(t *testing.T) {
+	c := circuit.New()
+	vdd := c.AddDCRail("vdd", 3.0)
+	n1 := c.Node("n1")
+	c.Add(
+		&device.Resistor{Name: "r1", A: vdd, B: n1, R: 1e3},
+		&device.Resistor{Name: "r2", A: n1, B: circuit.Ground, R: 2e3},
+	)
+	sys, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := solver.DCOperatingPoint(sys, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2.0) > 1e-6 {
+		t.Fatalf("divider voltage = %g, want 2", x[0])
+	}
+}
+
+func TestDCOperatingPointInverterMidrail(t *testing.T) {
+	// CMOS inverter with input tied to output (diode-connected pair)
+	// settles near mid-rail — the classic self-biased inverter.
+	c := circuit.New()
+	vdd := c.AddDCRail("vdd", 3.0)
+	out := c.Node("out")
+	c.Add(
+		&device.MOSFET{Name: "mn", D: out, G: out, S: circuit.Ground, Params: device.ALD1106()},
+		&device.MOSFET{Name: "mp", D: out, G: out, S: vdd, Params: device.ALD1107(), PMOS: true},
+	)
+	sys, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := solver.DCOperatingPoint(sys, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 1.0 || x[0] > 2.0 {
+		t.Fatalf("self-biased inverter output = %g, want near mid-rail", x[0])
+	}
+	// KCL must balance.
+	f := sys.EvalF(x, 0, nil)
+	if f.NormInf() > 1e-8 {
+		t.Fatalf("residual = %g", f.NormInf())
+	}
+}
+
+func TestDCSolveFallsBackToContinuation(t *testing.T) {
+	// A residual whose plain Newton diverges from 0 but is tamed by
+	// source stepping: f(x) = atan(20(x-2))·srcScale + (x-2)·1e-3·gmin.
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
+		f[0] = math.Atan(20*(x[0]-2))*srcScale + 1e-6*gminScale*x[0]
+		if j != nil {
+			d := 20/(1+400*(x[0]-2)*(x[0]-2))*srcScale + 1e-6*gminScale
+			j.Set(0, 0, d)
+		}
+	}
+	x, err := solver.DCSolve(fn, linalg.Vec{50}, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-2 {
+		t.Fatalf("continuation landed at %g, want ≈2", x[0])
+	}
+}

@@ -1,0 +1,62 @@
+package solver_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+func TestNewtonMaxStepClamp(t *testing.T) {
+	// With a huge first Newton step, the clamp must keep iterates bounded
+	// while still converging: f(x) = 1e-6·(x − 1000).
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = 1e-6 * (x[0] - 1000)
+		if j != nil {
+			j.Set(0, 0, 1e-6)
+		}
+	}
+	opt := solver.DefaultOptions()
+	opt.MaxStep = 10
+	opt.MaxIter = 200
+	opt.AbsTol = 1e-12
+	x, st, err := solver.Solve(fn, linalg.Vec{0}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1000) > 1e-3 {
+		t.Fatalf("x = %g, want 1000", x[0])
+	}
+	// The clamp forces ≥ 100 iterations of ≤10 each.
+	if st.Iterations < 100 {
+		t.Fatalf("expected ≥100 clamped iterations, got %d", st.Iterations)
+	}
+}
+
+func TestNewtonReportsNonConvergence(t *testing.T) {
+	// No root: f(x) = x² + 1 (minimum 1 at 0) — Solve must error, and the
+	// stats must carry the residual.
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = x[0]*x[0] + 1
+		if j != nil {
+			j.Set(0, 0, 2*x[0]+1e-3) // keep the Jacobian nonsingular
+		}
+	}
+	opt := solver.DefaultOptions()
+	opt.MaxIter = 15
+	_, st, err := solver.Solve(fn, linalg.Vec{3}, opt)
+	if err == nil && st.Residual > 10*opt.AbsTol {
+		t.Fatal("rootless system must not report success with a large residual")
+	}
+	if st.Residual < 0.5 && err != nil {
+		t.Fatalf("residual should stay near ≥1, got %g", st.Residual)
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	opt := solver.DefaultOptions()
+	if opt.MaxIter <= 0 || opt.AbsTol <= 0 || opt.RelTol <= 0 || !opt.Damping {
+		t.Fatalf("suspicious defaults: %+v", opt)
+	}
+}

@@ -1,0 +1,220 @@
+package transient
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+)
+
+// runGear2 integrates with the fixed-step two-step BDF2 formula
+//
+//	C·(3x_{n+1} − 4x_n + x_{n−1})/(2h) + f(x_{n+1}, t_{n+1}) = 0
+//
+// bootstrapped with one Backward-Euler step. L-stability makes it the
+// method of choice for circuits whose trapezoidal solutions ring on
+// switching events (the transmission-gate edges of the clocked FSM).
+func runGear2(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
+	if opt.Adaptive {
+		return nil, errors.New("transient: Gear2 supports fixed steps only")
+	}
+	if opt.Record <= 0 {
+		opt.Record = 1
+	}
+	if opt.NewtonTol == 0 {
+		opt.NewtonTol = 1e-9
+	}
+	if opt.MaxNewton == 0 {
+		opt.MaxNewton = 40
+	}
+	n := sys.N
+	h := opt.Step
+	res := &Result{}
+	x := x0.Clone()
+	res.T = append(res.T, t0)
+	res.X = append(res.X, x.Clone())
+
+	var sens, sensPrev *linalg.Mat
+	if opt.Sensitivity {
+		sens = linalg.Eye(n)
+	}
+
+	// Bootstrap: one BE step (θ-stepper with BE).
+	beOpt := opt
+	beOpt.Method = BE
+	st := newStepper(sys, beOpt)
+	xPrev := x.Clone()
+	{
+		hh := h
+		if t0+hh > t1 {
+			hh = t1 - t0
+		}
+		x1, iters, err := st.step(x, x.Clone(), t0, hh)
+		if err != nil {
+			return res, fmt.Errorf("transient: Gear2 bootstrap: %w", err)
+		}
+		res.NewtonIters += iters
+		if opt.Sensitivity {
+			m, err := st.stepSensitivity(x, x1, t0, hh)
+			if err != nil {
+				return res, err
+			}
+			sensPrev = sens
+			sens = m.Mul(sens)
+		}
+		xPrev.CopyFrom(x)
+		x.CopyFrom(x1)
+		res.Steps++
+		res.T = append(res.T, t0+hh)
+		res.X = append(res.X, x.Clone())
+		if t0+hh >= t1 {
+			res.Sens = sens
+			return res, nil
+		}
+	}
+
+	g := &gearStepper{
+		sys:   sys,
+		opt:   opt,
+		f1:    linalg.NewVec(n),
+		jac:   linalg.NewMat(n, n),
+		resid: linalg.NewVec(n),
+		sysJ:  linalg.NewMat(n, n),
+	}
+	t := t0 + h
+	sinceRecord := 1
+	for t < t1-1e-15 {
+		hh := h
+		if t+hh > t1 {
+			// BDF2 coefficients assume equal steps; finish the interval with
+			// a BE step instead of a mismatched one.
+			hh = t1 - t
+			x1, iters, err := st.step(x, x.Clone(), t, hh)
+			if err != nil {
+				return res, fmt.Errorf("transient: Gear2 tail step: %w", err)
+			}
+			res.NewtonIters += iters
+			if opt.Sensitivity {
+				m, err := st.stepSensitivity(x, x1, t, hh)
+				if err != nil {
+					return res, err
+				}
+				sensPrev = sens
+				sens = m.Mul(sens)
+			}
+			xPrev.CopyFrom(x)
+			x.CopyFrom(x1)
+			t += hh
+			res.Steps++
+			res.T = append(res.T, t)
+			res.X = append(res.X, x.Clone())
+			break
+		}
+		x1, iters, err := g.step(xPrev, x, t, hh)
+		if err != nil {
+			return res, fmt.Errorf("transient: Gear2 corrector failed at t=%.6g: %w", t, err)
+		}
+		res.NewtonIters += iters
+		if opt.Sensitivity {
+			m, err := g.sensFactors(x1, t, hh)
+			if err != nil {
+				return res, err
+			}
+			// S_{n+1} = M⁻¹·(4/(2h)·C·S_n − 1/(2h)·C·S_{n−1})
+			next := combineGearSens(sys, m, sens, sensPrev, hh)
+			sensPrev = sens
+			sens = next
+		}
+		xPrev.CopyFrom(x)
+		x.CopyFrom(x1)
+		t += hh
+		res.Steps++
+		sinceRecord++
+		if sinceRecord >= opt.Record || t >= t1 {
+			res.T = append(res.T, t)
+			res.X = append(res.X, x.Clone())
+			sinceRecord = 0
+		}
+	}
+	res.Sens = sens
+	return res, nil
+}
+
+// gearStepper solves one BDF2 step with Newton.
+type gearStepper struct {
+	sys   *circuit.System
+	opt   Options
+	f1    linalg.Vec
+	jac   *linalg.Mat
+	resid linalg.Vec
+	sysJ  *linalg.Mat
+}
+
+func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, error) {
+	n := g.sys.N
+	c := g.sys.C
+	// Predictor: linear extrapolation.
+	x1 := linalg.NewVec(n)
+	for i := range x1 {
+		x1[i] = 2*x0[i] - xm1[i]
+	}
+	vtol := g.opt.NewtonTol
+	if vtol > 1e-6 {
+		vtol = 1e-6
+	}
+	for iter := 0; iter < g.opt.MaxNewton; iter++ {
+		g.sys.EvalFJ(x1, t+h, g.f1, g.sysJ)
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			row := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				acc += row[j] * (3*x1[j] - 4*x0[j] + xm1[j])
+			}
+			g.resid[i] = acc/(2*h) + g.f1[i]
+		}
+		for i := 0; i < n*n; i++ {
+			g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
+		}
+		lu, err := linalg.Factorize(g.jac)
+		if err != nil {
+			return nil, iter, fmt.Errorf("transient: singular Gear2 matrix: %w", err)
+		}
+		dx := lu.Solve(g.resid)
+		if m := dx.NormInf(); m > 2 {
+			dx.Scale(2 / m)
+		}
+		for i := 0; i < n; i++ {
+			x1[i] -= dx[i]
+		}
+		if dx.NormInf() <= vtol*(1+x1.NormInf()) {
+			return x1, iter + 1, nil
+		}
+	}
+	return nil, g.opt.MaxNewton, errors.New("transient: Gear2 Newton did not converge")
+}
+
+// sensFactors returns the factorized iteration matrix at the accepted point.
+func (g *gearStepper) sensFactors(x1 linalg.Vec, t, h float64) (*linalg.LU, error) {
+	n := g.sys.N
+	c := g.sys.C
+	g.sys.EvalFJ(x1, t+h, g.f1, g.sysJ)
+	for i := 0; i < n*n; i++ {
+		g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
+	}
+	return linalg.Factorize(g.jac)
+}
+
+// combineGearSens propagates the monodromy through one BDF2 step.
+func combineGearSens(sys *circuit.System, lu *linalg.LU, sN, sNm1 *linalg.Mat, h float64) *linalg.Mat {
+	n := sys.N
+	rhs := linalg.NewMat(n, n)
+	// rhs = C·(4·S_n − S_{n−1})/(2h)
+	tmp := linalg.NewMat(n, n)
+	for i := range tmp.Data {
+		tmp.Data[i] = (4*sN.Data[i] - sNm1.Data[i]) / (2 * h)
+	}
+	prod := sys.C.Mul(tmp)
+	copy(rhs.Data, prod.Data)
+	return lu.SolveMat(rhs)
+}

@@ -1,0 +1,214 @@
+// Package variation adds parameter-variability analysis to the design
+// tools, in the spirit of the PV-PPV work the paper cites ([20], Wang, Lai,
+// Roychowdhury DAC 2007): how do manufacturing spreads in device
+// transconductance, threshold voltage and load capacitance move the latch's
+// free-running frequency, PPV harmonics, and SHIL locking range? Both
+// one-at-a-time sensitivities (central differences through the full
+// PSS→PPV→GAE pipeline) and seeded Monte-Carlo sampling are provided.
+//
+// The paper's intro names variability as one of the barriers motivating
+// phase logic; this module lets a designer check that a latch design holds
+// its locking margins across corners.
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gae"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// Param is one varying design/process parameter. Apply perturbs a config by
+// delta, measured in units of Sigma (so delta = 1 is a +1σ corner).
+type Param struct {
+	Name  string
+	Sigma float64 // relative 1σ spread (e.g. 0.05 for 5 %)
+	Apply func(cfg *ringosc.Config, delta float64)
+}
+
+// StandardParams returns the usual process spreads for the ring latch:
+// NMOS/PMOS Beta (transconductance), threshold voltages, and the load
+// capacitor tolerance.
+func StandardParams() []Param {
+	return []Param{
+		{Name: "beta_n", Sigma: 0.10, Apply: func(c *ringosc.Config, d float64) {
+			c.NMOS.Beta *= 1 + 0.10*d
+		}},
+		{Name: "beta_p", Sigma: 0.10, Apply: func(c *ringosc.Config, d float64) {
+			c.PMOS.Beta *= 1 + 0.10*d
+		}},
+		{Name: "vt0_n", Sigma: 0.05, Apply: func(c *ringosc.Config, d float64) {
+			c.NMOS.VT0 *= 1 + 0.05*d
+		}},
+		{Name: "vt0_p", Sigma: 0.05, Apply: func(c *ringosc.Config, d float64) {
+			c.PMOS.VT0 *= 1 + 0.05*d
+		}},
+		{Name: "cload", Sigma: 0.10, Apply: func(c *ringosc.Config, d float64) {
+			c.CLoad *= 1 + 0.10*d
+		}},
+	}
+}
+
+// Metrics are the latch figures of merit tracked across variations.
+type Metrics struct {
+	F0        float64 // free-running frequency, Hz
+	V1, V2    float64 // PPV harmonic magnitudes at the injection node
+	LockWidth float64 // SHIL locking band width at 100 µA SYNC, Hz
+}
+
+// Evaluate runs the full pipeline (build → PSS → PPV → GAE band) for a
+// configuration.
+func Evaluate(cfg ringosc.Config) (Metrics, error) {
+	r, err := ringosc.Build(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 512,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	p, err := ppv.FromSolution(r.Sys, sol)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := gae.NewModel(p, sol.F0, gae.Injection{Node: 0, Amp: 100e-6, Harmonic: 2})
+	lo, hi := m.LockingBand()
+	return Metrics{
+		F0:        sol.F0,
+		V1:        p.NodeSeries[0].Magnitude(1),
+		V2:        p.NodeSeries[0].Magnitude(2),
+		LockWidth: hi - lo,
+	}, nil
+}
+
+// Sensitivity is the central-difference derivative of each metric with
+// respect to one parameter, per +1σ.
+type Sensitivity struct {
+	Param string
+	// Relative changes of each metric for a +1σ move.
+	DF0, DV1, DV2, DLockWidth float64
+}
+
+// Sensitivities computes one-at-a-time ±1σ central differences through the
+// whole pipeline.
+func Sensitivities(base ringosc.Config, params []Param) ([]Sensitivity, error) {
+	nom, err := Evaluate(base)
+	if err != nil {
+		return nil, fmt.Errorf("variation: nominal evaluation: %w", err)
+	}
+	out := make([]Sensitivity, 0, len(params))
+	for _, prm := range params {
+		up := base
+		prm.Apply(&up, +1)
+		dn := base
+		prm.Apply(&dn, -1)
+		mu, err := Evaluate(up)
+		if err != nil {
+			return nil, fmt.Errorf("variation: %s +1σ: %w", prm.Name, err)
+		}
+		md, err := Evaluate(dn)
+		if err != nil {
+			return nil, fmt.Errorf("variation: %s −1σ: %w", prm.Name, err)
+		}
+		out = append(out, Sensitivity{
+			Param:      prm.Name,
+			DF0:        (mu.F0 - md.F0) / 2 / nom.F0,
+			DV1:        (mu.V1 - md.V1) / 2 / nom.V1,
+			DV2:        (mu.V2 - md.V2) / 2 / nom.V2,
+			DLockWidth: (mu.LockWidth - md.LockWidth) / 2 / nom.LockWidth,
+		})
+	}
+	return out, nil
+}
+
+// Sample is one Monte-Carlo draw.
+type Sample struct {
+	Deltas  []float64 // per-parameter draws, in σ units
+	Metrics Metrics
+}
+
+// MonteCarlo draws n samples with Gaussian parameter spreads (clipped at
+// ±3σ) using a deterministic seed, and evaluates each through the pipeline.
+func MonteCarlo(base ringosc.Config, params []Param, n int, seed int64) ([]Sample, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := base
+		deltas := make([]float64, len(params))
+		for j, prm := range params {
+			d := rng.NormFloat64()
+			if d > 3 {
+				d = 3
+			}
+			if d < -3 {
+				d = -3
+			}
+			deltas[j] = d
+			prm.Apply(&cfg, d)
+		}
+		m, err := Evaluate(cfg)
+		if err != nil {
+			return out, fmt.Errorf("variation: sample %d: %w", i, err)
+		}
+		out = append(out, Sample{Deltas: deltas, Metrics: m})
+	}
+	return out, nil
+}
+
+// Stats summarizes mean and relative standard deviation of each metric.
+type Stats struct {
+	MeanF0, RelStdF0               float64
+	MeanLockWidth, RelStdLockWidth float64
+	MeanV2, RelStdV2               float64
+}
+
+// Summarize computes Monte-Carlo statistics.
+func Summarize(samples []Sample) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	meanStd := func(get func(Metrics) float64) (mean, rel float64) {
+		for _, s := range samples {
+			mean += get(s.Metrics)
+		}
+		mean /= float64(len(samples))
+		var v float64
+		for _, s := range samples {
+			d := get(s.Metrics) - mean
+			v += d * d
+		}
+		v /= float64(len(samples))
+		if mean != 0 {
+			rel = math.Sqrt(v) / math.Abs(mean)
+		}
+		return mean, rel
+	}
+	var st Stats
+	st.MeanF0, st.RelStdF0 = meanStd(func(m Metrics) float64 { return m.F0 })
+	st.MeanLockWidth, st.RelStdLockWidth = meanStd(func(m Metrics) float64 { return m.LockWidth })
+	st.MeanV2, st.RelStdV2 = meanStd(func(m Metrics) float64 { return m.V2 })
+	return st
+}
+
+// WorstCaseDetuning answers the designer's question directly: given the
+// Monte-Carlo f0 spread, how much SYNC amplitude guarantees that every
+// sampled latch still locks when driven at the nominal f1? Returns the
+// largest |f0,sample − f1| and the SYNC amplitude A = |Δf|/(f0·|V2|) needed
+// to cover it with the nominal PPV.
+func WorstCaseDetuning(samples []Sample, f1 float64, nominalV2 float64) (worstDf, requiredSync float64) {
+	for _, s := range samples {
+		if d := math.Abs(s.Metrics.F0 - f1); d > worstDf {
+			worstDf = d
+		}
+	}
+	if nominalV2 > 0 && f1 > 0 {
+		requiredSync = worstDf / (f1 * nominalV2)
+	}
+	return worstDf, requiredSync
+}

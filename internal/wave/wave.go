@@ -1,0 +1,266 @@
+// Package wave provides waveform containers and the measurement operations
+// the paper's validation flow relies on: zero-crossing detection with linear
+// interpolation, scope-style phase-difference extraction against a reference
+// signal (Sec. 5.1, footnote 2: rising crossings of the Vdd/2 offset), and
+// basic amplitude statistics, plus CSV I/O for the figure pipeline.
+package wave
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Waveform is a sampled real signal on a (not necessarily uniform),
+// strictly increasing time grid.
+type Waveform struct {
+	T []float64
+	V []float64
+}
+
+// New builds a waveform, validating the grid.
+func New(t, v []float64) (*Waveform, error) {
+	if len(t) != len(v) {
+		return nil, errors.New("wave: time and value lengths differ")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return nil, fmt.Errorf("wave: time grid not increasing at index %d", i)
+		}
+	}
+	return &Waveform{T: t, V: v}, nil
+}
+
+// FromFunc samples f on n uniform points across [t0, t1].
+func FromFunc(f func(float64) float64, t0, t1 float64, n int) *Waveform {
+	t := make([]float64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t[i] = t0 + (t1-t0)*float64(i)/float64(n-1)
+		v[i] = f(t[i])
+	}
+	return &Waveform{T: t, V: v}
+}
+
+// Len returns the number of samples.
+func (w *Waveform) Len() int { return len(w.T) }
+
+// At evaluates the waveform at time t by linear interpolation, clamping
+// outside the grid.
+func (w *Waveform) At(t float64) float64 {
+	n := len(w.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	i := sort.SearchFloat64s(w.T, t)
+	// w.T[i-1] < t ≤ w.T[i]
+	f := (t - w.T[i-1]) / (w.T[i] - w.T[i-1])
+	return w.V[i-1] + f*(w.V[i]-w.V[i-1])
+}
+
+// Slice returns the sub-waveform with t in [t0, t1].
+func (w *Waveform) Slice(t0, t1 float64) *Waveform {
+	lo := sort.SearchFloat64s(w.T, t0)
+	hi := sort.SearchFloat64s(w.T, t1)
+	if hi > len(w.T) {
+		hi = len(w.T)
+	}
+	return &Waveform{T: w.T[lo:hi], V: w.V[lo:hi]}
+}
+
+// MinMax returns the value extrema.
+func (w *Waveform) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range w.V {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Mean returns the time-weighted average (trapezoidal).
+func (w *Waveform) Mean() float64 {
+	n := len(w.T)
+	if n < 2 {
+		if n == 1 {
+			return w.V[0]
+		}
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < n; i++ {
+		area += 0.5 * (w.V[i] + w.V[i-1]) * (w.T[i] - w.T[i-1])
+	}
+	return area / (w.T[n-1] - w.T[0])
+}
+
+// Amplitude returns half the peak-to-peak swing.
+func (w *Waveform) Amplitude() float64 {
+	min, max := w.MinMax()
+	return (max - min) / 2
+}
+
+// RisingCrossings returns the interpolated times at which the waveform
+// crosses level with positive slope — the paper's "zero crossings with the
+// offset Vdd/2 on rising slopes".
+func (w *Waveform) RisingCrossings(level float64) []float64 {
+	var out []float64
+	for i := 1; i < len(w.T); i++ {
+		a, b := w.V[i-1]-level, w.V[i]-level
+		if a < 0 && b >= 0 {
+			f := a / (a - b)
+			out = append(out, w.T[i-1]+f*(w.T[i]-w.T[i-1]))
+		}
+	}
+	return out
+}
+
+// FallingCrossings mirrors RisingCrossings for negative slopes.
+func (w *Waveform) FallingCrossings(level float64) []float64 {
+	var out []float64
+	for i := 1; i < len(w.T); i++ {
+		a, b := w.V[i-1]-level, w.V[i]-level
+		if a > 0 && b <= 0 {
+			f := a / (a - b)
+			out = append(out, w.T[i-1]+f*(w.T[i]-w.T[i-1]))
+		}
+	}
+	return out
+}
+
+// EstimatePeriod measures the average spacing of rising crossings through
+// level over the trailing portion of the waveform (skipping the initial
+// skipFrac fraction to let transients settle).
+func (w *Waveform) EstimatePeriod(level, skipFrac float64) (float64, error) {
+	if len(w.T) < 3 {
+		return 0, errors.New("wave: waveform too short for period estimate")
+	}
+	tStart := w.T[0] + skipFrac*(w.T[len(w.T)-1]-w.T[0])
+	cr := w.Slice(tStart, w.T[len(w.T)-1]+1).RisingCrossings(level)
+	if len(cr) < 2 {
+		return 0, errors.New("wave: fewer than two rising crossings")
+	}
+	return (cr[len(cr)-1] - cr[0]) / float64(len(cr)-1), nil
+}
+
+// PhasePoint is a time-stamped phase sample (phase in cycles).
+type PhasePoint struct {
+	T   float64
+	Phi float64
+}
+
+// PhaseVsReference implements the oscilloscope measurement of Fig. 17: for
+// every rising crossing of the signal through level, find the nearest rising
+// crossing of the reference and report their spacing as a fraction of the
+// reference period refT (in cycles). The result is unwrapped so that
+// consecutive points never jump by more than half a cycle.
+func PhaseVsReference(sig, ref *Waveform, level float64, refT float64) []PhasePoint {
+	sc := sig.RisingCrossings(level)
+	rc := ref.RisingCrossings(level)
+	if len(sc) == 0 || len(rc) == 0 {
+		return nil
+	}
+	var out []PhasePoint
+	prev := math.NaN()
+	for _, ts := range sc {
+		// Nearest reference crossing.
+		i := sort.SearchFloat64s(rc, ts)
+		best := math.Inf(1)
+		for _, j := range []int{i - 1, i} {
+			if j >= 0 && j < len(rc) {
+				if d := ts - rc[j]; math.Abs(d) < math.Abs(best) {
+					best = d
+				}
+			}
+		}
+		phi := best / refT
+		// Unwrap against the previous sample.
+		if !math.IsNaN(prev) {
+			for phi-prev > 0.5 {
+				phi--
+			}
+			for phi-prev < -0.5 {
+				phi++
+			}
+		}
+		prev = phi
+		out = append(out, PhasePoint{T: ts, Phi: phi})
+	}
+	return out
+}
+
+// WriteCSV emits "t,v" rows with a header.
+func (w *Waveform) WriteCSV(out io.Writer, name string) error {
+	if _, err := fmt.Fprintf(out, "t,%s\n", name); err != nil {
+		return err
+	}
+	for i := range w.T {
+		if _, err := fmt.Fprintf(out, "%.9g,%.9g\n", w.T[i], w.V[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a two-column "t,v" CSV (header optional).
+func ReadCSV(in io.Reader) (*Waveform, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	var t, v []float64
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("wave: line %d: want 2 columns", ln+1)
+		}
+		tv, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		vv, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			if ln == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("wave: line %d: parse error", ln+1)
+		}
+		t = append(t, tv)
+		v = append(v, vv)
+	}
+	return New(t, v)
+}
+
+// MultiCSV writes aligned columns (shared time base assumed equal lengths).
+func MultiCSV(out io.Writer, t []float64, cols map[string][]float64, order []string) error {
+	header := append([]string{"t"}, order...)
+	if _, err := fmt.Fprintln(out, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := range t {
+		row := make([]string, 0, len(order)+1)
+		row = append(row, strconv.FormatFloat(t[i], 'g', 9, 64))
+		for _, name := range order {
+			row = append(row, strconv.FormatFloat(cols[name][i], 'g', 9, 64))
+		}
+		if _, err := fmt.Fprintln(out, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

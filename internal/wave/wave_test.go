@@ -1,0 +1,159 @@
+package wave_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wave"
+)
+
+func TestNewValidatesGrid(t *testing.T) {
+	if _, err := wave.New([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := wave.New([]float64{0, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("non-increasing grid must fail")
+	}
+	if _, err := wave.New([]float64{0, 1, 2}, []float64{1, 2, 3}); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+}
+
+func TestAtInterpolatesAndClamps(t *testing.T) {
+	w, _ := wave.New([]float64{0, 1, 2}, []float64{0, 10, 0})
+	cases := map[float64]float64{-1: 0, 0: 0, 0.5: 5, 1: 10, 1.25: 7.5, 3: 0}
+	for tt, want := range cases {
+		if got := w.At(tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestRisingCrossings(t *testing.T) {
+	// 2 Hz cosine sampled finely: rising crossings of 0 at 3/8 and 7/8 of
+	// each period... cos crosses zero upward at t = 3T/4.
+	f := 2.0
+	w := wave.FromFunc(func(t float64) float64 { return math.Cos(2 * math.Pi * f * t) }, 0, 2, 4001)
+	cr := w.RisingCrossings(0)
+	if len(cr) != 4 {
+		t.Fatalf("found %d rising crossings, want 4: %v", len(cr), cr)
+	}
+	for i, c := range cr {
+		want := 0.375 + 0.5*float64(i)
+		if math.Abs(c-want) > 1e-5 {
+			t.Errorf("crossing %d at %g, want %g", i, c, want)
+		}
+	}
+	fc := w.FallingCrossings(0)
+	if len(fc) != 4 {
+		t.Fatalf("found %d falling crossings, want 4", len(fc))
+	}
+	if math.Abs(fc[0]-0.125) > 1e-5 {
+		t.Errorf("first falling crossing at %g, want 0.125", fc[0])
+	}
+}
+
+func TestEstimatePeriodProperty(t *testing.T) {
+	f := func(fRaw, phRaw uint8) bool {
+		freq := 1 + float64(fRaw)/16 // 1..17 Hz
+		phase := float64(phRaw) / 256
+		w := wave.FromFunc(func(t float64) float64 {
+			return math.Sin(2 * math.Pi * (freq*t + phase))
+		}, 0, 6, 6000)
+		per, err := w.EstimatePeriod(0, 0.3)
+		if err != nil {
+			return false
+		}
+		return math.Abs(per-1/freq) < 1e-4/freq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseVsReferenceMeasuresShift(t *testing.T) {
+	// Signal delayed by 0.2 cycles against the reference.
+	T := 1e-3
+	ref := wave.FromFunc(func(t float64) float64 { return math.Cos(2 * math.Pi * t / T) }, 0, 20e-3, 20001)
+	sig := wave.FromFunc(func(t float64) float64 { return math.Cos(2 * math.Pi * (t/T - 0.2)) }, 0, 20e-3, 20001)
+	pts := wave.PhaseVsReference(sig, ref, 0, T)
+	if len(pts) < 10 {
+		t.Fatal("too few phase points")
+	}
+	for _, p := range pts[2 : len(pts)-2] {
+		if math.Abs(p.Phi-0.2) > 1e-3 {
+			t.Errorf("phase at t=%g: %g, want 0.2", p.T, p.Phi)
+		}
+	}
+}
+
+func TestPhaseVsReferenceUnwraps(t *testing.T) {
+	// A signal at a slightly different frequency accumulates phase; the
+	// unwrapped trace must pass ±0.5 without jumping.
+	T := 1e-3
+	ref := wave.FromFunc(func(t float64) float64 { return math.Cos(2 * math.Pi * t / T) }, 0, 100e-3, 100001)
+	sig := wave.FromFunc(func(t float64) float64 { return math.Cos(2 * math.Pi * t / T * 1.02) }, 0, 100e-3, 100001)
+	pts := wave.PhaseVsReference(sig, ref, 0, T)
+	for i := 1; i < len(pts); i++ {
+		if math.Abs(pts[i].Phi-pts[i-1].Phi) > 0.3 {
+			t.Fatalf("unwrap jump at %d: %g → %g", i, pts[i-1].Phi, pts[i].Phi)
+		}
+	}
+	// Total accumulated phase ≈ 2 cycles over 100 periods at 2% detuning.
+	total := pts[len(pts)-1].Phi - pts[0].Phi
+	if math.Abs(math.Abs(total)-2) > 0.1 {
+		t.Errorf("accumulated %g cycles, want ≈±2", total)
+	}
+}
+
+func TestMeanAmplitude(t *testing.T) {
+	w := wave.FromFunc(func(t float64) float64 { return 1.5 + 2*math.Sin(2*math.Pi*t) }, 0, 1, 10001)
+	if math.Abs(w.Mean()-1.5) > 1e-6 {
+		t.Errorf("Mean = %g", w.Mean())
+	}
+	if math.Abs(w.Amplitude()-2) > 1e-4 {
+		t.Errorf("Amplitude = %g", w.Amplitude())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	w, _ := wave.New([]float64{0, 0.5, 1.5}, []float64{1, -2, 3.25})
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,v\n") {
+		t.Error("missing header")
+	}
+	r, err := wave.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || r.V[1] != -2 || r.T[2] != 1.5 {
+		t.Errorf("round trip mismatch: %+v", r)
+	}
+}
+
+func TestMultiCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := wave.MultiCSV(&buf, []float64{0, 1},
+		map[string][]float64{"a": {1, 2}, "b": {3, 4}}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "t,a,b" {
+		t.Errorf("MultiCSV output: %q", buf.String())
+	}
+}
+
+func TestSlice(t *testing.T) {
+	w, _ := wave.New([]float64{0, 1, 2, 3, 4}, []float64{0, 1, 2, 3, 4})
+	s := w.Slice(1, 3.5)
+	if s.Len() != 3 || s.T[0] != 1 || s.T[2] != 3 {
+		t.Errorf("Slice = %+v", s)
+	}
+}

@@ -1,0 +1,164 @@
+// Package phlogon is the public facade of the PHLOGON design-tool library —
+// a from-scratch Go reproduction of Wang & Roychowdhury, "Design Tools for
+// Oscillator-based Computing Systems" (DAC 2015).
+//
+// The library covers every stage of phase-logic system design:
+//
+//   - SPICE-level circuit modelling and transient simulation of the
+//     oscillator latches (packages circuit, device, solver, transient);
+//   - periodic steady-state analysis by shooting and harmonic balance
+//     (package pss);
+//   - PPV phase-macromodel extraction, time-domain and PPV-HB (package ppv);
+//   - Generalized Adlerization: lock prediction, locking range, locking
+//     phase error, bit-flip transients (package gae);
+//   - full-system phase-macromodel simulation of phase-logic FSMs
+//     (packages phasemacro, phlogic);
+//   - the paper's concrete vehicles (package ringosc) and figure
+//     regeneration (package figs, cmd/phlogon-figs).
+//
+// A typical designer flow:
+//
+//	ring, _ := phlogon.BuildRing(phlogon.DefaultRingConfig())
+//	sol, _ := phlogon.FindPSS(ring)                      // f0, waveforms, Floquet
+//	p, _ := phlogon.ExtractPPV(ring, sol)                // phase macromodel
+//	m := phlogon.NewGAE(p, 9.6e3,
+//	    phlogon.Injection{Node: 0, Amp: 100e-6, Harmonic: 2}) // SYNC at 2·f1
+//	locks := m.StableEquilibria()                        // the stored bit's phases
+package phlogon
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/gae"
+	"repro/internal/netlist"
+	"repro/internal/phasemacro"
+	"repro/internal/phlogic"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+)
+
+// Re-exported core types. These aliases are the supported public API; the
+// internal packages remain free to grow details behind them.
+type (
+	// Circuit is a netlist of nodes and devices.
+	Circuit = circuit.Circuit
+	// System is an assembled circuit in ODE form.
+	System = circuit.System
+	// NodeID identifies a circuit node.
+	NodeID = circuit.NodeID
+	// PSS is a converged periodic steady state.
+	PSS = pss.Solution
+	// PPV is an extracted phase macromodel.
+	PPV = ppv.PPV
+	// GAE is a Generalized Adler Equation model.
+	GAE = gae.Model
+	// Injection is a sinusoidal current injection for GAE analyses.
+	Injection = gae.Injection
+	// Equilibrium is a lock solution of the GAE.
+	Equilibrium = gae.Equilibrium
+	// Ring is the paper's ring-oscillator vehicle.
+	Ring = ringosc.Ring
+	// RingConfig parameterizes the ring oscillator.
+	RingConfig = ringosc.Config
+	// DLatch is the Fig. 9 level-enabled D latch circuit.
+	DLatch = ringosc.Latch
+	// DLatchConfig parameterizes the D latch.
+	DLatchConfig = ringosc.LatchConfig
+	// PhaseSystem is a coupled multi-latch phase-macromodel system.
+	PhaseSystem = phasemacro.System
+	// SerialAdder is the Fig. 15 FSM on phase macromodels.
+	SerialAdder = phlogic.SerialAdder
+	// TransientOptions tunes SPICE-level transient analysis.
+	TransientOptions = transient.Options
+	// TransientResult is a recorded SPICE-level trajectory.
+	TransientResult = transient.Result
+)
+
+// Ground is the 0 V reference rail.
+const Ground = circuit.Ground
+
+// NewCircuit returns an empty circuit.
+func NewCircuit() *Circuit { return circuit.New() }
+
+// ParseNetlist parses a SPICE-flavoured deck (see package netlist).
+func ParseNetlist(src string) (*Circuit, error) { return netlist.Parse(src) }
+
+// DefaultRingConfig is the paper's 1N1P ring (3 stages, 4.7 nF, ≈9.6 kHz).
+func DefaultRingConfig() RingConfig { return ringosc.DefaultConfig() }
+
+// Ring2N1PConfig is the asymmetric-inverter variant of Figs. 6–7.
+func Ring2N1PConfig() RingConfig { return ringosc.Config2N1P() }
+
+// BuildRing assembles a ring oscillator.
+func BuildRing(cfg RingConfig) (*Ring, error) { return ringosc.Build(cfg) }
+
+// BuildDLatch assembles the Fig. 9 D latch.
+func BuildDLatch(cfg DLatchConfig) (*DLatch, error) { return ringosc.BuildLatch(cfg) }
+
+// FindPSS computes a ring's periodic steady state by shooting.
+func FindPSS(r *Ring) (*PSS, error) {
+	return pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+	})
+}
+
+// ExtractPPV extracts the time-domain PPV macromodel from a PSS.
+func ExtractPPV(r *Ring, sol *PSS) (*PPV, error) {
+	return ppv.FromSolution(r.Sys, sol)
+}
+
+// RingPPV is the one-call pipeline: build → PSS → PPV.
+func RingPPV(cfg RingConfig) (*Ring, *PSS, *PPV, error) {
+	r, err := ringosc.Build(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sol, err := FindPSS(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := ppv.FromSolution(r.Sys, sol)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return r, sol, p, nil
+}
+
+// NewGAE builds a Generalized Adler Equation around a PPV.
+func NewGAE(p *PPV, f1 float64, inj ...Injection) *GAE {
+	return gae.NewModel(p, f1, inj...)
+}
+
+// RunTransient integrates a circuit's ODE (SPICE-level transient analysis).
+func RunTransient(sys *System, x0 []float64, t0, t1 float64, opt TransientOptions) (*TransientResult, error) {
+	return transient.Run(sys, x0, t0, t1, opt)
+}
+
+// NewSerialAdder builds the Fig. 15 serial adder on phase macromodels.
+func NewSerialAdder(p *PPV, f1 float64, aBits, bBits []bool, cfg phlogic.SerialAdderConfig) (*SerialAdder, error) {
+	return phlogic.NewSerialAdder(p, 0, 0, f1, aBits, bBits, cfg)
+}
+
+// Devices re-exported for programmatic circuit building.
+type (
+	// Resistor is a linear resistance.
+	Resistor = device.Resistor
+	// Capacitor is a linear capacitance.
+	Capacitor = device.Capacitor
+	// MOSFET is the long-channel square-law transistor model.
+	MOSFET = device.MOSFET
+	// SineCurrent is a sinusoidal current source.
+	SineCurrent = device.SineCurrent
+	// Summer is the behavioural op-amp weighted summer (majority gates).
+	Summer = device.Summer
+	// TransGate is the transmission-gate switch.
+	TransGate = device.TransGate
+)
+
+// ALD1106 returns the calibrated NMOS parameter set.
+func ALD1106() device.MOSParams { return device.ALD1106() }
+
+// ALD1107 returns the calibrated PMOS parameter set.
+func ALD1107() device.MOSParams { return device.ALD1107() }
