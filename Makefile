@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# The tier-1+ gate (see ROADMAP.md): formatting, vet, build, and the full
+# test suite under the race detector. CI and pre-commit both run this.
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

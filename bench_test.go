@@ -7,12 +7,14 @@
 package phlogon_test
 
 import (
+	"context"
 	"math/cmplx"
 	"testing"
 
 	phlogon "repro"
 	"repro/internal/figs"
 	"repro/internal/gae"
+	"repro/internal/noise"
 	"repro/internal/phasemacro"
 	"repro/internal/phlogic"
 	"repro/internal/ppv"
@@ -27,11 +29,16 @@ var benchCtx = figs.New("")
 
 func benchFig(b *testing.B, fn func() (*figs.Result, error)) {
 	b.Helper()
+	benchFigOn(b, benchCtx, fn)
+}
+
+func benchFigOn(b *testing.B, c *figs.Context, fn func() (*figs.Result, error)) {
+	b.Helper()
 	// Prime the shared PPVs outside the timed region.
-	if _, _, _, err := benchCtx.Ring1(); err != nil {
+	if _, _, _, err := c.Ring1(); err != nil {
 		b.Fatal(err)
 	}
-	if _, _, _, err := benchCtx.Ring2(); err != nil {
+	if _, _, _, err := c.Ring2(); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -56,6 +63,37 @@ func BenchmarkFig16SerialAdder(b *testing.B)   { benchFig(b, benchCtx.Fig16) }
 func BenchmarkFig17SpiceVsGAE(b *testing.B)    { benchFig(b, benchCtx.Fig17) }
 func BenchmarkFig19FlipFlop(b *testing.B)      { benchFig(b, benchCtx.Fig19) }
 func BenchmarkFig20AdderStates(b *testing.B)   { benchFig(b, benchCtx.Fig20) }
+
+// --- Parallel-vs-serial variants: the same sweep-heavy workloads pinned to
+// one worker vs one worker per CPU (the -workers flag's two endpoints). On a
+// single-core host the two coincide; the serial-path savings show up in the
+// base BenchmarkFig07LockingRange either way. ---
+
+var (
+	benchCtxW1 = func() *figs.Context { c := figs.New(""); c.Workers = 1; return c }()
+	benchCtxWN = figs.New("") // Workers 0 → one per CPU
+)
+
+func BenchmarkFig07LockingRangeWorkers1(b *testing.B) { benchFigOn(b, benchCtxW1, benchCtxW1.Fig07) }
+func BenchmarkFig07LockingRangeWorkersN(b *testing.B) { benchFigOn(b, benchCtxWN, benchCtxWN.Fig07) }
+
+// benchEnsemble runs a 16-member stochastic Monte-Carlo ensemble of the
+// SHIL-locked latch per iteration.
+func benchEnsemble(b *testing.B, workers int) {
+	b.Helper()
+	_, sol, p := benchFixture(b)
+	m := gae.NewModel(p, sol.F0, gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noise.StochasticEnsemble(context.Background(), m, 0, 1e-3, 0, 0.2, 1e-4, 7, 16, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoiseEnsembleWorkers1(b *testing.B) { benchEnsemble(b, 1) }
+func BenchmarkNoiseEnsembleWorkersN(b *testing.B) { benchEnsemble(b, 0) }
 
 // --- Efficiency comparison (the paper's headline): identical physics
 // through the SPICE-level engine and the phase-macromodel engines. ---

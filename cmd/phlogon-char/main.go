@@ -5,15 +5,18 @@
 //
 // Usage:
 //
-//	phlogon-char noise [-sync 100u] [-d 5e-3] [-2n1p]
-//	phlogon-char sens  [-2n1p]
-//	phlogon-char mc    [-n 25] [-seed 1] [-2n1p]
+//	phlogon-char noise [-sync 100u] [-d 5e-3] [-runs 6] [-2n1p] [-workers n]
+//	phlogon-char sens  [-2n1p] [-workers n]
+//	phlogon-char mc    [-n 25] [-seed 1] [-2n1p] [-workers n]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/gae"
 	"repro/internal/netlist"
@@ -35,10 +38,15 @@ func main() {
 	dStr := fs.Float64("d", 5e-3, "Δφ diffusion for the stochastic study, cycles²/s")
 	use2n1p := fs.Bool("2n1p", false, "use the 2N1P ring")
 	nMC := fs.Int("n", 25, "Monte-Carlo samples")
-	seed := fs.Int64("seed", 1, "Monte-Carlo seed")
+	seed := fs.Int64("seed", 1, "Monte-Carlo / ensemble seed")
+	runs := fs.Int("runs", 6, "noise: stochastic ensemble members")
+	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := ringosc.DefaultConfig()
 	if *use2n1p {
 		cfg = ringosc.Config2N1P()
@@ -54,13 +62,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 			GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		p, err := ppv.FromSolution(r.Sys, sol)
+		p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,14 +87,17 @@ func main() {
 		fmt.Printf("\nSHIL lock stiffness λ = %.4g 1/s at SYNC = %s\n", lam, *syncAmp)
 		fmt.Printf("confinement variance at D=%g: predicted %.3g cycles²\n",
 			*dStr, noise.ConfinementVariance(locked, 0, *dStr))
-		runs := 6
-		hops := 0
-		for s := int64(0); s < int64(runs); s++ {
-			hops += noise.StochasticTransient(locked, 0, *dStr, 0, 1, 1e-4, s).Hops
+		ens, err := noise.StochasticEnsemble(ctx, locked, 0, *dStr, 0, 1, 1e-4, *seed, *runs, *workers)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("stochastic check: %d basin hops over %d s of simulated operation\n", hops, runs)
+		hops := 0
+		for _, res := range ens {
+			hops += res.Hops
+		}
+		fmt.Printf("stochastic check: %d basin hops over %d s of simulated operation\n", hops, *runs)
 	case "sens":
-		sens, err := variation.Sensitivities(cfg, variation.StandardParams())
+		sens, err := variation.SensitivitiesCtx(ctx, cfg, variation.StandardParams(), *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +107,7 @@ func main() {
 			fmt.Printf("%-8s %12.4g %12.4g %12.4g %12.4g\n", s.Param, s.DF0, s.DV1, s.DV2, s.DLockWidth)
 		}
 	case "mc":
-		samples, err := variation.MonteCarlo(cfg, variation.StandardParams(), *nMC, *seed)
+		samples, err := variation.MonteCarloCtx(ctx, cfg, variation.StandardParams(), *nMC, *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	phlogon-figs [-out out] [-fig figNN] [-ascii] [-eff]
+//	phlogon-figs [-out out] [-fig figNN] [-ascii] [-eff] [-workers n]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/figs"
 )
@@ -21,9 +24,15 @@ func main() {
 	only := flag.String("fig", "", "generate a single figure (e.g. fig07); empty = all")
 	ascii := flag.Bool("ascii", false, "print ASCII previews of the charts")
 	eff := flag.Bool("eff", true, "also run the efficiency comparison")
+	workers := flag.Int("workers", 0, "worker pool size for figure/sweep fan-out (0 = NumCPU)")
 	flag.Parse()
 
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ctx := figs.New(*outDir)
+	ctx.Workers = *workers
+	ctx.Ctx = sigCtx
 	var results []*figs.Result
 	if *only != "" {
 		gen := map[string]func() (*figs.Result, error){

@@ -6,17 +6,20 @@
 // Usage:
 //
 //	phlogon-gae lock    -sync 100u [-d 0] [-f1 9.6k] [-2n1p]
-//	phlogon-gae range   -sync 100u [-2n1p]
-//	phlogon-gae sweep-d -sync 120u -dmax 200u
+//	phlogon-gae range   -sync 100u [-2n1p] [-workers n]
+//	phlogon-gae sweep-d -sync 120u -dmax 200u [-workers n]
 //	phlogon-gae flip    -sync 120u -d 150u [-cycles 3000]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/gae"
 	"repro/internal/netlist"
@@ -39,9 +42,13 @@ func main() {
 	use2n1p := fs.Bool("2n1p", false, "use the 2N1P (asymmetric) ring")
 	dmax := fs.String("dmax", "200u", "sweep-d: maximum D amplitude")
 	cycles := fs.Float64("cycles", 3000, "flip: simulated reference cycles")
+	workers := fs.Int("workers", 0, "worker pool size for the sweep subcommands (0 = NumCPU)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := ringosc.DefaultConfig()
 	if *use2n1p {
@@ -51,13 +58,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	p, err := ppv.FromSolution(r.Sys, sol)
+	p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,7 +121,10 @@ func main() {
 		fmt.Println(ch.ASCII(80, 18))
 	case "range":
 		amps := gae.Linspace(0, 2*sv, 21)
-		pts := m.SweepSyncAmplitude(0, 2, amps)
+		pts, err := m.SweepSyncAmplitudeCtx(ctx, 0, 2, amps, *workers)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%12s %14s %14s %12s\n", "SYNC [µA]", "f1_lo [Hz]", "f1_hi [Hz]", "width [Hz]")
 		for _, pt := range pts {
 			fmt.Printf("%12.4g %14.6g %14.6g %12.4g\n", pt.Amp*1e6, pt.F1Lo, pt.F1Hi, pt.F1Hi-pt.F1Lo)
@@ -125,7 +135,10 @@ func main() {
 			fatal(err)
 		}
 		amps := gae.Linspace(0, dm, 41)
-		pts := m.SweepInjectionAmplitude(1, amps)
+		pts, err := m.SweepInjectionAmplitudeCtx(ctx, 1, amps, *workers)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%12s %10s  %s\n", "D [µA]", "#stable", "stable Δφ*")
 		for _, pt := range pts {
 			fmt.Printf("%12.4g %10d  %v\n", pt.Param*1e6, len(pt.Stable), pt.Stable)

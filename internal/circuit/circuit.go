@@ -39,6 +39,12 @@ type Rail struct {
 	Name string
 	V    func(t float64) float64
 	DVDt func(t float64) float64 // optional; nil means numerically differentiated
+	// TimeScale is the characteristic time over which V(t) varies (e.g. the
+	// waveform period). When DVDt is nil, the numeric differentiation step is
+	// taken relative to this scale (h = TimeScale·railDiffRel) instead of the
+	// legacy absolute step, which is wrong for rails much faster or much
+	// slower than nanoseconds. Zero keeps the legacy absolute step.
+	TimeScale float64
 }
 
 // Device is a circuit element. StampC is called once at assembly time to
@@ -116,6 +122,27 @@ func (c *Circuit) AddDCRail(name string, v float64) NodeID {
 	return id
 }
 
+// AddRailDeriv registers a fixed node with a prescribed potential and its
+// analytic time derivative, avoiding numeric differentiation entirely.
+func (c *Circuit) AddRailDeriv(name string, v, dvdt func(t float64) float64) NodeID {
+	id := c.AddRail(name, v)
+	c.rails[-2-int(id)].DVDt = dvdt
+	return id
+}
+
+// SetRailTimeScale declares the characteristic timescale of a time-varying
+// rail (typically its period), making the numeric dV/dt step relative to it.
+// Panics when id is not a registered rail.
+func (c *Circuit) SetRailTimeScale(id NodeID, tau float64) {
+	if id.IsFree() || id == Ground {
+		panic("circuit: SetRailTimeScale requires a rail NodeID")
+	}
+	if tau <= 0 {
+		panic("circuit: rail timescale must be positive")
+	}
+	c.rails[-2-int(id)].TimeScale = tau
+}
+
 // Add appends devices to the circuit.
 func (c *Circuit) Add(devs ...Device) {
 	c.devices = append(c.devices, devs...)
@@ -146,7 +173,19 @@ func (c *Circuit) RailVoltage(n NodeID, t float64) float64 {
 	return c.rails[-2-int(n)].V(t)
 }
 
-// railDVDt evaluates dV/dt of a non-free node at time t.
+// railDiffRel is the central-difference step as a fraction of a rail's
+// declared timescale: truncation error ~ (2π·railDiffRel)²/6 ≈ 7e-6 relative
+// for a sinusoid, while keeping the step far above float64 granularity.
+const railDiffRel = 1e-3
+
+// railDiffAbs is the legacy absolute step used when no timescale is known.
+const railDiffAbs = 1e-9
+
+// railDVDt evaluates dV/dt of a non-free node at time t. Rails with an
+// analytic DVDt use it directly; otherwise a central difference is taken
+// with a step relative to the rail's TimeScale when declared (falling back
+// to the legacy absolute step, which is only appropriate for rails varying
+// on roughly nanosecond scales).
 func (c *Circuit) railDVDt(n NodeID, t float64) float64 {
 	if n == Ground {
 		return 0
@@ -155,7 +194,10 @@ func (c *Circuit) railDVDt(n NodeID, t float64) float64 {
 	if r.DVDt != nil {
 		return r.DVDt(t)
 	}
-	const h = 1e-9
+	h := railDiffAbs
+	if r.TimeScale > 0 {
+		h = r.TimeScale * railDiffRel
+	}
 	return (r.V(t+h) - r.V(t-h)) / (2 * h)
 }
 
@@ -238,6 +280,14 @@ func (e *EvalContext) AddJac(n, m NodeID, d float64) {
 
 // System is the assembled ODE-form circuit: C·ẋ = -f(x, t), with the
 // capacitance factorization cached for repeated solves.
+//
+// A System is immutable after Assemble: it holds only the read-only
+// structure (circuit, capacitance matrix and its factorization, rail-cap
+// list), so any number of analyses may share one System concurrently. All
+// per-evaluation scratch lives in Workspace values obtained from
+// NewWorkspace; the Eval*/XDot/RHSJacobian methods on System itself are
+// allocation-per-call conveniences that are likewise safe for concurrent
+// use.
 type System struct {
 	Ckt *Circuit
 	N   int
@@ -245,9 +295,6 @@ type System struct {
 	CLU *linalg.LU
 
 	railCaps []railCap
-	// scratch to avoid per-eval allocation
-	fbuf linalg.Vec
-	jbuf *linalg.Mat
 }
 
 // Assemble builds the System: stamps capacitances (adding parasitics),
@@ -271,54 +318,15 @@ func (c *Circuit) Assemble() (*System, error) {
 		C:        st.C,
 		CLU:      lu,
 		railCaps: st.railCaps,
-		fbuf:     linalg.NewVec(n),
-		jbuf:     linalg.NewMat(n, n),
 	}, nil
 }
 
-// EvalF computes f(x, t) (KCL out-currents including Gmin and rail-cap
-// source terms) into dst. dst may be nil, in which case a new vector is
-// returned. The returned slice aliases dst when provided.
-func (s *System) EvalF(x linalg.Vec, t float64, dst linalg.Vec) linalg.Vec {
-	if dst == nil {
-		dst = linalg.NewVec(s.N)
-	}
-	dst.Zero()
-	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: dst, GminScale: 1, SourceScale: 1}
+// evalInto runs every device plus the implicit terms against a prepared
+// context — the single evaluation core shared by System and Workspace.
+func (s *System) evalInto(ctx *EvalContext) {
 	for _, d := range s.Ckt.devices {
 		d.Eval(ctx)
 	}
-	s.addImplicitTerms(ctx)
-	return dst
-}
-
-// EvalFJ computes f and its Jacobian J = df/dx at (x, t).
-func (s *System) EvalFJ(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat) {
-	f.Zero()
-	j.Zero()
-	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: f, J: j, WantJacobian: true, GminScale: 1, SourceScale: 1}
-	for _, d := range s.Ckt.devices {
-		d.Eval(ctx)
-	}
-	s.addImplicitTerms(ctx)
-}
-
-// EvalScaled is EvalFJ with gmin/source continuation scaling, for the DC
-// operating-point solver.
-func (s *System) EvalScaled(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
-	f.Zero()
-	wantJ := j != nil
-	if wantJ {
-		j.Zero()
-	}
-	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: f, J: j, WantJacobian: wantJ, GminScale: gminScale, SourceScale: srcScale}
-	for _, d := range s.Ckt.devices {
-		d.Eval(ctx)
-	}
-	s.addImplicitTerms(ctx)
-}
-
-func (s *System) addImplicitTerms(ctx *EvalContext) {
 	g := s.Ckt.Gmin * ctx.GminScale
 	for i := 0; i < s.N; i++ {
 		ctx.F[i] += g * ctx.X[i]
@@ -331,25 +339,53 @@ func (s *System) addImplicitTerms(ctx *EvalContext) {
 	}
 }
 
-// XDot computes ẋ = -C⁻¹·f(x, t), the ODE right-hand side.
+// EvalF computes f(x, t) (KCL out-currents including Gmin and rail-cap
+// source terms) into dst. dst may be nil, in which case a new vector is
+// returned. The returned slice aliases dst when provided. Hot paths should
+// prefer Workspace.EvalF, which reuses the evaluation context.
+func (s *System) EvalF(x linalg.Vec, t float64, dst linalg.Vec) linalg.Vec {
+	if dst == nil {
+		dst = linalg.NewVec(s.N)
+	}
+	dst.Zero()
+	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: dst, GminScale: 1, SourceScale: 1}
+	s.evalInto(ctx)
+	return dst
+}
+
+// EvalFJ computes f and its Jacobian J = df/dx at (x, t).
+func (s *System) EvalFJ(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat) {
+	f.Zero()
+	j.Zero()
+	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: f, J: j, WantJacobian: true, GminScale: 1, SourceScale: 1}
+	s.evalInto(ctx)
+}
+
+// EvalScaled is EvalFJ with gmin/source continuation scaling, for the DC
+// operating-point solver.
+func (s *System) EvalScaled(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
+	f.Zero()
+	wantJ := j != nil
+	if wantJ {
+		j.Zero()
+	}
+	ctx := &EvalContext{ckt: s.Ckt, T: t, X: x, F: f, J: j, WantJacobian: wantJ, GminScale: gminScale, SourceScale: srcScale}
+	s.evalInto(ctx)
+}
+
+// XDot computes ẋ = -C⁻¹·f(x, t), the ODE right-hand side. It allocates per
+// call and is safe for concurrent use; hot loops should use Workspace.XDot.
 func (s *System) XDot(x linalg.Vec, t float64) linalg.Vec {
-	f := s.EvalF(x, t, s.fbuf)
+	f := s.EvalF(x, t, nil)
 	f.Scale(-1)
 	return s.CLU.Solve(f)
 }
 
 // RHSJacobian computes A(t) = d(ẋ)/dx = -C⁻¹·J(x, t), used by monodromy and
-// adjoint (PPV) integration.
+// adjoint (PPV) integration. It allocates per call and is safe for
+// concurrent use; hot loops should use Workspace.RHSJacobian.
 func (s *System) RHSJacobian(x linalg.Vec, t float64) *linalg.Mat {
-	s.EvalFJ(x, t, s.fbuf, s.jbuf)
-	a := linalg.NewMat(s.N, s.N)
-	for j := 0; j < s.N; j++ {
-		col := s.CLU.Solve(s.jbuf.Col(j))
-		for i := 0; i < s.N; i++ {
-			a.Set(i, j, -col[i])
-		}
-	}
-	return a
+	return s.NewWorkspace().RHSJacobian(x, t)
 }
 
 // InjectionGain returns the vector mapping a current injected *into* free

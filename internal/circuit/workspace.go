@@ -1,0 +1,101 @@
+package circuit
+
+import "repro/internal/linalg"
+
+// Workspace holds every piece of mutable per-evaluation scratch needed to
+// run analyses against a (shared, immutable) System: the reusable
+// EvalContext handed to devices plus F/J buffers for the derived quantities
+// XDot and RHSJacobian.
+//
+// A Workspace is NOT safe for concurrent use — that is its whole point: give
+// each worker goroutine its own Workspace via System.NewWorkspace() and any
+// number of analyses of the same circuit can run in parallel with zero
+// shared mutable state. Creating a Workspace is cheap (two small buffers),
+// so per-analysis creation is the normal pattern.
+type Workspace struct {
+	sys *System
+	ctx EvalContext // reused across evaluations to avoid per-call allocation
+	// scratch for XDot / RHSJacobian
+	fbuf linalg.Vec
+	jbuf *linalg.Mat
+}
+
+// NewWorkspace returns a fresh, independent evaluation workspace for the
+// system. Each concurrent analysis should own exactly one.
+func (s *System) NewWorkspace() *Workspace {
+	return &Workspace{
+		sys:  s,
+		ctx:  EvalContext{ckt: s.Ckt},
+		fbuf: linalg.NewVec(s.N),
+		jbuf: linalg.NewMat(s.N, s.N),
+	}
+}
+
+// System returns the shared immutable system the workspace evaluates.
+func (w *Workspace) System() *System { return w.sys }
+
+// eval prepares the reusable context and runs the evaluation core.
+func (w *Workspace) eval(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat, wantJ bool, gminScale, srcScale float64) {
+	w.ctx.T = t
+	w.ctx.X = x
+	w.ctx.F = f
+	w.ctx.J = j
+	w.ctx.WantJacobian = wantJ
+	w.ctx.GminScale = gminScale
+	w.ctx.SourceScale = srcScale
+	w.sys.evalInto(&w.ctx)
+	// Drop slice references so the workspace does not pin caller buffers.
+	w.ctx.X, w.ctx.F, w.ctx.J = nil, nil, nil
+}
+
+// EvalF computes f(x, t) into dst (allocated when nil), exactly like
+// System.EvalF but reusing the workspace's evaluation context.
+func (w *Workspace) EvalF(x linalg.Vec, t float64, dst linalg.Vec) linalg.Vec {
+	if dst == nil {
+		dst = linalg.NewVec(w.sys.N)
+	}
+	dst.Zero()
+	w.eval(x, t, dst, nil, false, 1, 1)
+	return dst
+}
+
+// EvalFJ computes f and its Jacobian J = df/dx at (x, t).
+func (w *Workspace) EvalFJ(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat) {
+	f.Zero()
+	j.Zero()
+	w.eval(x, t, f, j, true, 1, 1)
+}
+
+// EvalScaled is EvalFJ under gmin/source continuation scaling; j may be nil
+// when only the residual is needed.
+func (w *Workspace) EvalScaled(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
+	f.Zero()
+	wantJ := j != nil
+	if wantJ {
+		j.Zero()
+	}
+	w.eval(x, t, f, j, wantJ, gminScale, srcScale)
+}
+
+// XDot computes ẋ = -C⁻¹·f(x, t) using workspace scratch for the residual.
+// The returned vector is freshly allocated (callers retain XDot results).
+func (w *Workspace) XDot(x linalg.Vec, t float64) linalg.Vec {
+	f := w.EvalF(x, t, w.fbuf)
+	f.Scale(-1)
+	return w.sys.CLU.Solve(f)
+}
+
+// RHSJacobian computes A(t) = d(ẋ)/dx = -C⁻¹·J(x, t) using workspace
+// scratch for the evaluation; the returned matrix is freshly allocated.
+func (w *Workspace) RHSJacobian(x linalg.Vec, t float64) *linalg.Mat {
+	w.EvalFJ(x, t, w.fbuf, w.jbuf)
+	n := w.sys.N
+	a := linalg.NewMat(n, n)
+	for j := 0; j < n; j++ {
+		col := w.sys.CLU.Solve(w.jbuf.Col(j))
+		for i := 0; i < n; i++ {
+			a.Set(i, j, -col[i])
+		}
+	}
+	return a
+}

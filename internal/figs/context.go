@@ -7,12 +7,14 @@
 package figs
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/phasemacro"
 	"repro/internal/plot"
 	"repro/internal/ppv"
@@ -33,23 +35,50 @@ type Result struct {
 
 // Context caches the expensive shared artifacts (PSS solutions and PPVs of
 // the two ring variants) across figure generators.
+//
+// Figure generation fans out on two levels, both bounded by Workers: All()
+// runs whole figures concurrently, and the sweep-heavy figures fan their
+// parameter grids out through internal/parallel. The shared caches are
+// sync.Once-guarded and every analysis uses per-call workspaces, so the
+// generators are safe to run concurrently; outputs are bit-identical at any
+// worker count.
 type Context struct {
 	OutDir string
+	// Workers bounds the figure/sweep fan-out; <= 0 means one per CPU.
+	Workers int
+	// Ctx, when non-nil, cancels in-flight figure generation.
+	Ctx context.Context
 
 	once1, once2 sync.Once
 	r1, r2       *ringosc.Ring
 	sol1, sol2   *pss.Solution
 	p1, p2       *ppv.PPV
 	err1, err2   error
+
+	onceCal sync.Once
+	calP    *ppv.PPV
+	cal     phasemacro.Calibration
+	calErr  error
 }
 
 // New returns a context; outDir == "" disables file output.
 func New(outDir string) *Context { return &Context{OutDir: outDir} }
 
+// workers resolves the fan-out bound.
+func (c *Context) workers() int { return parallel.Workers(c.Workers) }
+
+// ctx resolves the cancellation context.
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
 // Ring1 lazily builds the 1N1P ring, its PSS and PPV.
 func (c *Context) Ring1() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 	c.once1.Do(func() {
-		c.r1, c.sol1, c.p1, c.err1 = buildChain(ringosc.DefaultConfig())
+		c.r1, c.sol1, c.p1, c.err1 = c.buildChain(ringosc.DefaultConfig())
 	})
 	return c.r1, c.sol1, c.p1, c.err1
 }
@@ -57,38 +86,44 @@ func (c *Context) Ring1() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 // Ring2 lazily builds the 2N1P ring, its PSS and PPV.
 func (c *Context) Ring2() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 	c.once2.Do(func() {
-		c.r2, c.sol2, c.p2, c.err2 = buildChain(ringosc.Config2N1P())
+		c.r2, c.sol2, c.p2, c.err2 = c.buildChain(ringosc.Config2N1P())
 	})
 	return c.r2, c.sol2, c.p2, c.err2
 }
 
-func buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+func (c *Context) buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 	r, err := ringosc.Build(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+	sol, err := pss.ShootAutonomousCtx(c.ctx(), r.Sys, r.KickStart(), pss.Options{
 		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
 	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	p, err := ppv.FromSolution(r.Sys, sol)
+	p, err := ppv.FromSolutionCtx(c.ctx(), r.Sys, sol, c.workers())
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return r, sol, p, nil
 }
 
-// calibration returns the latch calibration used by the FSM figures.
+// calibration returns the latch calibration used by the FSM figures,
+// computed once and cached: five figure generators share it, and under a
+// parallel All() each would otherwise redo the calibrate solve.
 func (c *Context) calibration() (*ppv.PPV, phasemacro.Calibration, error) {
-	_, _, p, err := c.Ring1()
-	if err != nil {
-		return nil, phasemacro.Calibration{}, err
-	}
-	l := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: 100e-6}
-	cal, err := phasemacro.Calibrate(l, 10e3)
-	return p, cal, err
+	c.onceCal.Do(func() {
+		_, _, p, err := c.Ring1()
+		if err != nil {
+			c.calErr = err
+			return
+		}
+		l := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: 100e-6}
+		c.calP = p
+		c.cal, c.calErr = phasemacro.Calibrate(l, 10e3)
+	})
+	return c.calP, c.cal, c.calErr
 }
 
 // emit writes the figure artifacts when OutDir is set.
@@ -134,13 +169,30 @@ func (c *Context) All() ([]*Result, error) {
 		{"fig19", c.Fig19},
 		{"fig20", c.Fig20},
 	}
-	var out []*Result
-	for _, g := range gens {
-		r, err := g.fn()
+	// Warm the shared caches serially so concurrent generators don't stall
+	// on the same sync.Once (the pipelines inside fan out on c.Workers).
+	if _, _, _, err := c.Ring1(); err != nil {
+		return nil, fmt.Errorf("figs: ring1: %w", err)
+	}
+	if _, _, _, err := c.Ring2(); err != nil {
+		return nil, fmt.Errorf("figs: ring2: %w", err)
+	}
+	out, err := parallel.Map(c.ctx(), len(gens), c.workers(), func(i int) (*Result, error) {
+		r, err := gens[i].fn()
 		if err != nil {
-			return out, fmt.Errorf("figs: %s: %w", g.name, err)
+			return nil, fmt.Errorf("figs: %s: %w", gens[i].name, err)
 		}
-		out = append(out, r)
+		return r, nil
+	})
+	if err != nil {
+		// Trim unfinished entries so callers see only completed figures.
+		done := out[:0]
+		for _, r := range out {
+			if r != nil {
+				done = append(done, r)
+			}
+		}
+		return done, err
 	}
 	return out, nil
 }

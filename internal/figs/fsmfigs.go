@@ -35,8 +35,11 @@ func (c *Context) Fig14() (*Result, error) {
 	ch := plot.New("Fig. 14 — SR latch equilibria vs |S|=|R| (weights 1,1,1 vs 0.01,0.01,1)",
 		"input magnitude [V]", "stable Δφ* (cycles)")
 	csv := []string{"mag_V,weights,phase_case,stable_dphi"}
-	add := func(l *phlogic.SRLatch, label, wname string, opposite bool) {
-		pts := l.SweepMagnitude(mags, opposite)
+	add := func(l *phlogic.SRLatch, label, wname string, opposite bool) error {
+		pts, err := l.SweepMagnitudeCtx(c.ctx(), mags, opposite, c.workers())
+		if err != nil {
+			return err
+		}
 		var xs, ys []float64
 		pc := "same"
 		if opposite {
@@ -50,11 +53,23 @@ func (c *Context) Fig14() (*Result, error) {
 			}
 		}
 		ch.AddScatter(label, xs, ys)
+		return nil
 	}
-	add(uniform, "uniform, same phase", "uniform", false)
-	add(uniform, "uniform, opposite+5% mismatch", "uniform", true)
-	add(weighted, "weighted, same phase", "weighted", false)
-	add(weighted, "weighted, opposite+5% mismatch", "weighted", true)
+	for _, cse := range []struct {
+		l        *phlogic.SRLatch
+		label    string
+		wname    string
+		opposite bool
+	}{
+		{uniform, "uniform, same phase", "uniform", false},
+		{uniform, "uniform, opposite+5% mismatch", "uniform", true},
+		{weighted, "weighted, same phase", "weighted", false},
+		{weighted, "weighted, opposite+5% mismatch", "weighted", true},
+	} {
+		if err := add(cse.l, cse.label, cse.wname, cse.opposite); err != nil {
+			return nil, err
+		}
+	}
 	const vIn = 1.5
 	res := &Result{
 		Name: "fig14", Title: ch.Title, Chart: ch,

@@ -164,9 +164,12 @@ func (c *Context) Fig07() (*Result, error) {
 	ch := plot.New("Fig. 7 — SHIL locking range vs SYNC amplitude",
 		"SYNC amplitude [µA]", "relative detuning (f1−f0)/f0")
 	csv := []string{"amp_uA,lo_1n1p,hi_1n1p,lo_2n1p,hi_2n1p"}
-	build := func(pp *ppvT) ([]float64, []float64, []float64) {
+	build := func(pp *ppvT) ([]float64, []float64, []float64, error) {
 		m := gae.NewModel(pp, pp.F0)
-		pts := m.SweepSyncAmplitude(0, 2, amps)
+		pts, err := m.SweepSyncAmplitudeCtx(c.ctx(), 0, 2, amps, c.workers())
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		ax := make([]float64, len(pts))
 		lo := make([]float64, len(pts))
 		hi := make([]float64, len(pts))
@@ -175,10 +178,16 @@ func (c *Context) Fig07() (*Result, error) {
 			lo[i] = (pt.F1Lo - pp.F0) / pp.F0
 			hi[i] = (pt.F1Hi - pp.F0) / pp.F0
 		}
-		return ax, lo, hi
+		return ax, lo, hi, nil
 	}
-	ax, lo1, hi1 := build(p1)
-	_, lo2, hi2 := build(p2)
+	ax, lo1, hi1, err := build(p1)
+	if err != nil {
+		return nil, err
+	}
+	_, lo2, hi2, err := build(p2)
+	if err != nil {
+		return nil, err
+	}
 	ch.Add("1N1P lower edge", ax, lo1)
 	ch.Add("1N1P upper edge", ax, hi1)
 	ch.Add("2N1P lower edge", ax, lo2)
@@ -219,7 +228,10 @@ func (c *Context) Fig08() (*Result, error) {
 	}
 	lo, hi := m.LockingBand()
 	f1s := gae.Linspace(lo+(hi-lo)*0.01, hi-(hi-lo)*0.01, 81)
-	pts := m.SweepPhaseError(f1s, []float64{d0, d1})
+	pts, err := m.SweepPhaseErrorCtx(c.ctx(), f1s, []float64{d0, d1}, c.workers())
+	if err != nil {
+		return nil, err
+	}
 	var xs, ys []float64
 	csv := []string{"f1_Hz,phase_error_cycles"}
 	maxErr := 0.0
@@ -343,8 +355,14 @@ func (c *Context) Fig11() (*Result, error) {
 	for i, a := range amps {
 		offAmps[i] = a * offAtten
 	}
-	on := base.SweepInjectionAmplitude(1, amps)
-	off := base.SweepInjectionAmplitude(1, offAmps)
+	on, err := base.SweepInjectionAmplitudeCtx(c.ctx(), 1, amps, c.workers())
+	if err != nil {
+		return nil, err
+	}
+	off, err := base.SweepInjectionAmplitudeCtx(c.ctx(), 1, offAmps, c.workers())
+	if err != nil {
+		return nil, err
+	}
 	ch := plot.New("Fig. 11 — stable GAE equilibria vs D magnitude (EN=1 and EN=0)",
 		"D amplitude [µA]", "stable Δφ* (cycles)")
 	var x1, y1, x0, y0 []float64

@@ -116,22 +116,23 @@ func (m *Model) RHS(dphi float64) float64 {
 
 // GRange returns the extrema of g over [0, 1).
 func (m *Model) GRange() (gmin, gmax float64) {
+	// One dense scan locates both extremum cells; golden-section then refines
+	// each around its best sample. The strict first-winner comparisons make
+	// the located cells — and hence the refined extrema — independent of how
+	// many scans are folded together.
 	const n = 720
-	gmin, gmax = math.Inf(1), math.Inf(-1)
+	iMin, iMax := 0, 0
+	vMin, vMax := math.Inf(1), math.Inf(-1)
 	for i := 0; i < n; i++ {
 		g := m.G(float64(i) / n)
-		gmin = math.Min(gmin, g)
-		gmax = math.Max(gmax, g)
-	}
-	// Refine each extremum by golden-section around the best samples.
-	refine := func(sign float64) float64 {
-		best, bestV := 0.0, math.Inf(-1)
-		for i := 0; i < n; i++ {
-			t := float64(i) / n
-			if v := sign * m.G(t); v > bestV {
-				best, bestV = t, v
-			}
+		if g < vMin {
+			vMin, iMin = g, i
 		}
+		if g > vMax {
+			vMax, iMax = g, i
+		}
+	}
+	refine := func(sign, best float64) float64 {
 		lo, hi := best-1.0/n, best+1.0/n
 		for i := 0; i < 50; i++ {
 			m1 := lo + (hi-lo)*0.382
@@ -144,7 +145,7 @@ func (m *Model) GRange() (gmin, gmax float64) {
 		}
 		return sign * m.G((lo+hi)/2)
 	}
-	return -refine(-1), refine(1)
+	return -refine(-1, float64(iMin)/n), refine(1, float64(iMax)/n)
 }
 
 // Equilibrium is a solution of (f1−f0)/f0 = g(Δφ*).

@@ -3,6 +3,18 @@ package gae
 // Sweep utilities: the DC-sweep analyses the paper's tools run over SYNC
 // amplitude, detuning frequency and logic-input magnitude (Figs. 7, 8, 11
 // and 14).
+//
+// Every sweep point is an independent evaluation of a read-only Model copy,
+// so the Ctx variants fan the grid out over a bounded worker pool
+// (internal/parallel). Results are collected in grid order and are
+// bit-identical at any worker count; the plain variants are serial
+// single-point wrappers kept for source compatibility.
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
 
 // LockPoint is one sample of a locking-range sweep.
 type LockPoint struct {
@@ -15,13 +27,19 @@ type LockPoint struct {
 // amplitude (Fig. 7's V-shaped locking cone). syncNode/syncHarm describe the
 // SYNC injection; other injections in the model are held fixed.
 func (m *Model) SweepSyncAmplitude(syncNode, syncHarm int, amps []float64) []LockPoint {
-	out := make([]LockPoint, 0, len(amps))
-	for _, a := range amps {
+	out, _ := m.SweepSyncAmplitudeCtx(context.Background(), syncNode, syncHarm, amps, 1)
+	return out
+}
+
+// SweepSyncAmplitudeCtx is SweepSyncAmplitude with cancellation and a worker
+// pool (workers <= 0 means one per CPU).
+func (m *Model) SweepSyncAmplitudeCtx(ctx context.Context, syncNode, syncHarm int, amps []float64, workers int) ([]LockPoint, error) {
+	return parallel.Map(ctx, len(amps), workers, func(i int) (LockPoint, error) {
+		a := amps[i]
 		mm := m.With(Injection{Name: "sweep-sync", Node: syncNode, Amp: a, Harmonic: syncHarm})
 		lo, hi := mm.LockingBand()
-		out = append(out, LockPoint{Amp: a, F1Lo: lo, F1Hi: hi, Locks: hi > lo})
-	}
-	return out
+		return LockPoint{Amp: a, F1Lo: lo, F1Hi: hi, Locks: hi > lo}, nil
+	})
 }
 
 // EquilibriumPoint is one sample of an equilibrium sweep: all equilibria of
@@ -32,43 +50,49 @@ type EquilibriumPoint struct {
 	Stable []float64 // stable Δφ* values only (convenience)
 }
 
+func equilibriumPointAt(mm *Model, param float64) EquilibriumPoint {
+	eq := mm.Equilibria()
+	p := EquilibriumPoint{Param: param, Equil: eq}
+	for _, e := range eq {
+		if e.Stable {
+			p.Stable = append(p.Stable, e.Dphi)
+		}
+	}
+	return p
+}
+
 // SweepInjectionAmplitude sweeps the amplitude of one injection (identified
 // by index in the model's list) and records every equilibrium — the Fig. 11
 // and Fig. 14 machinery. The model itself is unchanged.
 func (m *Model) SweepInjectionAmplitude(index int, amps []float64) []EquilibriumPoint {
-	out := make([]EquilibriumPoint, 0, len(amps))
-	for _, a := range amps {
+	out, _ := m.SweepInjectionAmplitudeCtx(context.Background(), index, amps, 1)
+	return out
+}
+
+// SweepInjectionAmplitudeCtx is SweepInjectionAmplitude with cancellation and
+// a worker pool.
+func (m *Model) SweepInjectionAmplitudeCtx(ctx context.Context, index int, amps []float64, workers int) ([]EquilibriumPoint, error) {
+	return parallel.Map(ctx, len(amps), workers, func(i int) (EquilibriumPoint, error) {
 		mm := *m
 		mm.Injections = append([]Injection(nil), m.Injections...)
-		mm.Injections[index].Amp = a
-		eq := mm.Equilibria()
-		p := EquilibriumPoint{Param: a, Equil: eq}
-		for _, e := range eq {
-			if e.Stable {
-				p.Stable = append(p.Stable, e.Dphi)
-			}
-		}
-		out = append(out, p)
-	}
-	return out
+		mm.Injections[index].Amp = amps[i]
+		return equilibriumPointAt(&mm, amps[i]), nil
+	})
 }
 
 // SweepDetuning sweeps f1 and records equilibria (Fig. 8's input).
 func (m *Model) SweepDetuning(f1s []float64) []EquilibriumPoint {
-	out := make([]EquilibriumPoint, 0, len(f1s))
-	for _, f1 := range f1s {
-		mm := *m
-		mm.F1 = f1
-		eq := mm.Equilibria()
-		p := EquilibriumPoint{Param: f1, Equil: eq}
-		for _, e := range eq {
-			if e.Stable {
-				p.Stable = append(p.Stable, e.Dphi)
-			}
-		}
-		out = append(out, p)
-	}
+	out, _ := m.SweepDetuningCtx(context.Background(), f1s, 1)
 	return out
+}
+
+// SweepDetuningCtx is SweepDetuning with cancellation and a worker pool.
+func (m *Model) SweepDetuningCtx(ctx context.Context, f1s []float64, workers int) ([]EquilibriumPoint, error) {
+	return parallel.Map(ctx, len(f1s), workers, func(i int) (EquilibriumPoint, error) {
+		mm := *m
+		mm.F1 = f1s[i]
+		return equilibriumPointAt(&mm, f1s[i]), nil
+	})
 }
 
 // PhaseErrorPoint is one sample of the Fig. 8 locking-phase-error plot.
@@ -82,13 +106,17 @@ type PhaseErrorPoint struct {
 // zero-detuning SHIL phases). Points outside the locking range yield empty
 // Errors.
 func (m *Model) SweepPhaseError(f1s []float64, refs []float64) []PhaseErrorPoint {
-	out := make([]PhaseErrorPoint, 0, len(f1s))
-	for _, f1 := range f1s {
-		mm := *m
-		mm.F1 = f1
-		out = append(out, PhaseErrorPoint{F1: f1, Errors: mm.LockedPhaseVsReference(refs)})
-	}
+	out, _ := m.SweepPhaseErrorCtx(context.Background(), f1s, refs, 1)
 	return out
+}
+
+// SweepPhaseErrorCtx is SweepPhaseError with cancellation and a worker pool.
+func (m *Model) SweepPhaseErrorCtx(ctx context.Context, f1s []float64, refs []float64, workers int) ([]PhaseErrorPoint, error) {
+	return parallel.Map(ctx, len(f1s), workers, func(i int) (PhaseErrorPoint, error) {
+		mm := *m
+		mm.F1 = f1s[i]
+		return PhaseErrorPoint{F1: f1s[i], Errors: mm.LockedPhaseVsReference(refs)}, nil
+	})
 }
 
 // Linspace returns n evenly spaced values over [lo, hi] inclusive.

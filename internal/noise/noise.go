@@ -18,10 +18,12 @@
 package noise
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"repro/internal/gae"
+	"repro/internal/parallel"
 	"repro/internal/ppv"
 )
 
@@ -122,6 +124,18 @@ func StochasticTransient(m *gae.Model, dphi0 float64, d float64, t0, t1, dt floa
 		}
 	}
 	return res
+}
+
+// StochasticEnsemble runs n independent StochasticTransient realizations on
+// up to workers goroutines (workers <= 0 means one per CPU). Member i is
+// seeded with parallel.SubSeed(seed, i) — a pure function of (seed, i) — so
+// the ensemble is bit-identical at any worker count, including workers = 1.
+// On cancellation the partial ensemble is returned with ctx.Err(); members
+// that did not run are nil.
+func StochasticEnsemble(ctx context.Context, m *gae.Model, dphi0, d, t0, t1, dt float64, seed int64, n, workers int) ([]*StochasticResult, error) {
+	return parallel.Map(ctx, n, workers, func(i int) (*StochasticResult, error) {
+		return StochasticTransient(m, dphi0, d, t0, t1, dt, parallel.SubSeed(seed, i)), nil
+	})
 }
 
 // nearestBasin maps a phase to the index of the nearest half-cycle basin

@@ -1,0 +1,16 @@
+package parallel
+
+// SubSeed derives the i-th independent RNG sub-seed from a user seed with a
+// splitmix64 step, the standard way to give every Monte-Carlo sample its own
+// statistically independent stream. Because sample i's seed depends only on
+// (seed, i) — never on which worker ran it or in what order — ensemble
+// results are bit-identical at any worker count.
+func SubSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*(uint64(i)+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

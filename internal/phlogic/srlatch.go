@@ -1,9 +1,11 @@
 package phlogic
 
 import (
+	"context"
 	"math/cmplx"
 
 	"repro/internal/gae"
+	"repro/internal/parallel"
 	"repro/internal/phasemacro"
 	"repro/internal/ppv"
 )
@@ -85,13 +87,18 @@ func (s *SRLatch) StablePhases(sMag, rMag float64, opposite bool) []float64 {
 // record the stable phases, for the same-phase (flip) and opposite-phase
 // (hold) input cases.
 func (s *SRLatch) SweepMagnitude(mags []float64, opposite bool) []gae.EquilibriumPoint {
-	out := make([]gae.EquilibriumPoint, 0, len(mags))
-	for _, mag := range mags {
-		pt := gae.EquilibriumPoint{Param: mag}
-		pt.Stable = append(pt.Stable, s.StablePhases(mag, mag, opposite)...)
-		out = append(out, pt)
-	}
+	out, _ := s.SweepMagnitudeCtx(context.Background(), mags, opposite, 1)
 	return out
+}
+
+// SweepMagnitudeCtx is SweepMagnitude with cancellation and a worker pool;
+// each magnitude is an independent equilibrium solve on a read-only latch.
+func (s *SRLatch) SweepMagnitudeCtx(ctx context.Context, mags []float64, opposite bool, workers int) ([]gae.EquilibriumPoint, error) {
+	return parallel.Map(ctx, len(mags), workers, func(i int) (gae.EquilibriumPoint, error) {
+		pt := gae.EquilibriumPoint{Param: mags[i]}
+		pt.Stable = append(pt.Stable, s.StablePhases(mags[i], mags[i], opposite)...)
+		return pt, nil
+	})
 }
 
 // HoldsUnderMismatch checks the paper's design criterion: with S and R

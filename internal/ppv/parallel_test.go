@@ -1,0 +1,47 @@
+package ppv_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// TestFromSolutionBitIdenticalAtAnyWorkerCount certifies that fanning the
+// PPV extraction's grid stages out over workers cannot change a single bit
+// of the macromodel.
+func TestFromSolutionBitIdenticalAtAnyWorkerCount(t *testing.T) {
+	r, err := ringosc.Build(ringosc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ppv.FromSolutionCtx(context.Background(), r.Sys, sol, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		par, err := ppv.FromSolutionCtx(context.Background(), r.Sys, sol, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par.NormError != serial.NormError {
+			t.Fatalf("workers=%d: NormError %g vs %g", w, par.NormError, serial.NormError)
+		}
+		for k := range serial.VI {
+			for i := range serial.VI[k] {
+				if serial.VI[k][i] != par.VI[k][i] {
+					t.Fatalf("workers=%d: VI[%d][%d] differs: %g vs %g",
+						w, k, i, par.VI[k][i], serial.VI[k][i])
+				}
+			}
+		}
+	}
+}

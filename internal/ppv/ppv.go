@@ -23,6 +23,7 @@
 package ppv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/fourier"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/pss"
 )
 
@@ -57,12 +59,27 @@ const MaxHarmonics = 32
 // FromSolution extracts the PPV from a converged autonomous PSS by the
 // time-domain adjoint method.
 func FromSolution(sys *circuit.System, sol *pss.Solution) (*PPV, error) {
+	return FromSolutionCtx(context.Background(), sys, sol, 1)
+}
+
+// FromSolutionCtx is FromSolution with cancellation and a bounded worker
+// pool: the embarrassingly parallel grid stages (RHS Jacobians, pointwise
+// normalization) fan out over up to workers goroutines, each owning a private
+// circuit.Workspace. The backward adjoint recursion is inherently sequential
+// and stays serial. Results are bit-identical at any worker count.
+func FromSolutionCtx(ctx context.Context, sys *circuit.System, sol *pss.Solution, workers int) (*PPV, error) {
 	n := sys.N
 	k := sol.K()
 	if k < 8 {
 		return nil, errors.New("ppv: PSS grid too coarse")
 	}
 	h := sol.T0 / float64(k)
+
+	nw := parallel.Workers(workers)
+	wss := make([]*circuit.Workspace, nw)
+	for i := range wss {
+		wss[i] = sys.NewWorkspace()
+	}
 
 	// 1. Left eigenvector of the monodromy for the eigenvalue at 1:
 	//    Mᵀ w = w.
@@ -72,9 +89,11 @@ func FromSolution(sys *circuit.System, sol *pss.Solution) (*PPV, error) {
 	}
 
 	// 2. RHS Jacobians A(t_k) on the grid.
-	as := make([]*linalg.Mat, k+1)
-	for i := 0; i <= k; i++ {
-		as[i] = sys.RHSJacobian(sol.States[i], sol.Grid[i])
+	as, err := parallel.MapWorker(ctx, k+1, nw, func(wk, i int) (*linalg.Mat, error) {
+		return wss[wk].RHSJacobian(sol.States[i], sol.Grid[i]), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// 3. Backward propagation of the adjoint with the discrete adjoint of
@@ -100,20 +119,28 @@ func FromSolution(sys *circuit.System, sol *pss.Solution) (*PPV, error) {
 	}
 
 	// 4. Normalize pointwise: v(t)·ẋₛ(t) = 1. The product is a flow
-	//    invariant, so its spread measures numerical error.
-	minC, maxC := math.Inf(1), math.Inf(-1)
-	vi := make([]linalg.Vec, k+1)
-	for i := 0; i <= k; i++ {
-		xd := sys.XDot(sol.States[i], sol.Grid[i])
+	//    invariant, so its spread measures numerical error. Each grid point is
+	//    independent; the min/max spread is reduced serially afterwards so the
+	//    result cannot depend on scheduling.
+	cs := make([]float64, k+1)
+	vi, err := parallel.MapWorker(ctx, k+1, nw, func(wk, i int) (linalg.Vec, error) {
+		xd := wss[wk].XDot(sol.States[i], sol.Grid[i])
 		c := ws[i].Dot(xd)
 		if c == 0 {
 			return nil, fmt.Errorf("ppv: degenerate normalization at grid %d", i)
 		}
-		minC, maxC = math.Min(minC, c), math.Max(maxC, c)
+		cs[i] = c
 		v := ws[i].Clone()
 		v.Scale(1 / c)
 		// Current-injection form: VI = C⁻ᵀ v.
-		vi[i] = sys.CLU.SolveT(v)
+		return sys.CLU.SolveT(v), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	minC, maxC := math.Inf(1), math.Inf(-1)
+	for _, c := range cs {
+		minC, maxC = math.Min(minC, c), math.Max(maxC, c)
 	}
 	normErr := 0.0
 	if maxC != 0 {

@@ -102,9 +102,10 @@ func hbResidual(sys *circuit.System, hb *HBSolution) [][]complex128 {
 	states := sampleStates(hb, kk)
 	// Evaluate f(x(t)) on the grid (autonomous circuits: no explicit t, but
 	// pass normalized times anyway for safety).
+	ws := sys.NewWorkspace()
 	fs := make([]linalg.Vec, kk)
 	for i := 0; i < kk; i++ {
-		fs[i] = sys.EvalF(states[i], hb.T0*float64(i)/float64(kk), nil)
+		fs[i] = ws.EvalF(states[i], hb.T0*float64(i)/float64(kk), nil)
 	}
 	res := make([][]complex128, n)
 	for node := 0; node < n; node++ {
@@ -142,12 +143,13 @@ func jacobianSpectrum(sys *circuit.System, hb *HBSolution) []*linalg.CMat {
 	n := sys.N
 	kk := hbSampleCount(hb.H)
 	states := sampleStates(hb, kk)
+	ws := sys.NewWorkspace()
 	f := linalg.NewVec(n)
 	j := linalg.NewMat(n, n)
 	// gs[i] holds G at sample i.
 	gs := make([]*linalg.Mat, kk)
 	for i := 0; i < kk; i++ {
-		sys.EvalFJ(states[i], hb.T0*float64(i)/float64(kk), f, j)
+		ws.EvalFJ(states[i], hb.T0*float64(i)/float64(kk), f, j)
 		gs[i] = j.Clone()
 	}
 	out := make([]*linalg.CMat, 2*hb.H+1)

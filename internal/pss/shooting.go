@@ -16,6 +16,7 @@
 package pss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -96,7 +97,16 @@ func (s *Solution) StateAt(t float64) linalg.Vec {
 
 // ShootAutonomous finds the limit cycle of an autonomous circuit starting
 // from the (non-equilibrium) state x0.
+//
+// ShootAutonomous is safe to call concurrently on one shared System: all
+// mutable evaluation state lives in per-call workspaces.
 func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution, error) {
+	return ShootAutonomousCtx(context.Background(), sys, x0, opt)
+}
+
+// ShootAutonomousCtx is ShootAutonomous with cancellation: the settle and
+// shooting transients check ctx between integration steps.
+func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution, error) {
 	if opt.GuessT <= 0 {
 		return nil, errors.New("pss: Options.GuessT must be a positive period guess")
 	}
@@ -119,7 +129,7 @@ func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution
 	T := opt.GuessT
 	x := x0.Clone()
 	if opt.SettleCycles > 0 {
-		res, err := transient.Run(sys, x, 0, float64(opt.SettleCycles)*T, transient.Options{
+		res, err := transient.RunCtx(ctx, sys, x, 0, float64(opt.SettleCycles)*T, transient.Options{
 			Method: transient.Trap, Step: T / float64(opt.StepsPerPeriod),
 		})
 		if err != nil {
@@ -133,14 +143,15 @@ func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution
 
 	// Phase anchor: the component with the largest |ẋ| moves fastest through
 	// its anchor value, making the bordered system well conditioned.
-	xd := sys.XDot(x, 0)
+	ws := sys.NewWorkspace()
+	xd := ws.XDot(x, 0)
 	anchor := xd.MaxAbsIndex()
 	anchorVal := x[anchor]
 
 	var lastRes float64
 	var mono *linalg.Mat
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		run, err := transient.Run(sys, x, 0, T, transient.Options{
+		run, err := transient.RunCtx(ctx, sys, x, 0, T, transient.Options{
 			Method:      opt.Method,
 			Step:        T / float64(opt.StepsPerPeriod),
 			Sensitivity: true,
@@ -154,7 +165,7 @@ func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution
 		r.Sub(xT, x)
 		lastRes = r.NormInf()
 		if lastRes <= opt.Tol {
-			return buildSolution(sys, x, T, anchor, opt, mono, iter)
+			return buildSolution(ctx, sys, x, T, anchor, opt, mono, iter)
 		}
 		// Bordered Newton system:
 		//   [ M − I   ẋ(T) ] [Δx]   [ −r ]
@@ -166,7 +177,7 @@ func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution
 			}
 			big.Addf(i, i, -1)
 		}
-		fT := sys.XDot(xT, T)
+		fT := ws.XDot(xT, T)
 		for i := 0; i < n; i++ {
 			big.Set(i, n, fT[i])
 		}
@@ -198,7 +209,14 @@ func ShootAutonomous(sys *circuit.System, x0 linalg.Vec, opt Options) (*Solution
 
 // ShootDriven finds the periodic steady state of a circuit driven at a known
 // period T (no phase condition; the source defines time zero).
+//
+// Like ShootAutonomous, it is safe to call concurrently on a shared System.
 func ShootDriven(sys *circuit.System, x0 linalg.Vec, T float64, opt Options) (*Solution, error) {
+	return ShootDrivenCtx(context.Background(), sys, x0, T, opt)
+}
+
+// ShootDrivenCtx is ShootDriven with cancellation.
+func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T float64, opt Options) (*Solution, error) {
 	if opt.StepsPerPeriod == 0 {
 		opt.StepsPerPeriod = 512
 	}
@@ -212,7 +230,7 @@ func ShootDriven(sys *circuit.System, x0 linalg.Vec, T float64, opt Options) (*S
 	x := x0.Clone()
 	var lastRes float64
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		run, err := transient.Run(sys, x, 0, T, transient.Options{
+		run, err := transient.RunCtx(ctx, sys, x, 0, T, transient.Options{
 			Method:      opt.Method,
 			Step:        T / float64(opt.StepsPerPeriod),
 			Sensitivity: true,
@@ -225,7 +243,7 @@ func ShootDriven(sys *circuit.System, x0 linalg.Vec, T float64, opt Options) (*S
 		r.Sub(xT, x)
 		lastRes = r.NormInf()
 		if lastRes <= opt.Tol {
-			return buildSolution(sys, x, T, -1, opt, run.Sens, iter)
+			return buildSolution(ctx, sys, x, T, -1, opt, run.Sens, iter)
 		}
 		jac := run.Sens.Clone()
 		for i := 0; i < n; i++ {
@@ -245,9 +263,9 @@ func ShootDriven(sys *circuit.System, x0 linalg.Vec, T float64, opt Options) (*S
 
 // buildSolution integrates one final period on the converged orbit, records
 // the uniform grid, and computes Floquet multipliers.
-func buildSolution(sys *circuit.System, x0 linalg.Vec, T float64, anchor int, opt Options, mono *linalg.Mat, iters int) (*Solution, error) {
+func buildSolution(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T float64, anchor int, opt Options, mono *linalg.Mat, iters int) (*Solution, error) {
 	k := opt.StepsPerPeriod
-	run, err := transient.Run(sys, x0, 0, T, transient.Options{
+	run, err := transient.RunCtx(ctx, sys, x0, 0, T, transient.Options{
 		Method:      opt.Method,
 		Step:        T / float64(k),
 		Sensitivity: true,

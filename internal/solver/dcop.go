@@ -12,8 +12,9 @@ func DCOperatingPoint(sys *circuit.System, x0 linalg.Vec, t float64) (linalg.Vec
 	if x0 == nil {
 		x0 = linalg.NewVec(sys.N)
 	}
+	ws := sys.NewWorkspace()
 	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
-		sys.EvalScaled(x, t, f, j, gminScale, srcScale)
+		ws.EvalScaled(x, t, f, j, gminScale, srcScale)
 	}
 	return DCSolve(fn, x0, DefaultOptions())
 }

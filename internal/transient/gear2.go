@@ -1,6 +1,7 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -15,7 +16,7 @@ import (
 // bootstrapped with one Backward-Euler step. L-stability makes it the
 // method of choice for circuits whose trapezoidal solutions ring on
 // switching events (the transmission-gate edges of the clocked FSM).
-func runGear2(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
+func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
 	if opt.Adaptive {
 		return nil, errors.New("transient: Gear2 supports fixed steps only")
 	}
@@ -76,6 +77,7 @@ func runGear2(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (
 
 	g := &gearStepper{
 		sys:   sys,
+		ws:    sys.NewWorkspace(),
 		opt:   opt,
 		f1:    linalg.NewVec(n),
 		jac:   linalg.NewMat(n, n),
@@ -85,6 +87,9 @@ func runGear2(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (
 	t := t0 + h
 	sinceRecord := 1
 	for t < t1-1e-15 {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		hh := h
 		if t+hh > t1 {
 			// BDF2 coefficients assume equal steps; finish the interval with
@@ -144,6 +149,7 @@ func runGear2(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (
 // gearStepper solves one BDF2 step with Newton.
 type gearStepper struct {
 	sys   *circuit.System
+	ws    *circuit.Workspace
 	opt   Options
 	f1    linalg.Vec
 	jac   *linalg.Mat
@@ -164,7 +170,7 @@ func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, e
 		vtol = 1e-6
 	}
 	for iter := 0; iter < g.opt.MaxNewton; iter++ {
-		g.sys.EvalFJ(x1, t+h, g.f1, g.sysJ)
+		g.ws.EvalFJ(x1, t+h, g.f1, g.sysJ)
 		for i := 0; i < n; i++ {
 			acc := 0.0
 			row := c.Data[i*n : (i+1)*n]
@@ -198,7 +204,7 @@ func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, e
 func (g *gearStepper) sensFactors(x1 linalg.Vec, t, h float64) (*linalg.LU, error) {
 	n := g.sys.N
 	c := g.sys.C
-	g.sys.EvalFJ(x1, t+h, g.f1, g.sysJ)
+	g.ws.EvalFJ(x1, t+h, g.f1, g.sysJ)
 	for i := 0; i < n*n; i++ {
 		g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
 	}

@@ -10,6 +10,7 @@
 package transient
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -97,12 +98,21 @@ func (r *Result) Final() linalg.Vec { return r.X[len(r.X)-1] }
 var ErrStepUnderflow = errors.New("transient: step size underflow")
 
 // Run integrates the circuit ODE C·ẋ = −f(x,t) from x0 over [t0, t1].
+//
+// Run is safe to call concurrently on one shared System: every piece of
+// integration scratch lives in a per-call circuit.Workspace.
 func Run(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), sys, x0, t0, t1, opt)
+}
+
+// RunCtx is Run with cancellation: the integration checks ctx between steps
+// and returns ctx.Err() (with the partial trajectory) once canceled.
+func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
 	if opt.Step <= 0 {
 		return nil, errors.New("transient: Options.Step must be positive")
 	}
 	if opt.Method == Gear2 {
-		return runGear2(sys, x0, t0, t1, opt)
+		return runGear2(ctx, sys, x0, t0, t1, opt)
 	}
 	if opt.Record <= 0 {
 		opt.Record = 1
@@ -142,6 +152,9 @@ func Run(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Resu
 	hPrev := 0.0
 
 	for t < t1-1e-15*math.Max(1, math.Abs(t1)) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if t+h > t1 {
 			h = t1 - t
 		}
@@ -214,9 +227,12 @@ func Run(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Resu
 	return res, nil
 }
 
-// stepper solves one implicit θ-step with Newton.
+// stepper solves one implicit θ-step with Newton. All circuit evaluations go
+// through a per-stepper circuit.Workspace, so steppers on one shared System
+// never contend.
 type stepper struct {
 	sys   *circuit.System
+	ws    *circuit.Workspace
 	opt   Options
 	f0    linalg.Vec
 	f1    linalg.Vec
@@ -228,7 +244,7 @@ type stepper struct {
 func newStepper(sys *circuit.System, opt Options) *stepper {
 	n := sys.N
 	return &stepper{
-		sys: sys, opt: opt,
+		sys: sys, ws: sys.NewWorkspace(), opt: opt,
 		f0:    linalg.NewVec(n),
 		f1:    linalg.NewVec(n),
 		jac:   linalg.NewMat(n, n),
@@ -242,7 +258,7 @@ func newStepper(sys *circuit.System, opt Options) *stepper {
 func (s *stepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, error) {
 	n := s.sys.N
 	th := s.opt.Method.theta()
-	s.sys.EvalF(x0, t, s.f0)
+	s.ws.EvalF(x0, t, s.f0)
 	x1 := pred.Clone()
 	c := s.sys.C
 
@@ -254,7 +270,7 @@ func (s *stepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, erro
 		vtol = 1e-6
 	}
 	for iter := 0; iter < s.opt.MaxNewton; iter++ {
-		s.sys.EvalFJ(x1, t+h, s.f1, s.sysJ)
+		s.ws.EvalFJ(x1, t+h, s.f1, s.sysJ)
 		// residual = C(x1-x0)/h + θ f1 + (1-θ) f0
 		for i := 0; i < n; i++ {
 			acc := 0.0
@@ -297,8 +313,8 @@ func (s *stepper) stepSensitivity(x0, x1 linalg.Vec, t, h float64) (*linalg.Mat,
 	th := s.opt.Method.theta()
 	j0 := linalg.NewMat(n, n)
 	j1 := linalg.NewMat(n, n)
-	s.sys.EvalFJ(x0, t, s.f0, j0)
-	s.sys.EvalFJ(x1, t+h, s.f1, j1)
+	s.ws.EvalFJ(x0, t, s.f0, j0)
+	s.ws.EvalFJ(x1, t+h, s.f1, j1)
 	c := s.sys.C
 	lhs := linalg.NewMat(n, n)
 	rhs := linalg.NewMat(n, n)

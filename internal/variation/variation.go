@@ -12,11 +12,13 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/gae"
+	"repro/internal/parallel"
 	"repro/internal/ppv"
 	"repro/internal/pss"
 	"repro/internal/ringosc"
@@ -63,11 +65,18 @@ type Metrics struct {
 // Evaluate runs the full pipeline (build → PSS → PPV → GAE band) for a
 // configuration.
 func Evaluate(cfg ringosc.Config) (Metrics, error) {
+	return EvaluateCtx(context.Background(), cfg)
+}
+
+// EvaluateCtx is Evaluate with cancellation threaded into the PSS shooting
+// transients. Each call builds its own circuit and workspaces, so any number
+// of evaluations may run concurrently.
+func EvaluateCtx(ctx context.Context, cfg ringosc.Config) (Metrics, error) {
 	r, err := ringosc.Build(cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
-	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 512,
 	})
 	if err != nil {
@@ -98,24 +107,41 @@ type Sensitivity struct {
 // Sensitivities computes one-at-a-time ±1σ central differences through the
 // whole pipeline.
 func Sensitivities(base ringosc.Config, params []Param) ([]Sensitivity, error) {
-	nom, err := Evaluate(base)
+	return SensitivitiesCtx(context.Background(), base, params, 1)
+}
+
+// SensitivitiesCtx is Sensitivities with cancellation and a worker pool: the
+// 2·len(params) corner evaluations (each a full PSS→PPV→GAE pipeline, by far
+// the dominant cost) run concurrently on up to workers goroutines after the
+// nominal point. Results are bit-identical at any worker count.
+func SensitivitiesCtx(ctx context.Context, base ringosc.Config, params []Param, workers int) ([]Sensitivity, error) {
+	nom, err := EvaluateCtx(ctx, base)
 	if err != nil {
 		return nil, fmt.Errorf("variation: nominal evaluation: %w", err)
 	}
+	// Corner 2i is param i at +1σ, corner 2i+1 at −1σ.
+	corners, err := parallel.Map(ctx, 2*len(params), workers, func(i int) (Metrics, error) {
+		prm := params[i/2]
+		cfg := base
+		sign := +1.0
+		dir := "+1σ"
+		if i%2 == 1 {
+			sign = -1.0
+			dir = "−1σ"
+		}
+		prm.Apply(&cfg, sign)
+		m, err := EvaluateCtx(ctx, cfg)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("variation: %s %s: %w", prm.Name, dir, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Sensitivity, 0, len(params))
-	for _, prm := range params {
-		up := base
-		prm.Apply(&up, +1)
-		dn := base
-		prm.Apply(&dn, -1)
-		mu, err := Evaluate(up)
-		if err != nil {
-			return nil, fmt.Errorf("variation: %s +1σ: %w", prm.Name, err)
-		}
-		md, err := Evaluate(dn)
-		if err != nil {
-			return nil, fmt.Errorf("variation: %s −1σ: %w", prm.Name, err)
-		}
+	for i, prm := range params {
+		mu, md := corners[2*i], corners[2*i+1]
 		out = append(out, Sensitivity{
 			Param:      prm.Name,
 			DF0:        (mu.F0 - md.F0) / 2 / nom.F0,
@@ -136,9 +162,17 @@ type Sample struct {
 // MonteCarlo draws n samples with Gaussian parameter spreads (clipped at
 // ±3σ) using a deterministic seed, and evaluates each through the pipeline.
 func MonteCarlo(base ringosc.Config, params []Param, n int, seed int64) ([]Sample, error) {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]Sample, 0, n)
-	for i := 0; i < n; i++ {
+	return MonteCarloCtx(context.Background(), base, params, n, seed, 1)
+}
+
+// MonteCarloCtx is MonteCarlo with cancellation and a worker pool. Sample i
+// draws from its own RNG seeded with parallel.SubSeed(seed, i), so the
+// sampled corners — and every downstream statistic — are bit-identical at
+// any worker count. On error or cancellation the partial slice is returned;
+// samples that did not run are zero-valued.
+func MonteCarloCtx(ctx context.Context, base ringosc.Config, params []Param, n int, seed int64, workers int) ([]Sample, error) {
+	return parallel.Map(ctx, n, workers, func(i int) (Sample, error) {
+		rng := rand.New(rand.NewSource(parallel.SubSeed(seed, i)))
 		cfg := base
 		deltas := make([]float64, len(params))
 		for j, prm := range params {
@@ -152,13 +186,12 @@ func MonteCarlo(base ringosc.Config, params []Param, n int, seed int64) ([]Sampl
 			deltas[j] = d
 			prm.Apply(&cfg, d)
 		}
-		m, err := Evaluate(cfg)
+		m, err := EvaluateCtx(ctx, cfg)
 		if err != nil {
-			return out, fmt.Errorf("variation: sample %d: %w", i, err)
+			return Sample{}, fmt.Errorf("variation: sample %d: %w", i, err)
 		}
-		out = append(out, Sample{Deltas: deltas, Metrics: m})
-	}
-	return out, nil
+		return Sample{Deltas: deltas, Metrics: m}, nil
+	})
 }
 
 // Stats summarizes mean and relative standard deviation of each metric.
