@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare
 
-# The tier-1+ gate (see ROADMAP.md): formatting, vet, build, and the full
-# test suite under the race detector. CI and pre-commit both run this.
-check: fmt vet build race
+# The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
+# suite under the race detector, and the cross-method conformance ledger.
+# CI and pre-commit both run this.
+check: fmt vet build race xval
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -21,8 +22,31 @@ build:
 test:
 	$(GO) test ./...
 
+# Fast lane: skips the slow SPICE-level tests and examples (testing.Short).
+test-short:
+	$(GO) test -short ./...
+
 race:
 	$(GO) test -race ./...
 
+# Cross-method conformance ledger (internal/xval): all four method-pair
+# families plus the golden-trace baselines, raced. Exits non-zero on drift.
+xval:
+	$(GO) run -race ./cmd/phlogon-xval
+
+# Regenerate the golden fixtures from the current engines (review the diff!).
+xval-update:
+	$(GO) run ./cmd/phlogon-xval -update
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Re-pin the benchmark baseline (BENCH_baseline.json). Uses -benchtime 1x
+# like `make bench`, so numbers are directly comparable.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/phlogon-benchdiff parse -o BENCH_baseline.json
+
+# Compare a fresh benchmark run against the pinned baseline and report
+# per-benchmark deltas (tolerance guards against CI noise).
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json

@@ -1,0 +1,142 @@
+// Command phlogon-benchdiff pins and compares benchmark baselines.
+//
+// `go test -bench` output is not machine-comparable by itself; this tool
+// parses it into a stable JSON shape so a committed baseline
+// (BENCH_baseline.json) can gate performance regressions:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | phlogon-benchdiff parse -o BENCH_baseline.json
+//	go test -run '^$' -bench . -benchtime 1x . | phlogon-benchdiff compare -baseline BENCH_baseline.json
+//
+// compare exits 1 when any benchmark slows down or allocates beyond the
+// tolerances, or when a baselined benchmark disappears. Timing tolerance
+// defaults wide (-benchtime 1x numbers are noisy); allocation counts are
+// deterministic, so their tolerance is tight.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "phlogon-benchdiff: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  phlogon-benchdiff parse   [-o file]                         < bench-output
+  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] < bench-output`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phlogon-benchdiff:", err)
+	os.Exit(1)
+}
+
+func readSet(r io.Reader) *Set {
+	set, err := ParseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(set.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	return set
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("o", "-", "output file ('-' = stdout)")
+	fs.Parse(args)
+
+	set := readSet(os.Stdin)
+	data, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "phlogon-benchdiff: wrote %d benchmarks to %s\n",
+		len(set.Benchmarks), *out)
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baseFile := fs.String("baseline", "", "baseline JSON written by parse (required)")
+	tol := fs.Float64("tol", 1.0, "allowed fractional ns/op slowdown (1.0 = 2× the baseline)")
+	allocTol := fs.Float64("alloc-tol", 0.15, "allowed fractional allocs/op growth")
+	fs.Parse(args)
+	if *baseFile == "" {
+		fmt.Fprintln(os.Stderr, "phlogon-benchdiff: -baseline is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*baseFile)
+	if err != nil {
+		fatal(err)
+	}
+	var base Set
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", *baseFile, err))
+	}
+	if base.Version != SetVersion {
+		fatal(fmt.Errorf("%s: version %d, want %d (re-run `make bench-baseline`)",
+			*baseFile, base.Version, SetVersion))
+	}
+
+	cur := readSet(os.Stdin)
+	diffs := Compare(&base, cur, *tol, *allocTol)
+	bad := 0
+	for _, d := range diffs {
+		if d.Regressed {
+			bad++
+		}
+		fmt.Println(d)
+	}
+	fmt.Printf("%d benchmarks compared, %d regressed (tol %+.0f%% time, %+.0f%% allocs)\n",
+		len(diffs), bad, *tol*100, *allocTol*100)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// sortedNames returns the union of benchmark names in both sets, sorted.
+func sortedNames(a, b *Set) []string {
+	seen := map[string]bool{}
+	for n := range a.Benchmarks {
+		seen[n] = true
+	}
+	for n := range b.Benchmarks {
+		seen[n] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

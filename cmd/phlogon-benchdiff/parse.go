@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// SetVersion guards the JSON schema of a pinned baseline.
+const SetVersion = 1
+
+// Result is one benchmark's metrics as reported by `go test -bench`.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Set is a parsed benchmark run, keyed by benchmark name with any
+// -GOMAXPROCS suffix stripped so baselines transfer across machines.
+type Set struct {
+	Version    int               `json:"version"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo-8    100    123.4 ns/op    56 B/op    7 allocs/op
+//
+// The B/op and allocs/op columns are optional (-benchmem dependent).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+\d+\s+([0-9.eE+]+) ns/op(?:\s+([0-9.eE+]+) B/op)?(?:\s+([0-9.eE+]+) allocs/op)?`)
+
+// gomaxprocsSuffix strips the trailing -N go test appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBench extracts benchmark results from `go test -bench` output,
+// ignoring non-benchmark lines (PASS, ok, warnings). Duplicate names keep
+// the last occurrence.
+func ParseBench(r io.Reader) (*Set, error) {
+	set := &Set{Version: SetVersion, Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		var res Result
+		var err error
+		if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if m[3] != "" {
+			if res.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+			}
+		}
+		if m[4] != "" {
+			if res.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		set.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Diff is one benchmark's baseline-vs-current verdict.
+type Diff struct {
+	Name       string
+	Base, Cur  *Result // nil when the benchmark is missing on that side
+	TimeRatio  float64 // cur/base ns/op (0 when either side is missing)
+	AllocRatio float64 // cur/base allocs/op (0 when either side lacks counts)
+	Regressed  bool
+	Why        string
+}
+
+func (d Diff) String() string {
+	status := "ok  "
+	if d.Regressed {
+		status = "FAIL"
+	}
+	switch {
+	case d.Base == nil:
+		return fmt.Sprintf("%s %-36s new benchmark (no baseline)", status, d.Name)
+	case d.Cur == nil:
+		return fmt.Sprintf("%s %-36s missing from this run", status, d.Name)
+	default:
+		s := fmt.Sprintf("%s %-36s time ×%.2f", status, d.Name, d.TimeRatio)
+		if d.AllocRatio > 0 {
+			s += fmt.Sprintf("  allocs ×%.2f", d.AllocRatio)
+		}
+		if d.Why != "" {
+			s += "  (" + d.Why + ")"
+		}
+		return s
+	}
+}
+
+// Compare evaluates cur against base. A benchmark regresses when its ns/op
+// exceeds (1+tol)× the baseline, its allocs/op exceed (1+allocTol)× the
+// baseline, or it vanished from the run; new benchmarks are reported but
+// pass (pin them with `make bench-baseline`).
+func Compare(base, cur *Set, tol, allocTol float64) []Diff {
+	var diffs []Diff
+	for _, name := range sortedNames(base, cur) {
+		d := Diff{Name: name}
+		if b, ok := base.Benchmarks[name]; ok {
+			b := b
+			d.Base = &b
+		}
+		if c, ok := cur.Benchmarks[name]; ok {
+			c := c
+			d.Cur = &c
+		}
+		switch {
+		case d.Base == nil:
+			// New benchmark: informational only.
+		case d.Cur == nil:
+			d.Regressed = true
+			d.Why = "benchmark disappeared"
+		default:
+			if d.Base.NsPerOp > 0 {
+				d.TimeRatio = d.Cur.NsPerOp / d.Base.NsPerOp
+			}
+			if d.Base.AllocsPerOp > 0 {
+				d.AllocRatio = d.Cur.AllocsPerOp / d.Base.AllocsPerOp
+			}
+			if d.TimeRatio > 1+tol {
+				d.Regressed = true
+				d.Why = fmt.Sprintf("slower than tol ×%.2f", 1+tol)
+			}
+			if d.AllocRatio > 1+allocTol {
+				d.Regressed = true
+				if d.Why != "" {
+					d.Why += "; "
+				}
+				d.Why += fmt.Sprintf("allocs above tol ×%.2f", 1+allocTol)
+			}
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkShooting1N1P-8        	       3	  41234567 ns/op	 1234567 B/op	    4567 allocs/op
+BenchmarkFig07LockingRangeWorkersN 	       1	   3107396 ns/op	   16744 B/op	     363 allocs/op
+BenchmarkNoAllocCols           	     100	     987.5 ns/op
+BenchmarkDup-4                 	       1	       100 ns/op
+BenchmarkDup-4                 	       1	       200 ns/op
+PASS
+ok  	repro	3.927s
+`
+
+func TestParseBench(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Version != SetVersion {
+		t.Errorf("version = %d, want %d", set.Version, SetVersion)
+	}
+	if len(set.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(set.Benchmarks), set.Benchmarks)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	got, ok := set.Benchmarks["BenchmarkShooting1N1P"]
+	if !ok {
+		t.Fatal("BenchmarkShooting1N1P missing (suffix not stripped?)")
+	}
+	if got.NsPerOp != 41234567 || got.BytesPerOp != 1234567 || got.AllocsPerOp != 4567 {
+		t.Errorf("BenchmarkShooting1N1P = %+v", got)
+	}
+	// A name without suffix parses as-is.
+	if _, ok := set.Benchmarks["BenchmarkFig07LockingRangeWorkersN"]; !ok {
+		t.Error("suffix-less benchmark name missing")
+	}
+	// Missing -benchmem columns default to zero.
+	if got := set.Benchmarks["BenchmarkNoAllocCols"]; got.NsPerOp != 987.5 ||
+		got.BytesPerOp != 0 || got.AllocsPerOp != 0 {
+		t.Errorf("BenchmarkNoAllocCols = %+v", got)
+	}
+	// Duplicates keep the last run.
+	if got := set.Benchmarks["BenchmarkDup"]; got.NsPerOp != 200 {
+		t.Errorf("BenchmarkDup = %+v, want the later 200 ns/op", got)
+	}
+}
+
+func TestParseBenchEmptyInput(t *testing.T) {
+	set, err := ParseBench(strings.NewReader("PASS\nok\treload\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from benchless output", len(set.Benchmarks))
+	}
+}
+
+func mkSet(pairs map[string]Result) *Set {
+	return &Set{Version: SetVersion, Benchmarks: pairs}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := mkSet(map[string]Result{
+		"BenchmarkStable":  {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkSlower":  {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkAllocUp": {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkGone":    {NsPerOp: 100},
+	})
+	cur := mkSet(map[string]Result{
+		"BenchmarkStable":  {NsPerOp: 150, AllocsPerOp: 10}, // within ×2 tol
+		"BenchmarkSlower":  {NsPerOp: 250, AllocsPerOp: 10}, // past ×2 tol
+		"BenchmarkAllocUp": {NsPerOp: 100, AllocsPerOp: 13}, // past ×1.15 allocs
+		"BenchmarkNew":     {NsPerOp: 100},
+	})
+	verdicts := map[string]bool{}
+	for _, d := range Compare(base, cur, 1.0, 0.15) {
+		verdicts[d.Name] = d.Regressed
+	}
+	want := map[string]bool{
+		"BenchmarkStable":  false,
+		"BenchmarkSlower":  true,
+		"BenchmarkAllocUp": true,
+		"BenchmarkGone":    true,  // disappeared
+		"BenchmarkNew":     false, // informational
+	}
+	for name, regressed := range want {
+		got, ok := verdicts[name]
+		if !ok {
+			t.Errorf("%s missing from diff", name)
+			continue
+		}
+		if got != regressed {
+			t.Errorf("%s regressed = %v, want %v", name, got, regressed)
+		}
+	}
+	if len(verdicts) != len(want) {
+		t.Errorf("got %d diffs, want %d", len(verdicts), len(want))
+	}
+}
+
+func TestCompareExactBaselinePasses(t *testing.T) {
+	base := mkSet(map[string]Result{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 7}})
+	for _, d := range Compare(base, base, 1.0, 0.15) {
+		if d.Regressed {
+			t.Errorf("self-comparison regressed: %s", d)
+		}
+	}
+}

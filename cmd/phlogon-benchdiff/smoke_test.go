@@ -1,0 +1,73 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func runWithStdin(t *testing.T, bin, stdin string, args ...string) cmdtest.Result {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	res := cmdtest.Result{Stdout: stdout.String(), Stderr: stderr.String()}
+	if exitErr, ok := err.(*exec.ExitError); ok {
+		res.ExitCode = exitErr.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const fakeBench = "BenchmarkX-8 \t 1 \t 100 ns/op \t 10 B/op \t 5 allocs/op\nPASS\n"
+
+func TestBadSubcommandExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-benchdiff")
+	for _, args := range [][]string{nil, {"bogus"}} {
+		res := cmdtest.Run(t, bin, "", args...)
+		if res.ExitCode != 2 {
+			t.Errorf("args %v: exit %d, want 2\nstderr: %s", args, res.ExitCode, res.Stderr)
+		}
+	}
+}
+
+func TestParseCompareRoundTrip(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-benchdiff")
+	baseline := filepath.Join(t.TempDir(), "base.json")
+
+	res := runWithStdin(t, bin, fakeBench, "parse", "-o", baseline)
+	if res.ExitCode != 0 {
+		t.Fatalf("parse exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+	cmdtest.MustExist(t, baseline)
+
+	// Same numbers: compare passes.
+	res = runWithStdin(t, bin, fakeBench, "compare", "-baseline", baseline)
+	if res.ExitCode != 0 {
+		t.Fatalf("self-compare exit %d\nstdout: %s", res.ExitCode, res.Stdout)
+	}
+	cmdtest.MustContain(t, res.Stdout, "0 regressed")
+
+	// 10× slower: compare must exit 1 and name the offender.
+	slow := strings.Replace(fakeBench, "100 ns/op", "1000 ns/op", 1)
+	res = runWithStdin(t, bin, slow, "compare", "-baseline", baseline)
+	if res.ExitCode != 1 {
+		t.Fatalf("regressed compare exit %d, want 1\nstdout: %s", res.ExitCode, res.Stdout)
+	}
+	cmdtest.MustContain(t, res.Stdout, "FAIL BenchmarkX", "1 regressed")
+}
+
+func TestCompareRequiresBaselineFlag(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-benchdiff")
+	res := runWithStdin(t, bin, fakeBench, "compare")
+	if res.ExitCode != 2 {
+		t.Errorf("exit %d, want 2\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}

@@ -1,0 +1,26 @@
+package main_test
+
+import (
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestBadSubcommandExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-char")
+	for _, args := range [][]string{nil, {"bogus"}} {
+		res := cmdtest.Run(t, bin, "", args...)
+		if res.ExitCode != 2 {
+			t.Errorf("args %v: exit %d, want 2\nstderr: %s", args, res.ExitCode, res.Stderr)
+		}
+	}
+}
+
+func TestNoiseSubcommand(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-char")
+	res := cmdtest.Run(t, bin, "", "noise", "-runs", "1")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout, "f0 =", "SHIL lock stiffness")
+}

@@ -1,0 +1,27 @@
+package main_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestUnknownFigureExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-figs")
+	res := cmdtest.Run(t, bin, "", "-fig", "bogus")
+	if res.ExitCode != 2 {
+		t.Errorf("exit %d, want 2\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}
+
+func TestSingleFigureArtifacts(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-figs")
+	out := t.TempDir()
+	res := cmdtest.Run(t, bin, "", "-fig", "fig04", "-out", out, "-eff=false")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout, "== fig04", "artifacts written to")
+	cmdtest.MustExist(t, filepath.Join(out, "fig04.svg"))
+}

@@ -1,0 +1,25 @@
+package main_test
+
+import (
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestBadFlagExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-fsm")
+	res := cmdtest.Run(t, bin, "", "-no-such-flag")
+	if res.ExitCode != 2 {
+		t.Errorf("exit %d, want 2\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}
+
+func TestOneBitAdd(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-fsm")
+	res := cmdtest.Run(t, bin, "", "-a", "1", "-b", "1")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout,
+		"serial adder on phase macromodels", "result: CORRECT")
+}

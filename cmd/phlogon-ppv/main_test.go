@@ -1,0 +1,37 @@
+package main_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestMissingFlagsExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-ppv")
+	for _, args := range [][]string{
+		nil,
+		{"-f0", "9.6k"},
+		{"-deck", "nope.cir"},
+	} {
+		res := cmdtest.Run(t, bin, "", args...)
+		if res.ExitCode != 2 {
+			t.Errorf("args %v: exit %d, want 2\nstderr: %s", args, res.ExitCode, res.Stderr)
+		}
+	}
+}
+
+func TestRingDeckRun(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-ppv")
+	deck := cmdtest.WriteRingDeck(t)
+	dir := filepath.Dir(deck)
+	res := cmdtest.Run(t, bin, dir, "-deck", deck, "-f0", "9.6k",
+		"-harms", "3", "-csv", "ppv.csv")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout,
+		"PSS: f0 =", "PPV: periodicity error", "PPV harmonics",
+		"PPV waveforms written to")
+	cmdtest.MustExist(t, filepath.Join(dir, "ppv.csv"))
+}

@@ -1,0 +1,54 @@
+package main_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestMissingFlagsExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-pss")
+	for _, args := range [][]string{
+		nil,                   // no flags at all
+		{"-f0", "9.6k"},       // deck missing
+		{"-deck", "nope.cir"}, // f0 missing
+	} {
+		res := cmdtest.Run(t, bin, "", args...)
+		if res.ExitCode != 2 {
+			t.Errorf("args %v: exit %d, want 2\nstderr: %s", args, res.ExitCode, res.Stderr)
+		}
+	}
+}
+
+func TestUnreadableDeckExit1(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-pss")
+	res := cmdtest.Run(t, bin, "", "-deck", "does-not-exist.cir", "-f0", "9.6k")
+	if res.ExitCode != 1 {
+		t.Errorf("exit %d, want 1\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}
+
+func TestRingDeckRun(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-pss")
+	deck := cmdtest.WriteRingDeck(t)
+	res := cmdtest.Run(t, bin, "", "-deck", deck, "-f0", "9.6k")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout,
+		"PSS: f0 =", "Floquet multipliers:", "orbital stability:")
+}
+
+func TestHBAndCSVOutputs(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-pss")
+	deck := cmdtest.WriteRingDeck(t)
+	dir := filepath.Dir(deck)
+	res := cmdtest.Run(t, bin, dir, "-deck", deck, "-f0", "9.6k",
+		"-hb", "-csv", "pss.csv")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout, "HB refinement:", "PSS waveforms written to")
+	cmdtest.MustExist(t, filepath.Join(dir, "pss.csv"))
+}

@@ -1,0 +1,42 @@
+package main_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestMissingDeckExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-sim")
+	for _, args := range [][]string{nil, {"-stop", "1m"}} {
+		res := cmdtest.Run(t, bin, "", args...)
+		if res.ExitCode != 2 {
+			t.Errorf("args %v: exit %d, want 2\nstderr: %s", args, res.ExitCode, res.Stderr)
+		}
+	}
+}
+
+func TestUnreadableDeckExit1(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-sim")
+	res := cmdtest.Run(t, bin, "", "-deck", "does-not-exist.cir")
+	if res.ExitCode != 1 {
+		t.Errorf("exit %d, want 1\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}
+
+func TestTransientToCSV(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-sim")
+	deck := cmdtest.WriteRingDeck(t)
+	dir := filepath.Dir(deck)
+	res := cmdtest.Run(t, bin, dir, "-deck", deck,
+		"-stop", "0.1m", "-step", "1u",
+		"-ic", "n1=2.7,n2=0.3,n3=1.5", "-o", "sim.csv")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stderr, "steps", "Newton iterations")
+	out := filepath.Join(dir, "sim.csv")
+	cmdtest.MustExist(t, out)
+	cmdtest.MustContain(t, cmdtest.ReadFile(t, out), "t,", "n1")
+}

@@ -1,0 +1,109 @@
+// Command phlogon-xval runs the cross-method conformance ledger
+// (internal/xval): shooting↔HB, adjoint↔PPV-HB, GAE↔transient and
+// macromodel-FSM↔transistor-level method pairs, plus the golden-trace
+// regression baselines. It exits non-zero when any ledger entry drifts
+// outside its declared tolerance, making it usable as a CI gate
+// (`make xval` wires it into `make check`).
+//
+// Usage:
+//
+//	phlogon-xval [-families pss,ppv,gae,fsm] [-fast] [-workers n]
+//	             [-json report.json] [-golden dir] [-update] [-list]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/xval"
+)
+
+func main() {
+	families := flag.String("families", "", "comma-separated family filter (pss,ppv,gae,fsm); empty = all")
+	fast := flag.Bool("fast", false, "skip the slow SPICE-level cases")
+	workers := flag.Int("workers", 0, "case fan-out bound (0 = NumCPU)")
+	jsonOut := flag.String("json", "", "write the machine-readable report to this file ('-' = stdout)")
+	goldenDir := flag.String("golden", "", "read golden fixtures from this directory instead of the embedded copies")
+	update := flag.Bool("update", false, "regenerate golden fixtures under internal/xval/testdata/golden (or -golden dir)")
+	list := flag.Bool("list", false, "list the ledger cases and exit")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "phlogon-xval: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ledger := xval.Ledger()
+	if *list {
+		for _, c := range ledger {
+			speed := "fast"
+			if c.Slow {
+				speed = "slow"
+			}
+			fmt.Printf("%-28s %-5s %s\n", c.ID, speed, c.Desc)
+		}
+		return
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := xval.Options{
+		FastOnly: *fast,
+		Workers:  *workers,
+		Ctx:      sigCtx,
+	}
+	if *families != "" {
+		opt.Families = strings.Split(*families, ",")
+	}
+	if !*update {
+		golden, err := xval.LoadGolden(*goldenDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Golden = golden
+	}
+
+	fx := xval.NewFixtures(*workers)
+	fx.Ctx = sigCtx
+	rep := xval.Run(ledger, fx, opt)
+	fmt.Print(rep.Summary())
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *update {
+		if !rep.Pass {
+			fmt.Fprintln(os.Stderr, "phlogon-xval: refusing to update golden from a failing ledger")
+			os.Exit(1)
+		}
+		if err := xval.UpdateGolden(*goldenDir, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("golden fixtures updated")
+	}
+
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

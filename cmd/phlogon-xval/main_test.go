@@ -1,0 +1,53 @@
+package main_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestExtraArgsExit2(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-xval")
+	res := cmdtest.Run(t, bin, "", "unexpected")
+	if res.ExitCode != 2 {
+		t.Errorf("exit %d, want 2\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}
+
+func TestListEnumeratesLedger(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-xval")
+	res := cmdtest.Run(t, bin, "", "-list")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout,
+		"pss/shooting-vs-hb", "ppv/adjoint-vs-hb",
+		"gae/lock-threshold", "fsm/adder-101")
+}
+
+func TestFastFamilyRunWithJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pss conformance case (shooting + HB refinement)")
+	}
+	bin := cmdtest.Build(t, "./cmd/phlogon-xval")
+	report := filepath.Join(t.TempDir(), "report.json")
+	res := cmdtest.Run(t, bin, "", "-fast", "-families", "pss", "-json", report)
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", res.ExitCode, res.Stdout, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout, "PASS")
+	var rep struct {
+		Pass  bool `json:"pass"`
+		Cases []struct {
+			ID string `json:"id"`
+		} `json:"cases"`
+	}
+	if err := json.Unmarshal([]byte(cmdtest.ReadFile(t, report)), &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if !rep.Pass || len(rep.Cases) == 0 {
+		t.Errorf("report pass=%v cases=%d, want passing non-empty report", rep.Pass, len(rep.Cases))
+	}
+}

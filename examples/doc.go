@@ -1,0 +1,6 @@
+// Package examples anchors the runnable example programs in the module
+// build graph. Each subdirectory is a standalone main package exercising
+// one slice of the toolchain (see each main.go's header comment);
+// examples_test.go builds and runs every one of them so `go test ./...`
+// catches API drift that would break the documented entry points.
+package examples

@@ -1,0 +1,67 @@
+package examples_test
+
+import (
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+// Every example program must build, run to completion with exit 0, and
+// print the landmark lines below. The landmarks are chosen from both the
+// top and the bottom of each program's output, so a mid-run panic or a
+// silently wrong result (e.g. the adder printing a sum without the
+// "correctly" verdict) fails the smoke test even though the process may
+// have kept going.
+var examplePrograms = []struct {
+	dir   string
+	wants []string
+}{
+	{"quickstart", []string{
+		"PSS by shooting: f0 = 9596.1 Hz",
+		"orbitally stable: true",
+		"locking range at 100 µA SYNC",
+		"bit flip with a 150 µA D input",
+	}},
+	{"netlistsim", []string{
+		"parsed deck: circuit with 3 free nodes",
+		"SHIL lock predicted = false",
+		"SHIL lock predicted = true",
+	}},
+	{"dlatch", []string{
+		"== bit storage (SHIL locking range)",
+		"measured phase before flip",
+		"SPICE-level flip confirms the half-cycle phase transition",
+	}},
+	{"srlatch", []string{
+		"== SR latch weight study (Fig. 14)",
+		"no level-encoded signal anywhere in the latch.",
+	}},
+	{"serialadder", []string{
+		"a       = 01101 (= 13)",
+		"sum     = 11000 (= 24)",
+		"phase-logic adder computed 13 + 11 = 24 correctly",
+	}},
+	{"noiseimmunity", []string{
+		"thermal phase diffusion c =",
+		"stronger SYNC ⇒ stiffer lock ⇒ exponentially fewer bit errors",
+	}},
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example program")
+	}
+	for _, ex := range examplePrograms {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := cmdtest.Build(t, "./examples/"+ex.dir)
+			res := cmdtest.Run(t, bin, "")
+			if res.ExitCode != 0 {
+				t.Fatalf("exit %d\nstdout: %s\nstderr: %s",
+					res.ExitCode, res.Stdout, res.Stderr)
+			}
+			cmdtest.MustContain(t, res.Stdout, ex.wants...)
+		})
+	}
+}

@@ -1,0 +1,169 @@
+// Package cmdtest provides shared helpers for smoke-testing the cmd/
+// binaries: building each CLI once per test binary, running it with
+// arguments, and a canonical netlist deck fixture. CLI regressions (flag
+// renames, broken deck parsing, changed exit codes) then fail tier-1
+// instead of silently breaking figure regeneration or scripted runs.
+package cmdtest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// RingDeck is the paper's Fig. 3 ring oscillator as a SPICE-style deck —
+// the minimal input that exercises the -deck flag of phlogon-pss,
+// phlogon-ppv and phlogon-sim.
+const RingDeck = `
+* 3-stage ring oscillator, ALD1106/07 inverters, 4.7 nF loads (paper Fig. 3)
+.rail vdd 3.0
+.param cload=4.7n
+Mn1 n1 n3 0   nmos model=ald1106
+Mp1 n1 n3 vdd pmos model=ald1107
+C1  n1 0 {cload}
+Mn2 n2 n1 0   nmos model=ald1106
+Mp2 n2 n1 vdd pmos model=ald1107
+C2  n2 0 {cload}
+Mn3 n3 n2 0   nmos model=ald1106
+Mp3 n3 n2 vdd pmos model=ald1107
+C3  n3 0 {cload}
+.end
+`
+
+// WriteRingDeck writes the deck fixture into t's temp dir and returns its
+// path.
+func WriteRingDeck(t testing.TB) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ring.cir")
+	if err := os.WriteFile(path, []byte(RingDeck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t testing.TB) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("cmdtest: go.mod not found above the test's working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]string{}
+	buildDir   string
+)
+
+// Build compiles the given package (e.g. "./cmd/phlogon-pss") once per test
+// binary and returns the executable path. Repeated calls reuse the first
+// build.
+func Build(t testing.TB, pkg string) string {
+	t.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if bin, ok := buildCache[pkg]; ok {
+		return bin
+	}
+	if buildDir == "" {
+		dir, err := os.MkdirTemp("", "cmdtest-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildDir = dir
+		// The test binary owns the directory for its whole lifetime; clean
+		// it when the process exits rather than per-test (the cache is
+		// shared across tests).
+	}
+	bin := filepath.Join(buildDir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("cmdtest: go build %s: %v\n%s", pkg, err, out)
+	}
+	buildCache[pkg] = bin
+	return bin
+}
+
+// Result is a finished CLI invocation.
+type Result struct {
+	Stdout   string
+	Stderr   string
+	ExitCode int
+}
+
+// Run executes the binary with args in dir (the module root when dir is "")
+// and returns its output and exit code; failing to start is fatal, a
+// non-zero exit is not (the caller asserts on ExitCode).
+func Run(t testing.TB, bin, dir string, args ...string) Result {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if dir == "" {
+		dir = moduleRoot(t)
+	}
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	res := Result{Stdout: stdout.String(), Stderr: stderr.String()}
+	if err != nil {
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("cmdtest: run %s: %v", bin, err)
+		}
+		res.ExitCode = exitErr.ExitCode()
+	}
+	return res
+}
+
+// ReadFile returns the file's contents, failing the test on error.
+func ReadFile(t testing.TB, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// MustExist asserts that every path exists and is a non-empty regular file.
+func MustExist(t testing.TB, paths ...string) {
+	t.Helper()
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("expected output file: %v", err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("output file %s is empty", p)
+		}
+	}
+}
+
+// MustContain asserts that output contains every wanted substring.
+func MustContain(t testing.TB, output string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(output, w) {
+			t.Errorf("output missing %q:\n%s", w, output)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randomSeries draws a series with H harmonics whose coefficients are O(1),
+// respecting the reality condition (C[0] real).
+func randomSeries(rng *rand.Rand, h int) *Series {
+	coef := make([]complex128, h+1)
+	coef[0] = complex(rng.NormFloat64(), 0)
+	for n := 1; n <= h; n++ {
+		coef[n] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return &Series{Coef: coef}
+}
+
+// A band-limited series sampled at N ≥ 2H+2 points must reconstruct its own
+// coefficients exactly (up to roundoff): Sample and NewSeriesFromSamples are
+// inverse operations on the band-limited subspace, for every harmonic count
+// and every admissible grid, including non-power-of-two grids that exercise
+// the Bluestein FFT path.
+func TestSeriesSampleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, h := range []int{0, 1, 3, 7, 16} {
+		for _, n := range []int{2*h + 2, 2*h + 3, 4*h + 4, 100} {
+			s := randomSeries(rng, h)
+			got := NewSeriesFromSamples(s.Sample(n), h)
+			for m := 0; m <= h; m++ {
+				if d := cmplx.Abs(got.Coefficient(m) - s.Coefficient(m)); d > 1e-12 {
+					t.Errorf("H=%d N=%d: harmonic %d drifted by %g", h, n, m, d)
+				}
+			}
+		}
+	}
+}
+
+// IFFT(FFT(x)) must reproduce x for arbitrary complex inputs at power-of-two,
+// odd, prime and composite lengths.
+func TestFFTInverseRoundTripRandomLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 5, 8, 12, 17, 64, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if d := cmplx.Abs(y[i] - x[i]); d > 1e-10 {
+				t.Errorf("n=%d: sample %d drifted by %g", n, i, d)
+			}
+		}
+	}
+}
+
+// The spectrum of a real signal is conjugate-symmetric: X[k] = conj(X[N-k]).
+func TestFFTRealConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 9, 16, 30} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := FFTReal(x)
+		for k := 1; k < n; k++ {
+			if d := cmplx.Abs(spec[k] - cmplx.Conj(spec[n-k])); d > 1e-10 {
+				t.Errorf("n=%d: bin %d breaks conjugate symmetry by %g", n, k, d)
+			}
+		}
+	}
+}
+
+// Shifted(dt) must evaluate as the waveform delayed by dt cycles, and
+// EvalDeriv must agree with a central finite difference of Eval.
+func TestShiftAndDerivativeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSeries(rng, 6)
+	del := s.Shifted(0.3)
+	for i := 0; i < 50; i++ {
+		x := rng.Float64()
+		if d := math.Abs(del.Eval(x) - s.Eval(x-0.3)); d > 1e-10 {
+			t.Errorf("shift property violated at t=%g by %g", x, d)
+		}
+		const h = 1e-6
+		fd := (s.Eval(x+h) - s.Eval(x-h)) / (2 * h)
+		if d := math.Abs(s.EvalDeriv(x) - fd); d > 1e-3 {
+			t.Errorf("derivative mismatch at t=%g: analytic %g vs FD %g", x, s.EvalDeriv(x), fd)
+		}
+	}
+}
+
+// Parseval: the RMS computed from coefficients must equal the RMS of a dense
+// sample grid (exact for band-limited signals on N > 2H grids).
+func TestRMSMatchesSampleEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, h := range []int{1, 4, 9} {
+		s := randomSeries(rng, h)
+		samples := s.Sample(8 * (h + 1))
+		sum := 0.0
+		for _, v := range samples {
+			sum += v * v
+		}
+		sampleRMS := math.Sqrt(sum / float64(len(samples)))
+		if d := math.Abs(s.RMS() - sampleRMS); d > 1e-10*(1+sampleRMS) {
+			t.Errorf("H=%d: coefficient RMS %g vs sample RMS %g", h, s.RMS(), sampleRMS)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package ppv_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ringosc"
+)
+
+// The PPV is a T0-periodic function by construction; its spectral evaluator
+// must honor that for arbitrary (including negative and far-out-of-range)
+// times on every node.
+func TestPPVOnePeriodicity(t *testing.T) {
+	_, _, p := extract(t, ringosc.DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+	scale := math.Abs(2 * real(p.Harmonic(0, 1)))
+	for node := 0; node < len(p.NodeSeries); node++ {
+		for i := 0; i < 32; i++ {
+			tt := (rng.Float64() - 0.5) * 10 * p.T0
+			base := p.At(node, tt)
+			for _, j := range []float64{1, -1, 7} {
+				if d := math.Abs(p.At(node, tt+j*p.T0) - base); d > 1e-9*scale {
+					t.Errorf("node %d: |v(t+%g·T0) − v(t)| = %g at t=%g", node, j, d, tt)
+				}
+			}
+		}
+	}
+}
+
+// Harmonic must satisfy the reality condition V_{-m} = conj(V_m) and vanish
+// beyond the stored truncation — the GAE's phase-logic algebra (paper eq. 5)
+// silently relies on both.
+func TestPPVHarmonicRealityCondition(t *testing.T) {
+	_, _, p := extract(t, ringosc.DefaultConfig())
+	for node := 0; node < len(p.NodeSeries); node++ {
+		for m := 1; m <= 4; m++ {
+			vp, vm := p.Harmonic(node, m), p.Harmonic(node, -m)
+			if d := cmplx.Abs(vm - cmplx.Conj(vp)); d > 1e-12*cmplx.Abs(vp) {
+				t.Errorf("node %d harmonic %d: V_{-m} − conj(V_m) = %g", node, m, d)
+			}
+		}
+		if v := p.Harmonic(node, 1000); v != 0 {
+			t.Errorf("node %d: harmonic beyond truncation = %v, want 0", node, v)
+		}
+	}
+}
+
+// Integrating v(t)·e^{-2πimt/T0} over one period must recover Harmonic(m):
+// the time-domain evaluator and the stored spectrum describe the same
+// function. This is also the zero-mean-drift invariant — the average drift
+// from a harmonic-m current is carried entirely by coefficient m, all other
+// harmonics averaging to zero over a cycle.
+func TestPPVQuadratureRecoversHarmonics(t *testing.T) {
+	_, _, p := extract(t, ringosc.DefaultConfig())
+	const n = 4096
+	for node := 0; node < len(p.NodeSeries); node++ {
+		scale := cmplx.Abs(p.Harmonic(node, 1))
+		for m := 0; m <= 3; m++ {
+			var acc complex128
+			for k := 0; k < n; k++ {
+				x := float64(k) / n
+				acc += complex(p.At(node, x*p.T0), 0) *
+					cmplx.Exp(complex(0, -2*math.Pi*float64(m)*x))
+			}
+			acc /= n
+			if d := cmplx.Abs(acc - p.Harmonic(node, m)); d > 1e-6*scale {
+				t.Errorf("node %d harmonic %d: quadrature %v vs stored %v (Δ=%g)",
+					node, m, acc, p.Harmonic(node, m), d)
+			}
+		}
+	}
+}

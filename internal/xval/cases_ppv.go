@@ -1,0 +1,101 @@
+package xval
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ppvCases: time-domain adjoint ↔ frequency-domain PPV-HB. The two
+// extraction routes share only the underlying PSS; their agreement on the
+// PPV Fourier coefficients is the strongest internal cross-validation in
+// the tool chain (the GAE and every phase macromodel consume exactly these
+// coefficients).
+func ppvCases() []*Case {
+	return []*Case{
+		{
+			ID:     "ppv/adjoint-vs-hb",
+			Family: "ppv",
+			Desc:   "adjoint PPV vs PPV-HB: node-0 Fourier coefficients, waveform, extraction health",
+			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+				_, sol, td, err := fx.Ring1()
+				if err != nil {
+					return nil, nil, err
+				}
+				_, fd, err := fx.HB1()
+				if err != nil {
+					return nil, nil, err
+				}
+				scale := cmplx.Abs(td.Harmonic(0, 1))
+				var checks []Check
+				// The harmonics the GAE reads: m = 0 (bias drift), 1 (D input
+				// coupling), 2 (SYNC coupling), 3 (margin).
+				for m := 0; m <= 3; m++ {
+					checks = append(checks, Check{
+						ID:      fmt.Sprintf("ppv/adjoint-vs-hb/coef%d", m),
+						MethodA: "adjoint", MethodB: "ppv-hb",
+						A: cmplx.Abs(td.Harmonic(0, m) - fd.Harmonic(0, m)), Kind: Max, Tol: 0.03 * scale,
+						Note: "|coef(adjoint) − coef(ppv-hb)| against |V₁|",
+					})
+				}
+				// Whole-waveform agreement over one period.
+				worst, wscale := 0.0, 0.0
+				for i := 0; i < 256; i++ {
+					tt := sol.T0 * float64(i) / 256
+					worst = math.Max(worst, math.Abs(td.At(0, tt)-fd.At(0, tt)))
+					wscale = math.Max(wscale, math.Abs(td.At(0, tt)))
+				}
+				checks = append(checks, Check{
+					ID: "ppv/adjoint-vs-hb/waveform", MethodA: "adjoint", MethodB: "ppv-hb",
+					A: worst, Kind: Max, Tol: 0.05 * wscale,
+					Note: "max waveform deviation over one period",
+				},
+					// Health of the adjoint extraction itself.
+					Check{
+						ID: "ppv/adjoint-vs-hb/periodicity", MethodA: "adjoint",
+						A: td.PeriodicityError(), Kind: Max, Tol: 2e-2,
+					},
+					Check{
+						ID: "ppv/adjoint-vs-hb/norm-error", MethodA: "adjoint",
+						A: td.NormError, Kind: Max, Tol: 5e-2,
+					})
+				obs := Observables{
+					"v1_abs":     td.NodeSeries[0].Magnitude(1),
+					"v2_abs":     td.NodeSeries[0].Magnitude(2),
+					"hb_v1_abs":  fd.NodeSeries[0].Magnitude(1),
+					"hb_v2_abs":  fd.NodeSeries[0].Magnitude(2),
+					"v2_over_v1": td.NodeSeries[0].Magnitude(2) / td.NodeSeries[0].Magnitude(1),
+				}
+				return checks, obs, nil
+			},
+		},
+		{
+			ID:     "ppv/2n1p-asymmetry",
+			Family: "ppv",
+			Desc:   "2N1P inverter enlarges the PPV second harmonic (paper Fig. 6, both rings via the adjoint)",
+			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+				_, _, p1, err := fx.Ring1()
+				if err != nil {
+					return nil, nil, err
+				}
+				_, _, p2, err := fx.Ring2()
+				if err != nil {
+					return nil, nil, err
+				}
+				r1 := p1.NodeSeries[0].Magnitude(2) / p1.NodeSeries[0].Magnitude(1)
+				r2 := p2.NodeSeries[0].Magnitude(2) / p2.NodeSeries[0].Magnitude(1)
+				checks := []Check{{
+					ID: "ppv/2n1p-asymmetry/enlargement", MethodA: "2n1p/1n1p",
+					A: r2 / r1, Kind: Min, Tol: 1.2,
+					Note: "asymmetrized inverter must enlarge |V₂|/|V₁| (paper: +56%)",
+				}}
+				obs := Observables{
+					"ratio_1n1p":  r1,
+					"ratio_2n1p":  r2,
+					"enlargement": r2 / r1,
+				}
+				return checks, obs, nil
+			},
+		},
+	}
+}

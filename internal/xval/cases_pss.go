@@ -1,0 +1,93 @@
+package xval
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// pssCases: shooting ↔ harmonic balance. The two PSS engines share nothing
+// past the circuit stamp — shooting integrates and Newton-iterates on the
+// monodromy, HB solves the spectral collocation system — so agreement on
+// f0 and the waveform spectrum certifies both.
+func pssCases() []*Case {
+	return []*Case{
+		{
+			ID:     "pss/shooting-vs-hb",
+			Family: "pss",
+			Desc:   "autonomous shooting vs refined harmonic balance: f0, node-0 spectrum, Floquet health",
+			Golden: map[string]GoldenTol{
+				"f0_hz":    {Kind: Rel, Tol: 1e-5},
+				"hb_f0_hz": {Kind: Rel, Tol: 1e-5},
+			},
+			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+				_, sol, _, err := fx.Ring1()
+				if err != nil {
+					return nil, nil, err
+				}
+				hb, _, err := fx.HB1()
+				if err != nil {
+					return nil, nil, err
+				}
+				checks := []Check{{
+					ID: "pss/shooting-vs-hb/f0", MethodA: "shooting", MethodB: "hb",
+					A: sol.F0, B: hb.F0, Kind: Rel, Tol: 2e-3,
+				}, {
+					ID: "pss/shooting-vs-hb/hb-residual", MethodA: "hb",
+					A: hb.Residual, Kind: Max, Tol: 1e-10,
+					Note: "refined HB residual (A)",
+				}}
+				// Waveform spectrum of the output node, m = 1..3, against the
+				// fundamental's scale (DC is pinned by both methods' bias
+				// solves; higher harmonics fall below the comparison floor).
+				ss := sol.NodeSeries(0, HBHarmonics)
+				hs := hb.NodeSeries(0)
+				scale := ss.Magnitude(1)
+				obs := Observables{
+					"f0_hz":    sol.F0,
+					"hb_f0_hz": hb.F0,
+				}
+				for m := 1; m <= 3; m++ {
+					checks = append(checks, Check{
+						ID:      "pss/shooting-vs-hb/harm" + string(rune('0'+m)),
+						MethodA: "shooting", MethodB: "hb",
+						A: cmplx.Abs(ss.Coefficient(m) - hs.Coefficient(m)), Kind: Max, Tol: 0.02 * scale,
+						Note: "|X_m(shooting) − X_m(hb)| against |X_1|",
+					})
+					obs["x"+string(rune('0'+m))+"_abs"] = ss.Magnitude(m)
+				}
+				// Floquet health of the shooting orbit: the trivial multiplier
+				// must sit on the unit circle and the rest strictly inside.
+				trivial, other, stable := sol.StabilityReport()
+				checks = append(checks,
+					Check{
+						ID: "pss/shooting-vs-hb/trivial-multiplier", MethodA: "shooting",
+						A: cmplx.Abs(trivial - 1), Kind: Max, Tol: 5e-3,
+						Note: "|μ₁ − 1| of the monodromy",
+					},
+					Check{
+						ID: "pss/shooting-vs-hb/orbit-stable", MethodA: "shooting",
+						A: boolTo01(stable), Kind: Min, Tol: 1,
+					},
+				)
+				obs["mu_other"] = other
+				return checks, obs, nil
+			},
+		},
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// wrapCycle folds a phase into [0, 1).
+func wrapCycle(x float64) float64 {
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	return x
+}

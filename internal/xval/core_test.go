@@ -1,0 +1,193 @@
+package xval
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckEvalKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		ch   Check
+		pass bool
+	}{
+		{"abs-pass", Check{A: 1.0, B: 1.05, Kind: Abs, Tol: 0.1}, true},
+		{"abs-fail", Check{A: 1.0, B: 1.2, Kind: Abs, Tol: 0.1}, false},
+		{"rel-pass", Check{A: 100, B: 101, Kind: Rel, Tol: 0.02}, true},
+		{"rel-fail", Check{A: 100, B: 110, Kind: Rel, Tol: 0.02}, false},
+		// 0.95 and 0.05 are 0.1 apart on the circle, not 0.9.
+		{"cycles-wrap", Check{A: 0.95, B: 0.05, Kind: Cycles, Tol: 0.15}, true},
+		{"cycles-fail", Check{A: 0.25, B: 0.75, Kind: Cycles, Tol: 0.15}, false},
+		{"exact-pass", Check{A: 4, B: 4, Kind: Exact}, true},
+		{"exact-fail", Check{A: 4, B: 3, Kind: Exact}, false},
+		{"max-pass", Check{A: 1e-11, Kind: Max, Tol: 1e-10}, true},
+		{"max-fail", Check{A: 1e-9, Kind: Max, Tol: 1e-10}, false},
+		{"min-pass", Check{A: 2.5, Kind: Min, Tol: 1.2}, true},
+		{"min-fail", Check{A: 1.0, Kind: Min, Tol: 1.2}, false},
+		{"nan-a-fails", Check{A: math.NaN(), B: 1, Kind: Abs, Tol: math.Inf(1)}, false},
+		{"nan-b-fails", Check{A: 1, B: math.NaN(), Kind: Rel, Tol: math.Inf(1)}, false},
+		{"unknown-kind", Check{A: 1, B: 1, Kind: "bogus"}, false},
+	}
+	for _, tc := range cases {
+		tc.ch.Eval()
+		if tc.ch.Pass != tc.pass {
+			t.Errorf("%s: pass = %v, want %v (diff %g)", tc.name, tc.ch.Pass, tc.pass, tc.ch.Diff)
+		}
+	}
+}
+
+func TestSelectFiltersFamiliesAndSpeed(t *testing.T) {
+	cases := []*Case{
+		{ID: "pss/a", Family: "pss"},
+		{ID: "gae/b", Family: "gae", Slow: true},
+		{ID: "gae/c", Family: "gae"},
+	}
+	got := Select(cases, Options{Families: []string{"GAE "}})
+	if len(got) != 2 || got[0].ID != "gae/b" {
+		t.Fatalf("family filter: %v", ids(got))
+	}
+	got = Select(cases, Options{FastOnly: true})
+	if len(got) != 2 || got[0].ID != "pss/a" || got[1].ID != "gae/c" {
+		t.Fatalf("fast filter: %v", ids(got))
+	}
+}
+
+func ids(cs []*Case) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// fakeLedger is a ledger with controllable outcomes for runner tests.
+func fakeLedger(failB bool) []*Case {
+	return []*Case{
+		{
+			ID: "pss/ok", Family: "pss",
+			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+				return []Check{{ID: "pss/ok/x", A: 1, B: 1, Kind: Exact}},
+					Observables{"v": 2.5}, nil
+			},
+		},
+		{
+			ID: "gae/maybe", Family: "gae",
+			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+				b := 3.0
+				if failB {
+					b = 4
+				}
+				return []Check{{ID: "gae/maybe/x", A: 3, B: b, Kind: Abs, Tol: 0.5}},
+					Observables{"w": b}, nil
+			},
+		},
+	}
+}
+
+func TestRunReportAccounting(t *testing.T) {
+	rep := Run(fakeLedger(false), NewFixtures(0), Options{})
+	if !rep.Pass || rep.NumChecks != 2 || rep.NumFailed != 0 {
+		t.Fatalf("pass run: %+v", rep)
+	}
+	if len(rep.Families) != 2 || rep.Families[0] != "gae" {
+		t.Fatalf("families: %v", rep.Families)
+	}
+	rep = Run(fakeLedger(true), NewFixtures(0), Options{Workers: 2})
+	if rep.Pass || rep.NumFailed != 1 {
+		t.Fatalf("fail run: %+v", rep)
+	}
+	// Declaration order must survive parallel execution.
+	if rep.Cases[0].ID != "pss/ok" || rep.Cases[1].ID != "gae/maybe" {
+		t.Fatalf("order: %s, %s", rep.Cases[0].ID, rep.Cases[1].ID)
+	}
+}
+
+func TestGoldenRoundTripAndDrift(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "golden")
+	rep := Run(fakeLedger(false), NewFixtures(0), Options{})
+	if err := UpdateGolden(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGolden(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Values["pss/ok/v"]; got != 2.5 {
+		t.Fatalf("round trip: pss/ok/v = %g", got)
+	}
+	// Same measurement against its own baseline: all golden checks pass.
+	rep2 := Run(fakeLedger(false), NewFixtures(0), Options{Golden: g})
+	if !rep2.Pass || rep2.NumSkipped != 0 {
+		t.Fatalf("self comparison: %+v", rep2)
+	}
+	// Drifted measurement (w: 3 → 4) must fail its golden gate.
+	rep3 := Run(fakeLedger(true), NewFixtures(0), Options{Golden: g})
+	if rep3.Pass {
+		t.Fatal("drifted run passed its golden baselines")
+	}
+	found := false
+	for _, ch := range rep3.Cases[1].Checks {
+		if ch.ID == "gae/maybe/w" && !ch.Pass {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing golden drift failure:\n%s", rep3.Summary())
+	}
+}
+
+func TestGoldenMissingBaselineSkips(t *testing.T) {
+	g := &GoldenSet{Values: map[string]float64{}}
+	rep := Run(fakeLedger(false), NewFixtures(0), Options{Golden: g})
+	if !rep.Pass {
+		t.Fatalf("bootstrap run must pass:\n%s", rep.Summary())
+	}
+	if rep.NumSkipped != 2 {
+		t.Fatalf("skipped = %d, want 2", rep.NumSkipped)
+	}
+}
+
+func TestUpdateGoldenPreservesOtherCases(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "golden")
+	full := Run(fakeLedger(false), NewFixtures(0), Options{})
+	if err := UpdateGolden(dir, full); err != nil {
+		t.Fatal(err)
+	}
+	// A restricted re-update (only family pss) must keep gae's values.
+	partial := Run(fakeLedger(false), NewFixtures(0), Options{Families: []string{"pss"}})
+	if err := UpdateGolden(dir, partial); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGolden(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Values["gae/maybe/w"]; !ok {
+		t.Fatal("partial update erased another family's baseline")
+	}
+}
+
+func TestLedgerDeclarations(t *testing.T) {
+	seen := map[string]bool{}
+	fams := map[string]bool{}
+	for _, c := range Ledger() {
+		if c.ID == "" || c.Family == "" || c.Run == nil {
+			t.Fatalf("incomplete case declaration: %+v", c)
+		}
+		if !strings.HasPrefix(c.ID, c.Family+"/") {
+			t.Errorf("case %s not under its family %q", c.ID, c.Family)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate case ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		fams[c.Family] = true
+	}
+	for _, f := range Families {
+		if !fams[f] {
+			t.Errorf("family %s has no cases", f)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package xval
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/phasemacro"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// Fixtures lazily builds and caches the expensive shared artifacts the
+// ledger cases compare: the two ring variants with their shooting PSS and
+// adjoint PPV, the refined harmonic-balance solution with its PPV-HB
+// extraction, and the latch calibrations. Every getter is sync.Once-guarded
+// so concurrent cases pay each solve exactly once; construction mirrors
+// figs.Context (StepsPerPeriod 1024, workers-bounded PPV fan-out) so the
+// ledger certifies the same numerical route the figures are generated from.
+type Fixtures struct {
+	// Workers bounds internal fan-out (adjoint PPV columns); ≤ 0: per CPU.
+	Workers int
+	// Ctx cancels in-flight fixture construction.
+	Ctx context.Context
+
+	once1, once2 sync.Once
+	r1, r2       *ringosc.Ring
+	sol1, sol2   *pss.Solution
+	p1, p2       *ppv.PPV
+	err1, err2   error
+
+	onceHB sync.Once
+	hb1    *pss.HBSolution
+	hbPPV1 *ppv.PPV
+	hbErr  error
+
+	onceCal sync.Once
+	cal     phasemacro.Calibration
+	calErr  error
+
+	onceAdderCal sync.Once
+	adderCal     phasemacro.Calibration
+	adderCalErr  error
+}
+
+// HBHarmonics is the truncation order of the harmonic-balance fixture.
+// 20 harmonics resolve the ring waveform to the 1e-10 residual RefineHB
+// converges to; the comparison tolerances in cases_*.go assume this order.
+const HBHarmonics = 20
+
+// CalSyncAmp is the SYNC amplitude (A) of the FSM calibration fixture,
+// matching figs.Context and the phlogic defaults.
+const CalSyncAmp = 100e-6
+
+// AdderCalSyncAmp matches the SPICE-level adder tests (Fig. 10's 120 µA
+// operating point), where the latch is driven harder than the default.
+const AdderCalSyncAmp = 120e-6
+
+// NewFixtures returns an empty fixture cache.
+func NewFixtures(workers int) *Fixtures {
+	return &Fixtures{Workers: workers}
+}
+
+func (fx *Fixtures) ctx() context.Context {
+	if fx.Ctx != nil {
+		return fx.Ctx
+	}
+	return context.Background()
+}
+
+func (fx *Fixtures) buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	r, err := ringosc.Build(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sol, err := pss.ShootAutonomousCtx(fx.ctx(), r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := ppv.FromSolutionCtx(fx.ctx(), r.Sys, sol, parallel.Workers(fx.Workers))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return r, sol, p, nil
+}
+
+// Ring1 returns the 1N1P (paper Fig. 3) ring chain: circuit, shooting PSS,
+// adjoint PPV.
+func (fx *Fixtures) Ring1() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	fx.once1.Do(func() {
+		fx.r1, fx.sol1, fx.p1, fx.err1 = fx.buildChain(ringosc.DefaultConfig())
+	})
+	return fx.r1, fx.sol1, fx.p1, fx.err1
+}
+
+// Ring2 returns the 2N1P variant chain.
+func (fx *Fixtures) Ring2() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	fx.once2.Do(func() {
+		fx.r2, fx.sol2, fx.p2, fx.err2 = fx.buildChain(ringosc.Config2N1P())
+	})
+	return fx.r2, fx.sol2, fx.p2, fx.err2
+}
+
+// HB1 returns the refined harmonic-balance solution of the 1N1P ring and
+// the PPV extracted from its HB Jacobian (the frequency-domain route the
+// time-domain adjoint is checked against).
+func (fx *Fixtures) HB1() (*pss.HBSolution, *ppv.PPV, error) {
+	fx.onceHB.Do(func() {
+		r, sol, _, err := fx.Ring1()
+		if err != nil {
+			fx.hbErr = err
+			return
+		}
+		hb := pss.HBFromSolution(r.Sys, sol, HBHarmonics)
+		if err := pss.RefineHB(r.Sys, hb, 20, 1e-10); err != nil {
+			fx.hbErr = err
+			return
+		}
+		coefs, err := hb.PPVHB()
+		if err != nil {
+			fx.hbErr = err
+			return
+		}
+		fx.hb1 = hb
+		fx.hbPPV1 = ppv.FromHBCoefficients(sol, coefs)
+	})
+	return fx.hb1, fx.hbPPV1, fx.hbErr
+}
+
+// Cal returns the latch calibration at the default 100 µA SYNC operating
+// point (used by the phase-macromodel FSM).
+func (fx *Fixtures) Cal() (phasemacro.Calibration, error) {
+	fx.onceCal.Do(func() {
+		_, _, p, err := fx.Ring1()
+		if err != nil {
+			fx.calErr = err
+			return
+		}
+		l := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: CalSyncAmp}
+		fx.cal, fx.calErr = phasemacro.Calibrate(l, 10e3)
+	})
+	return fx.cal, fx.calErr
+}
+
+// AdderCal returns the calibration at the 120 µA operating point used when
+// the macromodel FSM is compared to the transistor-level adder.
+func (fx *Fixtures) AdderCal() (phasemacro.Calibration, error) {
+	fx.onceAdderCal.Do(func() {
+		_, _, p, err := fx.Ring1()
+		if err != nil {
+			fx.adderCalErr = err
+			return
+		}
+		l := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: AdderCalSyncAmp}
+		fx.adderCal, fx.adderCalErr = phasemacro.Calibrate(l, 10e3)
+	})
+	return fx.adderCal, fx.adderCalErr
+}

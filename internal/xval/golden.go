@@ -1,0 +1,173 @@
+package xval
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The golden layer freezes the measured observables of each case as
+// versioned JSON baselines, one compact file per family under
+// testdata/golden/. The files hold only values — the tolerance each value
+// is held to lives in the Case declaration (the ledger), so a tolerance
+// change is a reviewed code change, never a fixture edit. Regenerate with
+// `go test ./internal/xval -update` or `phlogon-xval -update`.
+
+//go:embed testdata/golden/*.json
+var goldenFS embed.FS
+
+// goldenDir is the on-disk location of the fixtures relative to the module
+// root (used by -update and by the CLI's -golden default).
+const goldenDir = "internal/xval/testdata/golden"
+
+// Families of the ledger, in declaration order; one golden file each.
+var Families = []string{"pss", "ppv", "gae", "fsm"}
+
+// goldenFile is the JSON schema of one per-family fixture.
+type goldenFile struct {
+	Version int                `json:"version"`
+	Values  map[string]float64 `json:"values"`
+}
+
+// goldenVersion is bumped when the key scheme changes incompatibly.
+const goldenVersion = 1
+
+// GoldenSet holds the frozen baselines, keyed "<case-id>/<observable>".
+type GoldenSet struct {
+	Values map[string]float64
+}
+
+// LoadGolden reads the fixtures. With dir == "" it reads the copies
+// embedded at build time (the default for tests and the CLI); otherwise it
+// reads <dir>/<family>.json from disk, tolerating missing files so a fresh
+// checkout can bootstrap via -update.
+func LoadGolden(dir string) (*GoldenSet, error) {
+	g := &GoldenSet{Values: map[string]float64{}}
+	for _, fam := range Families {
+		var data []byte
+		var err error
+		if dir == "" {
+			data, err = goldenFS.ReadFile("testdata/golden/" + fam + ".json")
+		} else {
+			data, err = os.ReadFile(filepath.Join(dir, fam+".json"))
+		}
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("golden %s: %w", fam, err)
+		}
+		var gf goldenFile
+		if err := json.Unmarshal(data, &gf); err != nil {
+			return nil, fmt.Errorf("golden %s: %w", fam, err)
+		}
+		if gf.Version != goldenVersion {
+			return nil, fmt.Errorf("golden %s: version %d, want %d (regenerate with -update)",
+				fam, gf.Version, goldenVersion)
+		}
+		for k, v := range gf.Values {
+			g.Values[k] = v
+		}
+	}
+	return g, nil
+}
+
+// Compare checks a case's measured observables against their frozen
+// baselines. Observables with no baseline yet produce a Skipped check (the
+// bootstrap path) rather than a failure; drifted ones fail with the
+// tolerance declared in Case.Golden (DefaultGoldenTol otherwise).
+func (g *GoldenSet) Compare(c *Case, obs Observables) []Check {
+	keys := make([]string, 0, len(obs))
+	for k := range obs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	checks := make([]Check, 0, len(keys))
+	for _, k := range keys {
+		tol, ok := c.Golden[k]
+		if !ok {
+			tol = DefaultGoldenTol
+		}
+		ch := Check{
+			ID:      c.ID + "/" + k,
+			MethodA: "measured",
+			MethodB: "golden",
+			A:       obs[k],
+			Kind:    tol.Kind,
+			Tol:     tol.Tol,
+		}
+		want, ok := g.Values[c.ID+"/"+k]
+		if !ok {
+			ch.Skipped = true
+			ch.Pass = true
+			ch.Note = "no golden baseline yet (run -update)"
+		} else {
+			ch.B = want
+			ch.Eval()
+		}
+		checks = append(checks, ch)
+	}
+	return checks
+}
+
+// UpdateGolden rewrites the per-family fixtures from a report's measured
+// observables. Values for cases that did not run this time are preserved,
+// so a fast-only -update does not erase the slow cases' baselines.
+func UpdateGolden(dir string, rep *Report) error {
+	if dir == "" {
+		dir = goldenDir
+	}
+	// Start from whatever is already on disk, then overlay the new numbers.
+	existing, err := LoadGolden(dir)
+	if err != nil {
+		return err
+	}
+	merged := existing.Values
+	for _, cr := range rep.Cases {
+		if cr.Err != "" {
+			return fmt.Errorf("refusing to update golden: case %s errored: %s", cr.ID, cr.Err)
+		}
+		for k, v := range cr.Observables {
+			merged[cr.ID+"/"+k] = v
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	byFam := map[string]map[string]float64{}
+	for k, v := range merged {
+		fam := familyOf(k)
+		if byFam[fam] == nil {
+			byFam[fam] = map[string]float64{}
+		}
+		byFam[fam][k] = v
+	}
+	for _, fam := range Families {
+		vals := byFam[fam]
+		if vals == nil {
+			vals = map[string]float64{}
+		}
+		data, err := json.MarshalIndent(goldenFile{Version: goldenVersion, Values: vals}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, fam+".json"), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// familyOf extracts the family prefix of a golden key
+// ("gae/lock-threshold/phase_100u" → "gae").
+func familyOf(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return key
+}

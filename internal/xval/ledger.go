@@ -1,0 +1,12 @@
+package xval
+
+// Ledger returns the full conformance ledger in family order. The slice is
+// rebuilt on every call so callers may not mutate shared state.
+func Ledger() []*Case {
+	var out []*Case
+	out = append(out, pssCases()...)
+	out = append(out, ppvCases()...)
+	out = append(out, gaeCases()...)
+	out = append(out, fsmCases()...)
+	return out
+}

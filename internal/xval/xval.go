@@ -1,0 +1,338 @@
+// Package xval is the cross-method conformance harness: it declares the
+// method pairs that must agree for the tool chain to be trusted and runs
+// them as an executable ledger with explicit per-quantity tolerances.
+//
+// The repository computes the same physics along independent numerical
+// routes — shooting vs. harmonic-balance PSS, adjoint vs. PPV-HB macromodel
+// extraction, Generalized Adlerization vs. brute-force transient, and the
+// phase-macromodel FSM vs. the transistor-level adder. The paper's whole
+// validation story (Fig. 17's GAE/SPICE overlay, Sec. 5's FSM-vs-breadboard
+// check) rests on these equivalences, so xval freezes them as gates:
+//
+//   - family "pss":  shooting ↔ HB on f0 and waveform harmonics
+//   - family "ppv":  time-domain adjoint ↔ PPV-HB on Fourier coefficients
+//   - family "gae":  GAE ↔ (unaveraged / SPICE) transient on lock threshold,
+//     locking phase and bit-flip settle ordering
+//   - family "fsm":  phase-macromodel FSM ↔ transistor-level adder on
+//     decoded bit streams
+//
+// On top of the method pairs, a golden-trace layer (golden.go) pins today's
+// verified numbers from EXPERIMENTS.md as regression baselines in versioned
+// JSON fixtures under testdata/golden/, regenerated with the shared -update
+// flag (tests) or cmd/phlogon-xval -update.
+//
+// The harness is exposed three ways: `go test ./internal/xval` (tier-1),
+// the cmd/phlogon-xval CLI (full ledger, parallel, machine-readable
+// report), and `make xval` (wired into `make check`).
+package xval
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Kind selects how a Check's two values are compared.
+type Kind string
+
+const (
+	// Abs passes when |A − B| ≤ Tol.
+	Abs Kind = "abs"
+	// Rel passes when |A − B| ≤ Tol·max(|A|, |B|).
+	Rel Kind = "rel"
+	// Cycles passes when the circular distance between two phases (in
+	// cycles, folded into [0, ½]) is ≤ Tol.
+	Cycles Kind = "cycles"
+	// Exact passes when A == B (decoded bits, equilibrium counts).
+	Exact Kind = "exact"
+	// Max is a one-sided health bound: passes when A ≤ Tol (B unused).
+	Max Kind = "max"
+	// Min is the opposite bound: passes when A ≥ Tol (B unused).
+	Min Kind = "min"
+)
+
+// Check is one quantity compared between two methods (or against a golden
+// baseline / health bound). A and B carry the two values; Diff and Pass are
+// filled by Eval.
+type Check struct {
+	ID      string  `json:"id"`       // e.g. "pss/shooting-vs-hb/f0"
+	MethodA string  `json:"method_a"` // e.g. "shooting"
+	MethodB string  `json:"method_b"` // e.g. "hb"; "" for Max/Min bounds
+	A       float64 `json:"a"`
+	B       float64 `json:"b"`
+	Kind    Kind    `json:"kind"`
+	Tol     float64 `json:"tol"`
+	Diff    float64 `json:"diff"`
+	Pass    bool    `json:"pass"`
+	Skipped bool    `json:"skipped,omitempty"` // golden value missing (bootstrap)
+	Note    string  `json:"note,omitempty"`    // free-form context
+}
+
+// Eval computes Diff and Pass from the comparison kind. NaNs always fail:
+// a method that produced no number must not silently pass its gate.
+func (c *Check) Eval() {
+	switch c.Kind {
+	case Abs:
+		c.Diff = math.Abs(c.A - c.B)
+		c.Pass = c.Diff <= c.Tol
+	case Rel:
+		c.Diff = math.Abs(c.A - c.B)
+		scale := math.Max(math.Abs(c.A), math.Abs(c.B))
+		c.Pass = c.Diff <= c.Tol*scale
+	case Cycles:
+		c.Diff = circularDistance(c.A, c.B)
+		c.Pass = c.Diff <= c.Tol
+	case Exact:
+		c.Diff = math.Abs(c.A - c.B)
+		c.Pass = c.A == c.B
+	case Max:
+		c.Diff = c.A
+		c.Pass = c.A <= c.Tol
+	case Min:
+		c.Diff = c.A
+		c.Pass = c.A >= c.Tol
+	default:
+		c.Pass = false
+		c.Note = appendNote(c.Note, fmt.Sprintf("unknown comparison kind %q", c.Kind))
+	}
+	if math.IsNaN(c.A) || (c.Kind != Max && c.Kind != Min && math.IsNaN(c.B)) {
+		c.Pass = false
+	}
+}
+
+// String renders a one-line human summary of the check.
+func (c *Check) String() string {
+	status := "ok  "
+	if c.Skipped {
+		status = "skip"
+	} else if !c.Pass {
+		status = "FAIL"
+	}
+	switch c.Kind {
+	case Max, Min:
+		return fmt.Sprintf("%s %-52s %-10s %.6g (%s %.3g)",
+			status, c.ID, c.MethodA, c.A, c.Kind, c.Tol)
+	default:
+		return fmt.Sprintf("%s %-52s %s=%.6g %s=%.6g Δ=%.3g (%s tol %.3g)",
+			status, c.ID, c.MethodA, c.A, orDash(c.MethodB), c.B, c.Diff, c.Kind, c.Tol)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func appendNote(base, add string) string {
+	if base == "" {
+		return add
+	}
+	return base + "; " + add
+}
+
+// circularDistance folds the distance between two phases (cycles) into
+// [0, ½]. Kept local so the core has no dependency on the packages under
+// test.
+func circularDistance(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 1)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// Observables are the scalar quantities a case measured, keyed by a short
+// name local to the case; they are frozen in the golden layer under
+// "<case-id>/<name>".
+type Observables map[string]float64
+
+// GoldenTol declares how tightly a frozen observable must be reproduced.
+type GoldenTol struct {
+	Kind Kind
+	Tol  float64
+}
+
+// Case is one conformance case of the ledger.
+type Case struct {
+	// ID is "<family>/<name>", e.g. "gae/flip-settle-ordering".
+	ID string
+	// Family is one of "pss", "ppv", "gae", "fsm".
+	Family string
+	Desc   string
+	// Slow cases run full SPICE-level transients; they are skipped in
+	// -short / -fast mode but are part of the full ledger gate.
+	Slow bool
+	// Golden maps observable names to the tolerance their frozen baseline
+	// is held to. Observables without an entry default to Rel 1e-3.
+	Golden map[string]GoldenTol
+	// Run executes the case against the shared fixtures, returning the
+	// method-pair checks and the measured observables.
+	Run func(fx *Fixtures) ([]Check, Observables, error)
+}
+
+// DefaultGoldenTol is applied to observables without an explicit entry in
+// Case.Golden.
+var DefaultGoldenTol = GoldenTol{Kind: Rel, Tol: 1e-3}
+
+// CaseResult is the outcome of one case, including golden comparisons.
+type CaseResult struct {
+	ID          string      `json:"id"`
+	Family      string      `json:"family"`
+	Desc        string      `json:"desc"`
+	Slow        bool        `json:"slow"`
+	Checks      []Check     `json:"checks"`
+	Observables Observables `json:"observables,omitempty"`
+	Err         string      `json:"err,omitempty"`
+	DurationMS  float64     `json:"duration_ms"`
+	Pass        bool        `json:"pass"`
+}
+
+// Report is the machine-readable result of a ledger run.
+type Report struct {
+	Version    int          `json:"version"`
+	Families   []string     `json:"families"`
+	FastOnly   bool         `json:"fast_only"`
+	Cases      []CaseResult `json:"cases"`
+	NumChecks  int          `json:"num_checks"`
+	NumFailed  int          `json:"num_failed"`
+	NumSkipped int          `json:"num_skipped"`
+	Pass       bool         `json:"pass"`
+}
+
+// Options tunes a ledger run.
+type Options struct {
+	// Families restricts the run; empty means all.
+	Families []string
+	// FastOnly skips Slow cases.
+	FastOnly bool
+	// Workers bounds the case fan-out (≤ 0: one per CPU).
+	Workers int
+	// Golden supplies the frozen baselines; nil disables golden checks
+	// (used by -update runs, which re-measure instead of comparing).
+	Golden *GoldenSet
+	// Ctx cancels in-flight cases.
+	Ctx context.Context
+}
+
+// Select filters the ledger to the requested families / speed class.
+func Select(cases []*Case, opt Options) []*Case {
+	want := map[string]bool{}
+	for _, f := range opt.Families {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	var out []*Case
+	for _, c := range cases {
+		if len(want) > 0 && !want[c.Family] {
+			continue
+		}
+		if opt.FastOnly && c.Slow {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// RunCase executes one case and folds in its golden comparisons.
+func RunCase(c *Case, fx *Fixtures, golden *GoldenSet) CaseResult {
+	start := time.Now()
+	res := CaseResult{ID: c.ID, Family: c.Family, Desc: c.Desc, Slow: c.Slow}
+	checks, obs, err := c.Run(fx)
+	res.DurationMS = float64(time.Since(start)) / 1e6
+	if err != nil {
+		res.Err = err.Error()
+		res.Pass = false
+		return res
+	}
+	for i := range checks {
+		checks[i].Eval()
+	}
+	res.Observables = obs
+	res.Checks = checks
+	if golden != nil {
+		res.Checks = append(res.Checks, golden.Compare(c, obs)...)
+	}
+	res.Pass = true
+	for _, ch := range res.Checks {
+		if !ch.Pass && !ch.Skipped {
+			res.Pass = false
+		}
+	}
+	return res
+}
+
+// Run executes the selected ledger cases in parallel and assembles the
+// report. Case results are ordered as declared regardless of scheduling;
+// fixture construction is shared and sync.Once-guarded, so concurrent cases
+// block only on first use of each artifact.
+func Run(cases []*Case, fx *Fixtures, opt Options) *Report {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	selected := Select(cases, opt)
+	results := make([]CaseResult, len(selected))
+	// Case errors land in the per-case result rather than aborting the run:
+	// the report must show every drifted entry, not just the first.
+	_ = parallel.For(ctx, len(selected), opt.Workers, func(i int) error {
+		results[i] = RunCase(selected[i], fx, opt.Golden)
+		return nil
+	})
+	rep := &Report{Version: 1, FastOnly: opt.FastOnly, Cases: results, Pass: true}
+	fams := map[string]bool{}
+	for _, r := range results {
+		fams[r.Family] = true
+		if r.Err != "" {
+			rep.Pass = false
+		}
+		for _, ch := range r.Checks {
+			rep.NumChecks++
+			if ch.Skipped {
+				rep.NumSkipped++
+				continue
+			}
+			if !ch.Pass {
+				rep.NumFailed++
+				rep.Pass = false
+			}
+		}
+	}
+	for f := range fams {
+		rep.Families = append(rep.Families, f)
+	}
+	sort.Strings(rep.Families)
+	return rep
+}
+
+// Summary renders the report as an aligned human-readable table.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	for _, cr := range r.Cases {
+		status := "PASS"
+		if cr.Err != "" {
+			status = "ERROR"
+		} else if !cr.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-5s %-34s %7.0f ms  %s\n", status, cr.ID, cr.DurationMS, cr.Desc)
+		if cr.Err != "" {
+			fmt.Fprintf(&sb, "      error: %s\n", cr.Err)
+		}
+		for _, ch := range cr.Checks {
+			if ch.Pass && !ch.Skipped {
+				continue // only surface drift and bootstrap gaps
+			}
+			fmt.Fprintf(&sb, "      %s\n", ch.String())
+		}
+	}
+	fmt.Fprintf(&sb, "%d checks, %d failed, %d skipped → %s\n",
+		r.NumChecks, r.NumFailed, r.NumSkipped, map[bool]string{true: "PASS", false: "FAIL"}[r.Pass])
+	return sb.String()
+}

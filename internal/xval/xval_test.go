@@ -1,0 +1,59 @@
+package xval
+
+import (
+	"flag"
+	"testing"
+)
+
+// update regenerates the golden fixtures from the current engines:
+//
+//	go test ./internal/xval -run TestLedger -update
+//
+// Run without -short so the slow (SPICE-level) cases refresh too; a -short
+// update only rewrites the fast cases' baselines (the rest are preserved).
+var update = flag.Bool("update", false, "regenerate golden fixtures under testdata/golden")
+
+// TestLedger is the tier-1 face of the conformance harness: every ledger
+// case runs as a subtest (slow SPICE-level cases skip under -short), each
+// method-pair check and golden comparison failing individually.
+func TestLedger(t *testing.T) {
+	fx := NewFixtures(0)
+	if *update {
+		opt := Options{FastOnly: testing.Short()}
+		rep := Run(Ledger(), fx, opt)
+		if !rep.Pass {
+			t.Fatalf("refusing to update golden from a failing ledger:\n%s", rep.Summary())
+		}
+		if err := UpdateGolden("testdata/golden", rep); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixtures updated:\n%s", rep.Summary())
+		return
+	}
+	golden, err := LoadGolden("testdata/golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Ledger() {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			if c.Slow && testing.Short() {
+				t.Skip("slow SPICE-level conformance case")
+			}
+			t.Parallel()
+			res := RunCase(c, fx, golden)
+			if res.Err != "" {
+				t.Fatalf("case error: %s", res.Err)
+			}
+			for _, ch := range res.Checks {
+				if ch.Skipped {
+					t.Logf("%s", ch.String())
+					continue
+				}
+				if !ch.Pass {
+					t.Errorf("%s", ch.String())
+				}
+			}
+		})
+	}
+}
