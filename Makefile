@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
 # suite under the race detector, and the cross-method conformance ledger.
@@ -50,3 +50,12 @@ bench-baseline:
 # per-benchmark deltas (tolerance guards against CI noise).
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchtime 1x . | $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json
+
+# Instrumentation overhead gate: the diagnostics-disabled shooting solve must
+# stay within 2% time and 0% allocs of its pinned baseline. -count repeats
+# fold to the per-name minimum in benchdiff parse/compare, which suppresses
+# scheduler noise enough for a 2% gate to be meaningful.
+bench-overhead:
+	$(GO) test -run '^$$' -bench '^BenchmarkShootAutonomousRing$$' -benchtime 20x -count 8 . \
+		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
+			-only '^BenchmarkShootAutonomousRing$$' -tol 0.02 -alloc-tol 0

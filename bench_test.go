@@ -95,6 +95,27 @@ func benchEnsemble(b *testing.B, workers int) {
 func BenchmarkNoiseEnsembleWorkers1(b *testing.B) { benchEnsemble(b, 1) }
 func BenchmarkNoiseEnsembleWorkersN(b *testing.B) { benchEnsemble(b, 0) }
 
+// BenchmarkShootAutonomousRing is the instrumentation overhead guard: the
+// full shooting solve on the paper's ring with diagnostics disabled (no
+// metrics in the context). `make bench-overhead` holds it within 2% of
+// BENCH_baseline.json; allocs/op must not grow at all (the disabled path is
+// a nil check and must not allocate).
+func BenchmarkShootAutonomousRing(b *testing.B) {
+	r, err := ringosc.Build(ringosc.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := r.KickStart()
+	opt := pss.Options{GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 256, SettleCycles: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pss.ShootAutonomous(r.Sys, x0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Efficiency comparison (the paper's headline): identical physics
 // through the SPICE-level engine and the phase-macromodel engines. ---
 

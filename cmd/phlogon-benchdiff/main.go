@@ -10,16 +10,22 @@
 // compare exits 1 when any benchmark slows down or allocates beyond the
 // tolerances, or when a baselined benchmark disappears. Timing tolerance
 // defaults wide (-benchtime 1x numbers are noisy); allocation counts are
-// deterministic, so their tolerance is tight.
+// deterministic, so their tolerance is tight. For tight timing gates, run
+// the benchmark with `-count N` — parse keeps the per-name minimum, which
+// suppresses scheduling noise — and restrict compare with -only.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
+
+	"repro/internal/diag"
 )
 
 func main() {
@@ -42,12 +48,27 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phlogon-benchdiff parse   [-o file]                         < bench-output
-  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] < bench-output`)
+  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] [-only regexp] < bench-output`)
 }
+
+// df is package-level so fatal can flush profiles before exiting. benchdiff
+// performs no numerics itself, so only the pprof half of the bundle is
+// interesting here; the flags exist on every phlogon binary for uniformity.
+var df *diag.Flags
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-benchdiff:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
+}
+
+func startDiag(fs *flag.FlagSet, args []string) {
+	fs.Parse(args)
+	if _, err := df.Start(context.Background()); err != nil {
+		fatal(err)
+	}
 }
 
 func readSet(r io.Reader) *Set {
@@ -64,7 +85,9 @@ func readSet(r io.Reader) *Set {
 func cmdParse(args []string) {
 	fs := flag.NewFlagSet("parse", flag.ExitOnError)
 	out := fs.String("o", "-", "output file ('-' = stdout)")
-	fs.Parse(args)
+	df = diag.AddFlags(fs)
+	startDiag(fs, args)
+	defer df.Stop()
 
 	set := readSet(os.Stdin)
 	data, err := json.MarshalIndent(set, "", "  ")
@@ -88,7 +111,10 @@ func cmdCompare(args []string) {
 	baseFile := fs.String("baseline", "", "baseline JSON written by parse (required)")
 	tol := fs.Float64("tol", 1.0, "allowed fractional ns/op slowdown (1.0 = 2× the baseline)")
 	allocTol := fs.Float64("alloc-tol", 0.15, "allowed fractional allocs/op growth")
-	fs.Parse(args)
+	only := fs.String("only", "", "compare only benchmarks matching this regexp")
+	df = diag.AddFlags(fs)
+	startDiag(fs, args)
+	defer df.Stop()
 	if *baseFile == "" {
 		fmt.Fprintln(os.Stderr, "phlogon-benchdiff: -baseline is required")
 		fs.Usage()
@@ -109,6 +135,17 @@ func cmdCompare(args []string) {
 	}
 
 	cur := readSet(os.Stdin)
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			fatal(fmt.Errorf("-only: %w", err))
+		}
+		filterSet(&base, re)
+		filterSet(cur, re)
+		if len(cur.Benchmarks) == 0 && len(base.Benchmarks) == 0 {
+			fatal(fmt.Errorf("-only %q matches no benchmark on either side", *only))
+		}
+	}
 	diffs := Compare(&base, cur, *tol, *allocTol)
 	bad := 0
 	for _, d := range diffs {
@@ -120,7 +157,17 @@ func cmdCompare(args []string) {
 	fmt.Printf("%d benchmarks compared, %d regressed (tol %+.0f%% time, %+.0f%% allocs)\n",
 		len(diffs), bad, *tol*100, *allocTol*100)
 	if bad > 0 {
+		df.Stop()
 		os.Exit(1)
+	}
+}
+
+// filterSet drops benchmarks whose name does not match re.
+func filterSet(s *Set, re *regexp.Regexp) {
+	for name := range s.Benchmarks {
+		if !re.MatchString(name) {
+			delete(s.Benchmarks, name)
+		}
 	}
 }
 

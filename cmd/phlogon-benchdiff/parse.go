@@ -38,8 +38,11 @@ var benchLine = regexp.MustCompile(
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // ParseBench extracts benchmark results from `go test -bench` output,
-// ignoring non-benchmark lines (PASS, ok, warnings). Duplicate names keep
-// the last occurrence.
+// ignoring non-benchmark lines (PASS, ok, warnings). Duplicate names (from
+// `-count N` repeats) keep the minimum ns/op and B/op — the minimum is the
+// standard noise-robust estimator of a benchmark's true cost, since
+// scheduling and frequency-scaling jitter only ever add time — and the
+// maximum allocs/op, which is deterministic and must not be flattered.
 func ParseBench(r io.Reader) (*Set, error) {
 	set := &Set{Version: SetVersion, Benchmarks: map[string]Result{}}
 	sc := bufio.NewScanner(r)
@@ -63,6 +66,17 @@ func ParseBench(r io.Reader) (*Set, error) {
 		if m[4] != "" {
 			if res.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		if prev, ok := set.Benchmarks[name]; ok {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp != 0 && (res.BytesPerOp == 0 || prev.BytesPerOp < res.BytesPerOp) {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp > res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
 			}
 		}
 		set.Benchmarks[name] = res

@@ -12,8 +12,8 @@ pkg: repro
 BenchmarkShooting1N1P-8        	       3	  41234567 ns/op	 1234567 B/op	    4567 allocs/op
 BenchmarkFig07LockingRangeWorkersN 	       1	   3107396 ns/op	   16744 B/op	     363 allocs/op
 BenchmarkNoAllocCols           	     100	     987.5 ns/op
-BenchmarkDup-4                 	       1	       100 ns/op
-BenchmarkDup-4                 	       1	       200 ns/op
+BenchmarkDup-4                 	       1	       200 ns/op	     80 B/op	      9 allocs/op
+BenchmarkDup-4                 	       1	       100 ns/op	     96 B/op	      7 allocs/op
 PASS
 ok  	repro	3.927s
 `
@@ -46,9 +46,10 @@ func TestParseBench(t *testing.T) {
 		got.BytesPerOp != 0 || got.AllocsPerOp != 0 {
 		t.Errorf("BenchmarkNoAllocCols = %+v", got)
 	}
-	// Duplicates keep the last run.
-	if got := set.Benchmarks["BenchmarkDup"]; got.NsPerOp != 200 {
-		t.Errorf("BenchmarkDup = %+v, want the later 200 ns/op", got)
+	// -count repeats fold to min time / min bytes / max allocs.
+	if got := set.Benchmarks["BenchmarkDup"]; got.NsPerOp != 100 ||
+		got.BytesPerOp != 80 || got.AllocsPerOp != 9 {
+		t.Errorf("BenchmarkDup = %+v, want min ns/op 100, min B/op 80, max allocs 9", got)
 	}
 }
 

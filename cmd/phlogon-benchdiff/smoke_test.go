@@ -64,6 +64,36 @@ func TestParseCompareRoundTrip(t *testing.T) {
 	cmdtest.MustContain(t, res.Stdout, "FAIL BenchmarkX", "1 regressed")
 }
 
+func TestCompareOnlyFilter(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-benchdiff")
+	baseline := filepath.Join(t.TempDir(), "base.json")
+	two := fakeBench + "BenchmarkY-8 \t 1 \t 100 ns/op\nPASS\n"
+	if res := runWithStdin(t, bin, two, "parse", "-o", baseline); res.ExitCode != 0 {
+		t.Fatalf("parse exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+
+	// Y regresses 10x, but -only X must ignore it and pass.
+	slowY := fakeBench + "BenchmarkY-8 \t 1 \t 1000 ns/op\nPASS\n"
+	res := runWithStdin(t, bin, slowY, "compare", "-baseline", baseline, "-only", "BenchmarkX$")
+	if res.ExitCode != 0 {
+		t.Fatalf("-only exit %d, want 0\nstdout: %s", res.ExitCode, res.Stdout)
+	}
+	cmdtest.MustContain(t, res.Stdout, "1 benchmarks compared", "0 regressed")
+
+	// Without the filter the same input must fail.
+	res = runWithStdin(t, bin, slowY, "compare", "-baseline", baseline)
+	if res.ExitCode != 1 {
+		t.Fatalf("unfiltered exit %d, want 1\nstdout: %s", res.ExitCode, res.Stdout)
+	}
+
+	// A pattern matching nothing is a usage error, not a silent pass.
+	res = runWithStdin(t, bin, slowY, "compare", "-baseline", baseline, "-only", "NoSuchBench")
+	if res.ExitCode != 1 {
+		t.Fatalf("no-match exit %d, want 1\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stderr, "matches no benchmark")
+}
+
 func TestCompareRequiresBaselineFlag(t *testing.T) {
 	bin := cmdtest.Build(t, "./cmd/phlogon-benchdiff")
 	res := runWithStdin(t, bin, fakeBench, "compare")

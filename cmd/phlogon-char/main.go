@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/diag"
 	"repro/internal/gae"
 	"repro/internal/netlist"
 	"repro/internal/noise"
@@ -41,12 +42,18 @@ func main() {
 	seed := fs.Int64("seed", 1, "Monte-Carlo / ensemble seed")
 	runs := fs.Int("runs", 6, "noise: stochastic ensemble members")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	df = diag.AddFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, err := df.Start(sigCtx)
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 	cfg := ringosc.DefaultConfig()
 	if *use2n1p {
 		cfg = ringosc.Config2N1P()
@@ -133,7 +140,13 @@ func usage() {
 	os.Exit(2)
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-char:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

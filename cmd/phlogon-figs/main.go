@@ -16,6 +16,7 @@ import (
 	"sort"
 	"syscall"
 
+	"repro/internal/diag"
 	"repro/internal/figs"
 )
 
@@ -25,14 +26,20 @@ func main() {
 	ascii := flag.Bool("ascii", false, "print ASCII previews of the charts")
 	eff := flag.Bool("eff", true, "also run the efficiency comparison")
 	workers := flag.Int("workers", 0, "worker pool size for figure/sweep fan-out (0 = NumCPU)")
+	df = diag.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	runCtx, err := df.Start(sigCtx)
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 
 	ctx := figs.New(*outDir)
 	ctx.Workers = *workers
-	ctx.Ctx = sigCtx
+	ctx.Ctx = runCtx
 	var results []*figs.Result
 	if *only != "" {
 		gen := map[string]func() (*figs.Result, error){
@@ -45,6 +52,7 @@ func main() {
 		fn, ok := gen[*only]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "phlogon-figs: unknown figure %q\n", *only)
+			df.Stop()
 			os.Exit(2)
 		}
 		r, err := fn()
@@ -92,7 +100,13 @@ func main() {
 	}
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-figs:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
+	"repro/internal/diag"
 	"repro/internal/netlist"
 	"repro/internal/phlogic"
 	"repro/internal/plot"
@@ -29,8 +31,14 @@ func main() {
 	syncAmp := flag.String("sync", "100u", "SYNC amplitude per latch")
 	clk := flag.Float64("clk", 100, "reference cycles per clock period")
 	ascii := flag.Bool("ascii", false, "plot the phase trajectories")
+	df = diag.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 	aBits, err := parseBits(*aStr)
 	if err != nil {
 		fatal(err)
@@ -51,13 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sol, err := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	p, err := ppv.FromSolution(r.Sys, sol)
+	p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, 0)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,6 +119,7 @@ func main() {
 		fmt.Println(ch.ASCII(90, 18))
 	}
 	if !allOK {
+		df.Stop()
 		os.Exit(1)
 	}
 }
@@ -148,7 +157,13 @@ func wrap01(x float64) float64 {
 	return x
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-fsm:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/diag"
 	"repro/internal/gae"
 	"repro/internal/netlist"
 	"repro/internal/phasemacro"
@@ -43,12 +44,18 @@ func main() {
 	dmax := fs.String("dmax", "200u", "sweep-d: maximum D amplitude")
 	cycles := fs.Float64("cycles", 3000, "flip: simulated reference cycles")
 	workers := fs.Int("workers", 0, "worker pool size for the sweep subcommands (0 = NumCPU)")
+	df = diag.AddFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, err := df.Start(sigCtx)
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 
 	cfg := ringosc.DefaultConfig()
 	if *use2n1p {
@@ -145,7 +152,7 @@ func main() {
 		}
 	case "flip":
 		T1 := 1 / f1
-		tr := m.Transient(0.497, 0, *cycles*T1, T1)
+		tr := m.TransientCtx(ctx, 0.497, 0, *cycles*T1, T1)
 		st := tr.SettleTime(0.02)
 		fmt.Printf("flip transient: final Δφ = %.4f, settle time = %.4g ms (%.0f cycles)\n",
 			tr.Final(), st*1e3, st/T1)
@@ -174,7 +181,13 @@ func usage() {
 	os.Exit(2)
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-gae:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

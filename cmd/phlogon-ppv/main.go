@@ -7,16 +7,19 @@
 // Usage:
 //
 //	phlogon-ppv -deck ring.cir -f0 9.6k [-node n1] [-hb] [-harms 8]
-//	            [-kick n1=2.7,n2=0.3,n3=1.5] [-csv ppv.csv]
+//	            [-kick n1=2.7,n2=0.3,n3=1.5] [-csv ppv.csv] [-workers n]
+//	            [-metrics|-metrics-json] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/cmplx"
 	"os"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/linalg"
 	"repro/internal/netlist"
 	"repro/internal/ppv"
@@ -32,6 +35,8 @@ func main() {
 	harms := flag.Int("harms", 8, "harmonics to print")
 	kick := flag.String("kick", "", "initial state node=V,... (default: staggered kick)")
 	csvOut := flag.String("csv", "", "write the PPV waveforms as CSV")
+	workers := flag.Int("workers", 0, "adjoint-extraction worker pool size (0 = NumCPU)")
+	df = diag.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *deck == "" || *f0guess == "" {
@@ -39,6 +44,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 	src, err := os.ReadFile(*deck)
 	if err != nil {
 		fatal(err)
@@ -78,7 +88,7 @@ func main() {
 		}
 	}
 
-	sol, err := pss.ShootAutonomous(sys, x0, pss.Options{GuessT: 1 / f0, StepsPerPeriod: 1024})
+	sol, err := pss.ShootAutonomousCtx(ctx, sys, x0, pss.Options{GuessT: 1 / f0, StepsPerPeriod: 1024})
 	if err != nil {
 		fatal(err)
 	}
@@ -88,7 +98,7 @@ func main() {
 	fmt.Printf("Floquet: trivial multiplier %.6g%+.3gi, largest other |µ| = %.4g (orbitally stable: %v)\n",
 		real(trivial), imag(trivial), largest, stable)
 
-	p, err := ppv.FromSolution(sys, sol)
+	p, err := ppv.FromSolutionCtx(ctx, sys, sol, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,7 +127,7 @@ func main() {
 
 	if *hb {
 		hbsol := pss.HBFromSolution(sys, sol, 20)
-		if err := pss.RefineHB(sys, hbsol, 12, 1e-10); err != nil {
+		if err := pss.RefineHBCtx(ctx, sys, hbsol, 12, 1e-10); err != nil {
 			fatal(fmt.Errorf("HB refinement: %w", err))
 		}
 		fmt.Printf("\nHB: refined f0 = %.6g Hz, residual %.3g A\n", hbsol.F0, hbsol.Residual)
@@ -162,7 +172,13 @@ func main() {
 	}
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-ppv:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

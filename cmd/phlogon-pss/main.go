@@ -6,14 +6,17 @@
 // Usage:
 //
 //	phlogon-pss -deck ring.cir -f0 9.6k [-hb] [-csv pss.csv] [-ascii]
+//	            [-metrics|-metrics-json] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/cmplx"
 	"os"
 
+	"repro/internal/diag"
 	"repro/internal/linalg"
 	"repro/internal/netlist"
 	"repro/internal/plot"
@@ -27,12 +30,18 @@ func main() {
 	hb := flag.Bool("hb", false, "refine with harmonic balance")
 	csvOut := flag.String("csv", "", "write the PSS waveforms as CSV")
 	ascii := flag.Bool("ascii", false, "plot node 0's PSS waveform")
+	df = diag.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *deck == "" || *f0guess == "" {
 		fmt.Fprintln(os.Stderr, "phlogon-pss: -deck and -f0 are required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 	src, err := os.ReadFile(*deck)
 	if err != nil {
 		fatal(err)
@@ -53,7 +62,7 @@ func main() {
 	for i := range x0 {
 		x0[i] = 1.5 + 1.2*float64(i%3-1)
 	}
-	sol, err := pss.ShootAutonomous(sys, x0, pss.Options{GuessT: 1 / f0, StepsPerPeriod: 1024})
+	sol, err := pss.ShootAutonomousCtx(ctx, sys, x0, pss.Options{GuessT: 1 / f0, StepsPerPeriod: 1024})
 	if err != nil {
 		fatal(err)
 	}
@@ -72,7 +81,7 @@ func main() {
 	}
 	if *hb {
 		hbsol := pss.HBFromSolution(sys, sol, 20)
-		if err := pss.RefineHB(sys, hbsol, 12, 1e-10); err != nil {
+		if err := pss.RefineHBCtx(ctx, sys, hbsol, 12, 1e-10); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("HB refinement: f0 = %.8g Hz, residual %.3g A\n", hbsol.F0, hbsol.Residual)
@@ -114,7 +123,13 @@ func main() {
 	}
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-pss:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

@@ -5,14 +5,17 @@
 //
 //	phlogon-sim -deck ring.cir -stop 5m -step 0.2u [-method trap|be]
 //	            [-adaptive] [-nodes n1,n2] [-o out.csv] [-ic n1=2.7,n2=0.3]
+//	            [-metrics|-metrics-json] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/linalg"
 	"repro/internal/netlist"
 	"repro/internal/solver"
@@ -30,6 +33,7 @@ func main() {
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	ic := flag.String("ic", "", "initial conditions node=V,node=V (default: DC operating point)")
 	record := flag.Int("record", 1, "record every Nth accepted step")
+	df = diag.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *deck == "" {
@@ -37,6 +41,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
 	src, err := os.ReadFile(*deck)
 	if err != nil {
 		fatal(err)
@@ -61,7 +70,7 @@ func main() {
 	// Initial state.
 	var x0 linalg.Vec
 	if *ic == "" {
-		x0, err = solver.DCOperatingPoint(sys, nil, 0)
+		x0, err = solver.DCOperatingPointCtx(ctx, sys, nil, 0)
 		if err != nil {
 			fatal(fmt.Errorf("DC operating point: %w (try -ic)", err))
 		}
@@ -88,7 +97,7 @@ func main() {
 	if strings.EqualFold(*method, "be") {
 		m = transient.BE
 	}
-	res, err := transient.Run(sys, x0, 0, t1, transient.Options{
+	res, err := transient.RunCtx(ctx, sys, x0, 0, t1, transient.Options{
 		Method: m, Step: h, Adaptive: *adaptive, Record: *record,
 	})
 	if err != nil {
@@ -128,7 +137,13 @@ func main() {
 	}
 }
 
+// df is package-level so fatal can flush profiles/metrics before exiting.
+var df *diag.Flags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "phlogon-sim:", err)
+	if df != nil {
+		df.Stop()
+	}
 	os.Exit(1)
 }

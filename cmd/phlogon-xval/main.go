@@ -9,6 +9,7 @@
 //
 //	phlogon-xval [-families pss,ppv,gae,fsm] [-fast] [-workers n]
 //	             [-json report.json] [-golden dir] [-update] [-list]
+//	             [-metrics|-metrics-json] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -21,10 +22,15 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/diag"
 	"repro/internal/xval"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	families := flag.String("families", "", "comma-separated family filter (pss,ppv,gae,fsm); empty = all")
 	fast := flag.Bool("fast", false, "skip the slow SPICE-level cases")
 	workers := flag.Int("workers", 0, "case fan-out bound (0 = NumCPU)")
@@ -32,11 +38,12 @@ func main() {
 	goldenDir := flag.String("golden", "", "read golden fixtures from this directory instead of the embedded copies")
 	update := flag.Bool("update", false, "regenerate golden fixtures under internal/xval/testdata/golden (or -golden dir)")
 	list := flag.Bool("list", false, "list the ledger cases and exit")
+	df := diag.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "phlogon-xval: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	ledger := xval.Ledger()
@@ -48,16 +55,22 @@ func main() {
 			}
 			fmt.Printf("%-28s %-5s %s\n", c.ID, speed, c.Desc)
 		}
-		return
+		return 0
 	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, err := df.Start(sigCtx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
+		return 1
+	}
+	defer df.Stop()
 
 	opt := xval.Options{
 		FastOnly: *fast,
 		Workers:  *workers,
-		Ctx:      sigCtx,
+		Ctx:      ctx,
 	}
 	if *families != "" {
 		opt.Families = strings.Split(*families, ",")
@@ -66,13 +79,12 @@ func main() {
 		golden, err := xval.LoadGolden(*goldenDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		opt.Golden = golden
 	}
 
 	fx := xval.NewFixtures(*workers)
-	fx.Ctx = sigCtx
 	rep := xval.Run(ledger, fx, opt)
 	fmt.Print(rep.Summary())
 
@@ -80,30 +92,31 @@ func main() {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		data = append(data, '\n')
 		if *jsonOut == "-" {
 			os.Stdout.Write(data)
 		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	if *update {
 		if !rep.Pass {
 			fmt.Fprintln(os.Stderr, "phlogon-xval: refusing to update golden from a failing ledger")
-			os.Exit(1)
+			return 1
 		}
 		if err := xval.UpdateGolden(*goldenDir, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "phlogon-xval: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("golden fixtures updated")
 	}
 
 	if !rep.Pass {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

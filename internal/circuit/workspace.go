@@ -1,6 +1,9 @@
 package circuit
 
-import "repro/internal/linalg"
+import (
+	"repro/internal/diag"
+	"repro/internal/linalg"
+)
 
 // Workspace holds every piece of mutable per-evaluation scratch needed to
 // run analyses against a (shared, immutable) System: the reusable
@@ -18,7 +21,16 @@ type Workspace struct {
 	// scratch for XDot / RHSJacobian
 	fbuf linalg.Vec
 	jbuf *linalg.Mat
+	// m counts circuit evaluations when diagnostics are enabled (nil
+	// otherwise — the nil-safe methods make the disabled path a pointer
+	// test).
+	m *diag.Metrics
 }
+
+// SetMetrics attaches a diagnostics collector; every subsequent evaluation
+// through this workspace increments CircuitEvals (and CircuitJacEvals when
+// the Jacobian is stamped). A nil m disables counting.
+func (w *Workspace) SetMetrics(m *diag.Metrics) { w.m = m }
 
 // NewWorkspace returns a fresh, independent evaluation workspace for the
 // system. Each concurrent analysis should own exactly one.
@@ -36,6 +48,10 @@ func (w *Workspace) System() *System { return w.sys }
 
 // eval prepares the reusable context and runs the evaluation core.
 func (w *Workspace) eval(x linalg.Vec, t float64, f linalg.Vec, j *linalg.Mat, wantJ bool, gminScale, srcScale float64) {
+	w.m.Inc(diag.CircuitEvals)
+	if wantJ {
+		w.m.Inc(diag.CircuitJacEvals)
+	}
 	w.ctx.T = t
 	w.ctx.X = x
 	w.ctx.F = f

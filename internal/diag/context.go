@@ -1,0 +1,31 @@
+package diag
+
+import "context"
+
+type ctxKey struct{}
+
+// WithMetrics returns a context carrying m. Engines pick it up with
+// FromContext; a nil m yields a context whose FromContext is nil, which is
+// how a caller explicitly disables collection on a sub-tree.
+func WithMetrics(ctx context.Context, m *Metrics) context.Context {
+	return context.WithValue(ctx, ctxKey{}, m)
+}
+
+// FromContext extracts the context's Metrics, or nil when diagnostics are
+// disabled. Call it once per analysis entry point, not per operation.
+func FromContext(ctx context.Context) *Metrics {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(ctxKey{}).(*Metrics)
+	return m
+}
+
+// SpanFrom opens a span on the context's Metrics (inert when disabled).
+// SpanFrom is evaluated at the defer statement, so the usual idiom measures
+// the whole function:
+//
+//	defer diag.SpanFrom(ctx, "pss.shoot").End()
+func SpanFrom(ctx context.Context, name string) Span {
+	return FromContext(ctx).Span(name)
+}

@@ -1,0 +1,228 @@
+// Package diag is the numerics observability layer: near-zero-overhead
+// counters and wall-time spans that answer "where does a run spend its
+// effort" — Newton iterations, LU factorizations, transient step
+// accept/reject ratios, raw circuit evaluations — the cost metrics the
+// paper's SPICE-vs-macromodel comparison is built on.
+//
+// Design rules:
+//
+//   - A *Metrics is carried in a context.Context (WithMetrics/FromContext).
+//     Engines extract it once per analysis, never per inner-loop operation.
+//   - Every method is nil-safe: a nil *Metrics (diagnostics disabled, the
+//     default) turns every call into a pointer test. The disabled path must
+//     not allocate and is guarded by `make bench-overhead` (<2% on
+//     BenchmarkShootAutonomousRing).
+//   - Counters are atomic, so one Metrics may be shared across goroutines;
+//     for hot fan-outs, Fork gives each worker a private child that Merge
+//     folds back without contention (see parallel.ForWorkerCtx).
+//   - Spans accumulate wall time per phase name ("pss.shoot",
+//     "ppv.adjoint", …). Nested spans accumulate independently, so phase
+//     times are a breakdown by layer, not a partition of total runtime.
+package diag
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one cost metric.
+type Counter int
+
+// The counter taxonomy. Keep DESIGN.md's table in sync when extending.
+const (
+	// NewtonSolves counts top-level damped-Newton solves (solver.Solve).
+	NewtonSolves Counter = iota
+	// NewtonIterations counts Newton iterations across every engine: DC
+	// solves, transient correctors, shooting outer loops, HB refinement.
+	NewtonIterations
+	// NewtonBacktracks counts line-search step halvings.
+	NewtonBacktracks
+	// LUFactorizations counts dense LU factorizations.
+	LUFactorizations
+	// LUSolves counts triangular solves against a factorization.
+	LUSolves
+	// TransientSteps counts accepted integration steps.
+	TransientSteps
+	// TransientRejections counts rejected steps (LTE or corrector failure).
+	TransientRejections
+	// CircuitEvals counts circuit residual evaluations f(x, t).
+	CircuitEvals
+	// CircuitJacEvals counts the subset of CircuitEvals that also stamped
+	// the Jacobian df/dx.
+	CircuitJacEvals
+	// GAESteps counts accepted phase-macromodel ODE steps (averaged GAE and
+	// unaveraged eq. 13 transients).
+	GAESteps
+	// SweepPoints counts parameter-grid evaluations (GAE sweeps, variation
+	// corners, Monte-Carlo samples).
+	SweepPoints
+	// EnsembleRuns counts stochastic ensemble members integrated.
+	EnsembleRuns
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	NewtonSolves:        "newton_solves",
+	NewtonIterations:    "newton_iterations",
+	NewtonBacktracks:    "newton_backtracks",
+	LUFactorizations:    "lu_factorizations",
+	LUSolves:            "lu_solves",
+	TransientSteps:      "transient_steps",
+	TransientRejections: "transient_rejections",
+	CircuitEvals:        "circuit_evals",
+	CircuitJacEvals:     "circuit_jac_evals",
+	GAESteps:            "gae_steps",
+	SweepPoints:         "sweep_points",
+	EnsembleRuns:        "ensemble_runs",
+}
+
+// String returns the stable snake_case name used in snapshots and JSON.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return "unknown"
+	}
+	return counterNames[c]
+}
+
+// Counters enumerates all counters in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// phaseAgg accumulates one named span's wall time.
+type phaseAgg struct {
+	ns    int64
+	count int64
+}
+
+// Metrics is one aggregation domain of counters and phase timers. The zero
+// value is ready to use; a nil *Metrics is the disabled instrument — every
+// method on it is a cheap no-op.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]*phaseAgg
+}
+
+// New returns an enabled, empty Metrics.
+func New() *Metrics { return &Metrics{} }
+
+// Inc adds 1 to a counter. Safe on nil.
+func (m *Metrics) Inc(c Counter) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(1)
+}
+
+// Add adds n to a counter. Safe on nil.
+func (m *Metrics) Add(c Counter, n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.counters[c].Add(n)
+}
+
+// Get reads a counter. A nil Metrics reads 0.
+func (m *Metrics) Get(c Counter) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// addPhase folds d into the named phase accumulator.
+func (m *Metrics) addPhase(name string, d time.Duration) {
+	m.mu.Lock()
+	if m.phases == nil {
+		m.phases = make(map[string]*phaseAgg)
+	}
+	p := m.phases[name]
+	if p == nil {
+		p = &phaseAgg{}
+		m.phases[name] = p
+	}
+	p.ns += int64(d)
+	p.count++
+	m.mu.Unlock()
+}
+
+// Span is an open wall-time measurement of one phase. The zero Span (from a
+// nil Metrics) is inert.
+type Span struct {
+	m     *Metrics
+	name  string
+	start time.Time
+}
+
+// Span opens a phase span. End it exactly once; spans from a nil Metrics
+// cost two words and never touch the clock.
+func (m *Metrics) Span(name string) Span {
+	if m == nil {
+		return Span{}
+	}
+	return Span{m: m, name: name, start: time.Now()}
+}
+
+// End closes the span, folding its wall time into the phase accumulator.
+func (s Span) End() {
+	if s.m == nil {
+		return
+	}
+	s.m.addPhase(s.name, time.Since(s.start))
+}
+
+// Fork returns n private children for contention-free per-worker
+// aggregation; fold them back with Merge. A nil parent forks nil children,
+// so the disabled path stays free.
+func (m *Metrics) Fork(n int) []*Metrics {
+	children := make([]*Metrics, n)
+	if m == nil {
+		return children
+	}
+	for i := range children {
+		children[i] = New()
+	}
+	return children
+}
+
+// Merge adds the children's counters and phase times into m. Nil receivers
+// and nil children are ignored, so Merge(Fork(n)...) is always safe.
+func (m *Metrics) Merge(children ...*Metrics) {
+	if m == nil {
+		return
+	}
+	for _, c := range children {
+		if c == nil || c == m {
+			continue
+		}
+		for i := 0; i < int(numCounters); i++ {
+			if v := c.counters[i].Load(); v != 0 {
+				m.counters[i].Add(v)
+			}
+		}
+		c.mu.Lock()
+		m.mu.Lock()
+		for name, p := range c.phases {
+			if m.phases == nil {
+				m.phases = make(map[string]*phaseAgg)
+			}
+			q := m.phases[name]
+			if q == nil {
+				q = &phaseAgg{}
+				m.phases[name] = q
+			}
+			q.ns += p.ns
+			q.count += p.count
+		}
+		m.mu.Unlock()
+		c.mu.Unlock()
+	}
+}

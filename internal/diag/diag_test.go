@@ -1,0 +1,260 @@
+package diag_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/diag"
+)
+
+func TestNilMetricsIsInert(t *testing.T) {
+	var m *diag.Metrics
+	m.Inc(diag.NewtonIterations)
+	m.Add(diag.LUSolves, 42)
+	if m.Get(diag.LUSolves) != 0 {
+		t.Fatal("nil Metrics must read 0")
+	}
+	sp := m.Span("phase")
+	sp.End() // must not panic
+	m.Merge(diag.New())
+	kids := m.Fork(3)
+	if len(kids) != 3 {
+		t.Fatalf("Fork on nil returned %d children", len(kids))
+	}
+	for _, k := range kids {
+		if k != nil {
+			t.Fatal("nil parent must fork nil children (disabled path stays free)")
+		}
+	}
+	snap := m.Snapshot()
+	if snap.Counters[diag.NewtonIterations.String()] != 0 || len(snap.Phases) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCountersAndSpans(t *testing.T) {
+	m := diag.New()
+	m.Inc(diag.NewtonIterations)
+	m.Add(diag.NewtonIterations, 4)
+	m.Add(diag.LUFactorizations, 2)
+	if got := m.Get(diag.NewtonIterations); got != 5 {
+		t.Fatalf("NewtonIterations = %d, want 5", got)
+	}
+	sp := m.Span("solve")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	m.Span("solve").End()
+	snap := m.Snapshot()
+	if len(snap.Phases) != 1 || snap.Phases[0].Name != "solve" {
+		t.Fatalf("phases = %+v, want one 'solve'", snap.Phases)
+	}
+	if snap.Phases[0].Count != 2 {
+		t.Fatalf("span count = %d, want 2", snap.Phases[0].Count)
+	}
+	if snap.Phases[0].WallMS <= 0 {
+		t.Fatalf("wall time = %g, want > 0", snap.Phases[0].WallMS)
+	}
+}
+
+func TestConcurrentAtomicCounting(t *testing.T) {
+	m := diag.New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Inc(diag.CircuitEvals)
+				m.Span("p").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get(diag.CircuitEvals); got != workers*per {
+		t.Fatalf("CircuitEvals = %d, want %d", got, workers*per)
+	}
+	if snap := m.Snapshot(); snap.Phases[0].Count != workers*per {
+		t.Fatalf("span count = %d, want %d", snap.Phases[0].Count, workers*per)
+	}
+}
+
+func TestForkMerge(t *testing.T) {
+	parent := diag.New()
+	parent.Inc(diag.NewtonSolves)
+	kids := parent.Fork(4)
+	var wg sync.WaitGroup
+	for i, k := range kids {
+		if k == nil {
+			t.Fatal("enabled parent must fork enabled children")
+		}
+		wg.Add(1)
+		go func(i int, k *diag.Metrics) {
+			defer wg.Done()
+			k.Add(diag.SweepPoints, int64(i+1))
+			sp := k.Span("worker")
+			sp.End()
+		}(i, k)
+	}
+	wg.Wait()
+	parent.Merge(kids...)
+	if got := parent.Get(diag.SweepPoints); got != 1+2+3+4 {
+		t.Fatalf("merged SweepPoints = %d, want 10", got)
+	}
+	if got := parent.Get(diag.NewtonSolves); got != 1 {
+		t.Fatalf("parent's own counter clobbered: %d", got)
+	}
+	snap := parent.Snapshot()
+	if len(snap.Phases) != 1 || snap.Phases[0].Count != 4 {
+		t.Fatalf("merged phases = %+v, want 'worker'×4", snap.Phases)
+	}
+	// Self-merge must be a no-op, not a doubling.
+	parent.Merge(parent)
+	if got := parent.Get(diag.SweepPoints); got != 10 {
+		t.Fatalf("self-merge doubled counters: %d", got)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if diag.FromContext(context.Background()) != nil {
+		t.Fatal("bare context must carry no metrics")
+	}
+	m := diag.New()
+	ctx := diag.WithMetrics(context.Background(), m)
+	if diag.FromContext(ctx) != m {
+		t.Fatal("FromContext must return the attached Metrics")
+	}
+	diag.SpanFrom(ctx, "x").End()
+	if m.Snapshot().Phases[0].Name != "x" {
+		t.Fatal("SpanFrom must record on the context's metrics")
+	}
+	// Explicit disable on a subtree.
+	off := diag.WithMetrics(ctx, nil)
+	if diag.FromContext(off) != nil {
+		t.Fatal("WithMetrics(ctx, nil) must disable collection")
+	}
+}
+
+func TestSnapshotJSONSchema(t *testing.T) {
+	m := diag.New()
+	m.Add(diag.TransientSteps, 7)
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters map[string]int64 `json:"counters"`
+		Phases   []diag.PhaseStat `json:"phases"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["transient_steps"] != 7 {
+		t.Fatalf("transient_steps = %d, want 7", decoded.Counters["transient_steps"])
+	}
+	// Stable schema: every counter present even at zero.
+	for _, c := range diag.Counters() {
+		if _, ok := decoded.Counters[c.String()]; !ok {
+			t.Fatalf("counter %s missing from JSON snapshot", c)
+		}
+	}
+}
+
+func TestWriteTextRendersCountersAndPhases(t *testing.T) {
+	m := diag.New()
+	m.Add(diag.LUSolves, 3)
+	m.Span("ppv.adjoint").End()
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lu_solves", "ppv.adjoint"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlagsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	df := diag.AddFlags(fs)
+	outFile := filepath.Join(dir, "metrics.json")
+	cpuFile := filepath.Join(dir, "cpu.pprof")
+	memFile := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{
+		"-metrics-json", "-metrics-out", outFile,
+		"-cpuprofile", cpuFile, "-memprofile", memFile,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := diag.FromContext(ctx)
+	if m == nil {
+		t.Fatal("Start must attach metrics when -metrics-json is set")
+	}
+	m.Add(diag.NewtonIterations, 11)
+	if err := df.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["newton_iterations"] != 11 {
+		t.Fatalf("metrics file counters = %v", snap.Counters)
+	}
+	for _, f := range []string{cpuFile, memFile} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", f, err)
+		}
+	}
+}
+
+func TestFlagsDisabledKeepsContextClean(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	df := diag.AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.FromContext(ctx) != nil {
+		t.Fatal("disabled flags must not attach metrics")
+	}
+	if err := df.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkDisabledCounter pins the disabled-path cost: a nil receiver test.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var m *diag.Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Inc(diag.CircuitEvals)
+		m.Span("x").End()
+	}
+}

@@ -1,0 +1,142 @@
+package diag
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags is the standard diagnostics flag bundle every cmd/ binary exposes:
+//
+//	-metrics          print the cost-counter/phase table to stderr on exit
+//	-metrics-json     print the JSON snapshot instead (machine-readable)
+//	-metrics-out F    write the report to file F instead of stderr
+//	-cpuprofile F     write a pprof CPU profile over the whole run
+//	-memprofile F     write a pprof heap profile at exit
+//
+// Wire-up is two calls around the program body:
+//
+//	df := diag.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	ctx, err := df.Start(ctx)   // ctx now carries the Metrics (if enabled)
+//	...
+//	df.Stop()                   // before any os.Exit
+type Flags struct {
+	Text       bool
+	JSON       bool
+	Out        string
+	CPUProfile string
+	MemProfile string
+
+	metrics *Metrics
+	cpuFile *os.File
+	stopped bool
+}
+
+// AddFlags registers the diagnostics flags on fs and returns the bundle.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Text, "metrics", false,
+		"print numerics cost counters and per-phase wall times on exit")
+	fs.BoolVar(&f.JSON, "metrics-json", false,
+		"like -metrics, but as a machine-readable JSON snapshot")
+	fs.StringVar(&f.Out, "metrics-out", "",
+		"write the -metrics/-metrics-json report to this file instead of stderr")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "",
+		"write a pprof heap profile to this file on exit")
+	return f
+}
+
+// MetricsEnabled reports whether any metrics output was requested.
+func (f *Flags) MetricsEnabled() bool { return f.Text || f.JSON || f.Out != "" }
+
+// Metrics returns the collector created by Start (nil when disabled).
+func (f *Flags) Metrics() *Metrics { return f.metrics }
+
+// Start allocates the Metrics when requested, attaches it to ctx, and
+// starts the CPU profile. The returned context is ctx unchanged when
+// metrics are disabled, keeping the engines on their nil fast path.
+func (f *Flags) Start(ctx context.Context) (context.Context, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if f.MetricsEnabled() {
+		f.metrics = New()
+		ctx = WithMetrics(ctx, f.metrics)
+	}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return ctx, fmt.Errorf("diag: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return ctx, fmt.Errorf("diag: -cpuprofile: %w", err)
+		}
+		f.cpuFile = file
+	}
+	return ctx, nil
+}
+
+// Stop finalizes profiles and emits the metrics report. It is idempotent so
+// it can sit both on a defer and before explicit os.Exit calls.
+func (f *Flags) Stop() error {
+	if f.stopped {
+		return nil
+	}
+	f.stopped = true
+	var firstErr error
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.cpuFile = nil
+	}
+	if f.MemProfile != "" {
+		file, err := os.Create(f.MemProfile)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("diag: -memprofile: %w", err)
+			}
+		} else {
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(file); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("diag: -memprofile: %w", err)
+			}
+			if err := file.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if f.MetricsEnabled() {
+		out := os.Stderr
+		if f.Out != "" {
+			file, err := os.Create(f.Out)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("diag: -metrics-out: %w", err)
+				}
+				return firstErr
+			}
+			defer file.Close()
+			out = file
+		}
+		snap := f.metrics.Snapshot()
+		var err error
+		if f.JSON {
+			err = snap.WriteJSON(out)
+		} else {
+			err = snap.WriteText(out)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

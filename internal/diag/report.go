@@ -1,0 +1,94 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PhaseStat is one phase's aggregated wall time in a Snapshot.
+type PhaseStat struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Snapshot is a point-in-time, serializable copy of a Metrics: every
+// counter (zeros included, so the JSON schema is stable) and the per-phase
+// wall times sorted by descending time.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Phases   []PhaseStat      `json:"phases"`
+}
+
+// Snapshot captures the current state. A nil Metrics snapshots as all-zero
+// counters with no phases, so reporting code needs no nil checks.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]int64, numCounters)}
+	for _, c := range Counters() {
+		s.Counters[c.String()] = m.Get(c)
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	for name, p := range m.phases {
+		s.Phases = append(s.Phases, PhaseStat{
+			Name:   name,
+			Count:  p.count,
+			WallMS: float64(p.ns) / 1e6,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].WallMS != s.Phases[j].WallMS {
+			return s.Phases[i].WallMS > s.Phases[j].WallMS
+		}
+		return s.Phases[i].Name < s.Phases[j].Name
+	})
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteText writes the snapshot as an aligned human-readable table:
+// counters in taxonomy order (zeros elided), then phases by wall time.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("--- numerics cost counters ---\n")
+	any := false
+	for _, c := range Counters() {
+		v := s.Counters[c.String()]
+		if v == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(&sb, "  %-22s %12d\n", c.String(), v)
+	}
+	if !any {
+		sb.WriteString("  (all zero)\n")
+	}
+	if len(s.Phases) > 0 {
+		sb.WriteString("--- per-phase wall time ---\n")
+		for _, p := range s.Phases {
+			fmt.Fprintf(&sb, "  %-22s %12.3f ms  (%d span", p.Name, p.WallMS, p.Count)
+			if p.Count != 1 {
+				sb.WriteString("s")
+			}
+			sb.WriteString(")\n")
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

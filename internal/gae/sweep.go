@@ -13,6 +13,7 @@ package gae
 import (
 	"context"
 
+	"repro/internal/diag"
 	"repro/internal/parallel"
 )
 
@@ -34,7 +35,9 @@ func (m *Model) SweepSyncAmplitude(syncNode, syncHarm int, amps []float64) []Loc
 // SweepSyncAmplitudeCtx is SweepSyncAmplitude with cancellation and a worker
 // pool (workers <= 0 means one per CPU).
 func (m *Model) SweepSyncAmplitudeCtx(ctx context.Context, syncNode, syncHarm int, amps []float64, workers int) ([]LockPoint, error) {
-	return parallel.Map(ctx, len(amps), workers, func(i int) (LockPoint, error) {
+	defer diag.SpanFrom(ctx, "gae.sweep").End()
+	return parallel.MapWorkerCtx(ctx, len(amps), workers, func(wctx context.Context, _, i int) (LockPoint, error) {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
 		a := amps[i]
 		mm := m.With(Injection{Name: "sweep-sync", Node: syncNode, Amp: a, Harmonic: syncHarm})
 		lo, hi := mm.LockingBand()
@@ -72,7 +75,9 @@ func (m *Model) SweepInjectionAmplitude(index int, amps []float64) []Equilibrium
 // SweepInjectionAmplitudeCtx is SweepInjectionAmplitude with cancellation and
 // a worker pool.
 func (m *Model) SweepInjectionAmplitudeCtx(ctx context.Context, index int, amps []float64, workers int) ([]EquilibriumPoint, error) {
-	return parallel.Map(ctx, len(amps), workers, func(i int) (EquilibriumPoint, error) {
+	defer diag.SpanFrom(ctx, "gae.sweep").End()
+	return parallel.MapWorkerCtx(ctx, len(amps), workers, func(wctx context.Context, _, i int) (EquilibriumPoint, error) {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
 		mm := *m
 		mm.Injections = append([]Injection(nil), m.Injections...)
 		mm.Injections[index].Amp = amps[i]
@@ -88,7 +93,9 @@ func (m *Model) SweepDetuning(f1s []float64) []EquilibriumPoint {
 
 // SweepDetuningCtx is SweepDetuning with cancellation and a worker pool.
 func (m *Model) SweepDetuningCtx(ctx context.Context, f1s []float64, workers int) ([]EquilibriumPoint, error) {
-	return parallel.Map(ctx, len(f1s), workers, func(i int) (EquilibriumPoint, error) {
+	defer diag.SpanFrom(ctx, "gae.sweep").End()
+	return parallel.MapWorkerCtx(ctx, len(f1s), workers, func(wctx context.Context, _, i int) (EquilibriumPoint, error) {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
 		mm := *m
 		mm.F1 = f1s[i]
 		return equilibriumPointAt(&mm, f1s[i]), nil
@@ -112,7 +119,9 @@ func (m *Model) SweepPhaseError(f1s []float64, refs []float64) []PhaseErrorPoint
 
 // SweepPhaseErrorCtx is SweepPhaseError with cancellation and a worker pool.
 func (m *Model) SweepPhaseErrorCtx(ctx context.Context, f1s []float64, refs []float64, workers int) ([]PhaseErrorPoint, error) {
-	return parallel.Map(ctx, len(f1s), workers, func(i int) (PhaseErrorPoint, error) {
+	defer diag.SpanFrom(ctx, "gae.sweep").End()
+	return parallel.MapWorkerCtx(ctx, len(f1s), workers, func(wctx context.Context, _, i int) (PhaseErrorPoint, error) {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
 		mm := *m
 		mm.F1 = f1s[i]
 		return PhaseErrorPoint{F1: f1s[i], Errors: mm.LockedPhaseVsReference(refs)}, nil

@@ -1,7 +1,10 @@
 package gae
 
 import (
+	"context"
 	"math"
+
+	"repro/internal/diag"
 )
 
 // TransientResult is a phase trajectory of the scalar GAE.
@@ -10,8 +13,15 @@ type TransientResult struct {
 	Dphi []float64
 }
 
-// Final returns the last phase sample.
-func (r *TransientResult) Final() float64 { return r.Dphi[len(r.Dphi)-1] }
+// Final returns the last phase sample, or NaN when the trajectory is empty —
+// callers comparing against a threshold then fail loudly instead of panicking
+// or silently reading a stale value.
+func (r *TransientResult) Final() float64 {
+	if r == nil || len(r.Dphi) == 0 {
+		return math.NaN()
+	}
+	return r.Dphi[len(r.Dphi)-1]
+}
 
 // SettleTime returns the first time after which the trajectory stays within
 // tol cycles of its final value, or +Inf if it never settles. This is the
@@ -34,6 +44,14 @@ func (r *TransientResult) SettleTime(tol float64) float64 {
 // estimate. The GAE is autonomous, so this is cheap and robust; the paper's
 // Fig. 12 uses exactly this facility to predict bit-flip timing.
 func (m *Model) Transient(dphi0, t0, t1, dt float64) *TransientResult {
+	return m.TransientCtx(context.Background(), dphi0, t0, t1, dt)
+}
+
+// TransientCtx is Transient with cost diagnostics: accepted RK4 steps count
+// as GAESteps on the metrics carried by ctx, under a "gae.transient" span.
+func (m *Model) TransientCtx(ctx context.Context, dphi0, t0, t1, dt float64) *TransientResult {
+	defer diag.SpanFrom(ctx, "gae.transient").End()
+	dm := diag.FromContext(ctx)
 	res := &TransientResult{}
 	x := dphi0
 	t := t0
@@ -62,6 +80,7 @@ func (m *Model) Transient(dphi0, t0, t1, dt float64) *TransientResult {
 		}
 		x = half
 		t += h
+		dm.Inc(diag.GAESteps)
 		res.T = append(res.T, t)
 		res.Dphi = append(res.Dphi, x)
 		if err < tol/16 && h < dt*16 {
@@ -89,6 +108,14 @@ type TimeVarying struct {
 // ablation reference for the averaged GAE and as the building block of the
 // full-system phase-macromodel simulation in package phasemacro.
 func (m *Model) TransientNonAveraged(dphi0, t0, t1 float64, stepsPerCycle int, programs []TimeVarying) *TransientResult {
+	return m.TransientNonAveragedCtx(context.Background(), dphi0, t0, t1, stepsPerCycle, programs)
+}
+
+// TransientNonAveragedCtx is TransientNonAveraged with cost diagnostics
+// (GAESteps, "gae.transient" span) carried by ctx.
+func (m *Model) TransientNonAveragedCtx(ctx context.Context, dphi0, t0, t1 float64, stepsPerCycle int, programs []TimeVarying) *TransientResult {
+	defer diag.SpanFrom(ctx, "gae.transient").End()
+	dm := diag.FromContext(ctx)
 	if stepsPerCycle <= 0 {
 		stepsPerCycle = 64
 	}
@@ -132,6 +159,7 @@ func (m *Model) TransientNonAveraged(dphi0, t0, t1 float64, stepsPerCycle int, p
 		k4 := rhs(t+hh, x+hh*k3)
 		x += hh / 6 * (k1 + 2*k2 + 2*k3 + k4)
 		t += hh
+		dm.Inc(diag.GAESteps)
 		res.T = append(res.T, t)
 		res.Dphi = append(res.Dphi, x)
 	}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/diag"
 	"repro/internal/gae"
 	"repro/internal/parallel"
 	"repro/internal/ppv"
@@ -133,7 +134,9 @@ func StochasticTransient(m *gae.Model, dphi0 float64, d float64, t0, t1, dt floa
 // On cancellation the partial ensemble is returned with ctx.Err(); members
 // that did not run are nil.
 func StochasticEnsemble(ctx context.Context, m *gae.Model, dphi0, d, t0, t1, dt float64, seed int64, n, workers int) ([]*StochasticResult, error) {
-	return parallel.Map(ctx, n, workers, func(i int) (*StochasticResult, error) {
+	defer diag.SpanFrom(ctx, "noise.ensemble").End()
+	return parallel.MapWorkerCtx(ctx, n, workers, func(wctx context.Context, _, i int) (*StochasticResult, error) {
+		diag.FromContext(wctx).Inc(diag.EnsembleRuns)
 		return StochasticTransient(m, dphi0, d, t0, t1, dt, parallel.SubSeed(seed, i)), nil
 	})
 }

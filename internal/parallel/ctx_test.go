@@ -1,0 +1,96 @@
+package parallel_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/parallel"
+)
+
+func TestForWorkerCtxMergesPerWorkerMetrics(t *testing.T) {
+	m := diag.New()
+	ctx := diag.WithMetrics(context.Background(), m)
+	const n = 100
+	err := parallel.ForWorkerCtx(ctx, n, 4, func(wctx context.Context, _, i int) error {
+		wm := diag.FromContext(wctx)
+		if wm == nil {
+			t.Error("worker context must carry a metrics child")
+			return errors.New("no metrics")
+		}
+		if wm == m {
+			t.Error("worker must get a private child, not the shared parent")
+		}
+		wm.Add(diag.SweepPoints, int64(i))
+		diag.SpanFrom(wctx, "work").End()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(diag.SweepPoints); got != n*(n-1)/2 {
+		t.Fatalf("merged SweepPoints = %d, want %d", got, n*(n-1)/2)
+	}
+	snap := m.Snapshot()
+	if len(snap.Phases) != 1 || snap.Phases[0].Count != n {
+		t.Fatalf("merged phases = %+v, want 'work'×%d", snap.Phases, n)
+	}
+}
+
+func TestForWorkerCtxWithoutMetricsPassesCtxThrough(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	err := parallel.ForWorkerCtx(ctx, 8, 2, func(wctx context.Context, _, _ int) error {
+		if wctx.Value(key{}) != "v" {
+			t.Error("ctx values must flow through")
+		}
+		if diag.FromContext(wctx) != nil {
+			t.Error("no metrics on parent ⇒ none on workers")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapWorkerCtxOrdersResults(t *testing.T) {
+	m := diag.New()
+	ctx := diag.WithMetrics(context.Background(), m)
+	out, err := parallel.MapWorkerCtx(ctx, 32, 4, func(wctx context.Context, _, i int) (int, error) {
+		diag.FromContext(wctx).Inc(diag.EnsembleRuns)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if got := m.Get(diag.EnsembleRuns); got != 32 {
+		t.Fatalf("EnsembleRuns = %d, want 32", got)
+	}
+}
+
+func TestForWorkerCtxMergesOnError(t *testing.T) {
+	// Even when an item fails, completed workers' counts must not be lost.
+	m := diag.New()
+	ctx := diag.WithMetrics(context.Background(), m)
+	sentinel := errors.New("boom")
+	err := parallel.ForWorkerCtx(ctx, 10, 2, func(wctx context.Context, _, i int) error {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if m.Get(diag.SweepPoints) == 0 {
+		t.Fatal("completed work must still be merged after an error")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"repro/internal/circuit"
+	"repro/internal/diag"
 	"repro/internal/fourier"
 	"repro/internal/linalg"
 	"repro/internal/parallel"
@@ -75,10 +76,18 @@ func FromSolutionCtx(ctx context.Context, sys *circuit.System, sol *pss.Solution
 	}
 	h := sol.T0 / float64(k)
 
+	defer diag.SpanFrom(ctx, "ppv.adjoint").End()
+	dm := diag.FromContext(ctx)
+	// Per-worker metrics children keep the parallel grid stages free of
+	// cross-worker contention; they are merged back before returning. (A nil
+	// dm forks nil children, so the disabled path stays free.)
 	nw := parallel.Workers(workers)
+	children := dm.Fork(nw)
+	defer dm.Merge(children...)
 	wss := make([]*circuit.Workspace, nw)
 	for i := range wss {
 		wss[i] = sys.NewWorkspace()
+		wss[i].SetMetrics(children[i])
 	}
 
 	// 1. Left eigenvector of the monodromy for the eigenvalue at 1:
@@ -107,10 +116,12 @@ func FromSolutionCtx(ctx context.Context, sys *circuit.System, sol *pss.Solution
 		lhs := linalg.Eye(n)
 		lhs.AddScaled(-h/2, as[i+1])
 		lu, err := linalg.Factorize(lhs)
+		dm.Inc(diag.LUFactorizations)
 		if err != nil {
 			return nil, fmt.Errorf("ppv: adjoint step %d singular: %w", i, err)
 		}
 		tmp := lu.SolveT(ws[i+1])
+		dm.Inc(diag.LUSolves)
 		// w_i = (I + h/2 A_i)ᵀ tmp
 		wi := as[i].MulVecT(tmp)
 		wi.Scale(h / 2)
@@ -132,6 +143,7 @@ func FromSolutionCtx(ctx context.Context, sys *circuit.System, sol *pss.Solution
 		cs[i] = c
 		v := ws[i].Clone()
 		v.Scale(1 / c)
+		children[wk].Inc(diag.LUSolves)
 		// Current-injection form: VI = C⁻ᵀ v.
 		return sys.CLU.SolveT(v), nil
 	})

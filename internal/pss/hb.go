@@ -1,12 +1,14 @@
 package pss
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
 
 	"repro/internal/circuit"
+	"repro/internal/diag"
 	"repro/internal/fourier"
 	"repro/internal/linalg"
 )
@@ -61,7 +63,7 @@ func HBFromSolution(sys *circuit.System, sol *Solution, harms int) *HBSolution {
 		copy(coef, s.Coef)
 		hb.X[node] = coef
 	}
-	hb.Residual = hbResidualNorm(sys, hb)
+	hb.Residual = hbResidualNorm(sys, hb, nil)
 	return hb
 }
 
@@ -96,13 +98,14 @@ func spectrumOf(samples []linalg.Vec, node, h int) []complex128 {
 
 // hbResidual computes the complex residual F_n = jωn·C·X_n + f̂_n for
 // n = 0..H per node, returned as [node][n].
-func hbResidual(sys *circuit.System, hb *HBSolution) [][]complex128 {
+func hbResidual(sys *circuit.System, hb *HBSolution, m *diag.Metrics) [][]complex128 {
 	n := sys.N
 	kk := hbSampleCount(hb.H)
 	states := sampleStates(hb, kk)
 	// Evaluate f(x(t)) on the grid (autonomous circuits: no explicit t, but
 	// pass normalized times anyway for safety).
 	ws := sys.NewWorkspace()
+	ws.SetMetrics(m)
 	fs := make([]linalg.Vec, kk)
 	for i := 0; i < kk; i++ {
 		fs[i] = ws.EvalF(states[i], hb.T0*float64(i)/float64(kk), nil)
@@ -124,26 +127,27 @@ func hbResidual(sys *circuit.System, hb *HBSolution) [][]complex128 {
 	return res
 }
 
-func hbResidualNorm(sys *circuit.System, hb *HBSolution) float64 {
-	res := hbResidual(sys, hb)
-	m := 0.0
+func hbResidualNorm(sys *circuit.System, hb *HBSolution, m *diag.Metrics) float64 {
+	res := hbResidual(sys, hb, m)
+	mx := 0.0
 	for _, r := range res {
 		for _, c := range r {
-			if a := cmplx.Abs(c); a > m {
-				m = a
+			if a := cmplx.Abs(c); a > mx {
+				mx = a
 			}
 		}
 	}
-	return m
+	return mx
 }
 
 // jacobianSpectrum computes the Fourier coefficients Ĝ_k (k = 0..2H) of the
 // time-varying Jacobian G(t) = df/dx along the orbit; Ĝ_{−k} = conj(Ĝ_k).
-func jacobianSpectrum(sys *circuit.System, hb *HBSolution) []*linalg.CMat {
+func jacobianSpectrum(sys *circuit.System, hb *HBSolution, m *diag.Metrics) []*linalg.CMat {
 	n := sys.N
 	kk := hbSampleCount(hb.H)
 	states := sampleStates(hb, kk)
 	ws := sys.NewWorkspace()
+	ws.SetMetrics(m)
 	f := linalg.NewVec(n)
 	j := linalg.NewMat(n, n)
 	// gs[i] holds G at sample i.
@@ -192,7 +196,7 @@ func ghat(spec []*linalg.CMat, k int) *linalg.CMat {
 func (h *HBSolution) FullJacobian() *linalg.CMat {
 	sys := h.Sys
 	n := sys.N
-	spec := jacobianSpectrum(sys, h)
+	spec := jacobianSpectrum(sys, h, nil)
 	dim := n * (2*h.H + 1)
 	out := linalg.NewCMat(dim, dim)
 	for bn := -h.H; bn <= h.H; bn++ {
@@ -298,6 +302,16 @@ func (h *HBSolution) harm(node, n int) complex128 {
 // a time-domain shooting solution it typically converges in 2–4 steps and
 // sharpens the frequency estimate beyond the integrator's O(h²) bias.
 func RefineHB(sys *circuit.System, hb *HBSolution, maxIter int, tol float64) error {
+	return RefineHBCtx(context.Background(), sys, hb, maxIter, tol)
+}
+
+// RefineHBCtx is RefineHB with cost diagnostics: the polish runs under an
+// "hb.refine" span and counts Newton iterations, LU work and circuit
+// evaluations on the metrics carried by ctx.
+func RefineHBCtx(ctx context.Context, sys *circuit.System, hb *HBSolution, maxIter int, tol float64) error {
+	defer diag.SpanFrom(ctx, "hb.refine").End()
+	dm := diag.FromContext(ctx)
+	dm.Inc(diag.NewtonSolves)
 	n := sys.N
 	H := hb.H
 	if maxIter == 0 {
@@ -352,14 +366,15 @@ func RefineHB(sys *circuit.System, hb *HBSolution, maxIter int, tol float64) err
 	}
 
 	for iter := 0; iter < maxIter; iter++ {
-		res := hbResidual(sys, hb)
+		res := hbResidual(sys, hb, dm)
 		rv := residVec(res)
 		if rv.NormInf() <= tol {
 			hb.Residual = rv.NormInf()
 			hb.Iterations = iter
 			return nil
 		}
-		spec := jacobianSpectrum(sys, hb)
+		dm.Inc(diag.NewtonIterations)
+		spec := jacobianSpectrum(sys, hb, dm)
 		jac := linalg.NewMat(dim, dim)
 		// dF_n/d(unknown): complex sensitivity S = dF_n/dX_m combined with
 		// the conjugate path dF_n/d(conj X_m) = Ĝ_{n+m}.
@@ -429,10 +444,12 @@ func RefineHB(sys *circuit.System, hb *HBSolution, maxIter int, tol float64) err
 			}
 		}
 		lu, err := linalg.Factorize(jac)
+		dm.Inc(diag.LUFactorizations)
 		if err != nil {
 			return fmt.Errorf("pss: HB Jacobian singular: %w", err)
 		}
 		dx := lu.Solve(rv)
+		dm.Inc(diag.LUSolves)
 		// Apply −dx.
 		for ci, cc := range coords {
 			d := dx[ci]
@@ -453,6 +470,6 @@ func RefineHB(sys *circuit.System, hb *HBSolution, maxIter int, tol float64) err
 			hb.X[node][0] = complex(real(hb.X[node][0]), 0)
 		}
 	}
-	hb.Residual = hbResidualNorm(sys, hb)
+	hb.Residual = hbResidualNorm(sys, hb, dm)
 	return fmt.Errorf("pss: HB Newton did not converge (residual %.3g)", hb.Residual)
 }

@@ -23,6 +23,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/circuit"
+	"repro/internal/diag"
 	"repro/internal/fourier"
 	"repro/internal/linalg"
 	"repro/internal/transient"
@@ -123,15 +124,20 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 		opt.SettleCycles = 20
 	}
 	n := sys.N
+	defer diag.SpanFrom(ctx, "pss.shoot").End()
+	dm := diag.FromContext(ctx)
+	dm.Inc(diag.NewtonSolves)
 
 	// Settle onto the limit cycle and refine the period guess from the
 	// trajectory's recurrence before shooting.
 	T := opt.GuessT
 	x := x0.Clone()
 	if opt.SettleCycles > 0 {
+		sp := diag.SpanFrom(ctx, "pss.settle")
 		res, err := transient.RunCtx(ctx, sys, x, 0, float64(opt.SettleCycles)*T, transient.Options{
 			Method: transient.Trap, Step: T / float64(opt.StepsPerPeriod),
 		})
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("pss: settle transient failed: %w", err)
 		}
@@ -144,6 +150,7 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 	// Phase anchor: the component with the largest |ẋ| moves fastest through
 	// its anchor value, making the bordered system well conditioned.
 	ws := sys.NewWorkspace()
+	ws.SetMetrics(dm)
 	xd := ws.XDot(x, 0)
 	anchor := xd.MaxAbsIndex()
 	anchorVal := x[anchor]
@@ -167,6 +174,7 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 		if lastRes <= opt.Tol {
 			return buildSolution(ctx, sys, x, T, anchor, opt, mono, iter)
 		}
+		dm.Inc(diag.NewtonIterations)
 		// Bordered Newton system:
 		//   [ M − I   ẋ(T) ] [Δx]   [ −r ]
 		//   [ e_aᵀ      0  ] [ΔT] = [  0 ]
@@ -188,10 +196,12 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 		}
 		rhs[n] = anchorVal - x[anchor]
 		lu, err := linalg.Factorize(big)
+		dm.Inc(diag.LUFactorizations)
 		if err != nil {
 			return nil, fmt.Errorf("pss: singular bordered Jacobian: %w", err)
 		}
 		dz := lu.Solve(rhs)
+		dm.Inc(diag.LUSolves)
 		// Damping: limit the period update to ±20% per iteration.
 		if dT := dz[n]; math.Abs(dT) > 0.2*T {
 			dz.Scale(0.2 * T / math.Abs(dT))
@@ -227,6 +237,9 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 		opt.Tol = 1e-7
 	}
 	n := sys.N
+	defer diag.SpanFrom(ctx, "pss.shoot").End()
+	dm := diag.FromContext(ctx)
+	dm.Inc(diag.NewtonSolves)
 	x := x0.Clone()
 	var lastRes float64
 	for iter := 0; iter < opt.MaxIter; iter++ {
@@ -245,15 +258,18 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 		if lastRes <= opt.Tol {
 			return buildSolution(ctx, sys, x, T, -1, opt, run.Sens, iter)
 		}
+		dm.Inc(diag.NewtonIterations)
 		jac := run.Sens.Clone()
 		for i := 0; i < n; i++ {
 			jac.Addf(i, i, -1)
 		}
 		lu, err := linalg.Factorize(jac)
+		dm.Inc(diag.LUFactorizations)
 		if err != nil {
 			return nil, fmt.Errorf("pss: singular shooting Jacobian (is the circuit autonomous?): %w", err)
 		}
 		dx := lu.Solve(r)
+		dm.Inc(diag.LUSolves)
 		for i := 0; i < n; i++ {
 			x[i] -= dx[i]
 		}
@@ -264,6 +280,7 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 // buildSolution integrates one final period on the converged orbit, records
 // the uniform grid, and computes Floquet multipliers.
 func buildSolution(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T float64, anchor int, opt Options, mono *linalg.Mat, iters int) (*Solution, error) {
+	defer diag.SpanFrom(ctx, "pss.grid").End()
 	k := opt.StepsPerPeriod
 	run, err := transient.RunCtx(ctx, sys, x0, 0, T, transient.Options{
 		Method:      opt.Method,

@@ -1,7 +1,10 @@
 package solver
 
 import (
+	"context"
+
 	"repro/internal/circuit"
+	"repro/internal/diag"
 	"repro/internal/linalg"
 )
 
@@ -9,12 +12,21 @@ import (
 // (sources evaluated at t, capacitors open). x0 seeds the iteration; nil
 // starts from all-zeros.
 func DCOperatingPoint(sys *circuit.System, x0 linalg.Vec, t float64) (linalg.Vec, error) {
+	return DCOperatingPointCtx(context.Background(), sys, x0, t)
+}
+
+// DCOperatingPointCtx is DCOperatingPoint with cost diagnostics: the solve
+// runs under a "dcop" span and counts circuit/Newton/LU work on the metrics
+// carried by ctx.
+func DCOperatingPointCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t float64) (linalg.Vec, error) {
+	defer diag.SpanFrom(ctx, "dcop").End()
 	if x0 == nil {
 		x0 = linalg.NewVec(sys.N)
 	}
 	ws := sys.NewWorkspace()
+	ws.SetMetrics(diag.FromContext(ctx))
 	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
 		ws.EvalScaled(x, t, f, j, gminScale, srcScale)
 	}
-	return DCSolve(fn, x0, DefaultOptions())
+	return DCSolveCtx(ctx, fn, x0, DefaultOptions())
 }

@@ -4,25 +4,52 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/diag"
 	"repro/internal/linalg"
 )
 
-// Options tunes the Newton iteration.
+// Options tunes the Newton iteration. Zero-valued fields are defaulted
+// *independently* (see DefaultOptions for the values): callers may set just
+// the fields they care about without losing the rest. NoDamping is the one
+// boolean, oriented so the zero value selects the safe default (damping on).
 type Options struct {
-	MaxIter int     // maximum iterations (default 60)
-	AbsTol  float64 // residual ∞-norm tolerance (default 1e-9)
-	RelTol  float64 // step-size relative tolerance (default 1e-9)
-	Damping bool    // enable line-search damping (default true via DefaultOptions)
-	MaxStep float64 // per-iteration ∞-norm clamp on Δx (0 = unlimited)
+	MaxIter   int     // maximum iterations (0 → 60)
+	AbsTol    float64 // residual ∞-norm tolerance (0 → 1e-9)
+	RelTol    float64 // step-size relative tolerance (0 → 1e-9)
+	NoDamping bool    // disable line-search damping (default: damped)
+	MaxStep   float64 // per-iteration ∞-norm clamp on Δx (0 → 2.0; negative → unlimited)
 }
 
-// DefaultOptions returns the standard solver settings.
+// DefaultOptions returns the standard solver settings — what a zero Options
+// resolves to.
 func DefaultOptions() Options {
-	return Options{MaxIter: 60, AbsTol: 1e-9, RelTol: 1e-9, Damping: true, MaxStep: 2.0}
+	return Options{MaxIter: 60, AbsTol: 1e-9, RelTol: 1e-9, MaxStep: 2.0}
+}
+
+// withDefaults resolves zero fields to their defaults, each independently.
+// (Historically a zero MaxIter replaced the *entire* Options with
+// DefaultOptions(), silently discarding caller-set tolerances and clamps —
+// DCSolve callers tuning only AbsTol were bitten by exactly that.)
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.MaxIter == 0 {
+		o.MaxIter = d.MaxIter
+	}
+	if o.AbsTol == 0 {
+		o.AbsTol = d.AbsTol
+	}
+	if o.RelTol == 0 {
+		o.RelTol = d.RelTol
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = d.MaxStep
+	}
+	return o
 }
 
 // Func evaluates residual f(x) and, when j is non-nil, the Jacobian df/dx.
@@ -40,10 +67,16 @@ var ErrNoConvergence = errors.New("solver: Newton iteration did not converge")
 
 // Solve runs damped Newton–Raphson from x0 and returns the solution.
 func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
+	return SolveCtx(context.Background(), fn, x0, opt)
+}
+
+// SolveCtx is Solve with diagnostics: when ctx carries a *diag.Metrics, the
+// solve counts its iterations, line-search backtracks and LU work there.
+func SolveCtx(ctx context.Context, fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
+	m := diag.FromContext(ctx)
 	n := len(x0)
-	if opt.MaxIter == 0 {
-		opt = DefaultOptions()
-	}
+	opt = opt.withDefaults()
+	m.Inc(diag.NewtonSolves)
 	x := x0.Clone()
 	f := linalg.NewVec(n)
 	j := linalg.NewMat(n, n)
@@ -61,14 +94,16 @@ func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
 			return x, st, nil
 		}
 		lu, err := linalg.Factorize(j)
+		m.Inc(diag.LUFactorizations)
 		if err != nil {
 			return x, st, fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, err)
 		}
 		dx := lu.Solve(f)
+		m.Inc(diag.LUSolves)
 		dx.Scale(-1)
 		if opt.MaxStep > 0 {
-			if m := dx.NormInf(); m > opt.MaxStep {
-				dx.Scale(opt.MaxStep / m)
+			if mx := dx.NormInf(); mx > opt.MaxStep {
+				dx.Scale(opt.MaxStep / mx)
 			}
 		}
 		// Line search: halve the step until the residual decreases (or accept
@@ -81,9 +116,10 @@ func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
 			}
 			fn(xTry, fTry, j) // Jacobian refreshed at the candidate point
 			newRes := fTry.NormInf()
-			if !opt.Damping || newRes < res || newRes <= opt.AbsTol || math.IsNaN(res) {
+			if opt.NoDamping || newRes < res || newRes <= opt.AbsTol || math.IsNaN(res) {
 				if math.IsNaN(newRes) || math.IsInf(newRes, 0) {
 					lambda /= 2
+					m.Inc(diag.NewtonBacktracks)
 					continue
 				}
 				x.CopyFrom(xTry)
@@ -93,6 +129,7 @@ func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
 				break
 			}
 			lambda /= 2
+			m.Inc(diag.NewtonBacktracks)
 		}
 		if !accepted {
 			// Residual would not decrease: accept the tiny step anyway; some
@@ -102,6 +139,7 @@ func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
 			res = fTry.NormInf()
 		}
 		st.Iterations = iter + 1
+		m.Inc(diag.NewtonIterations)
 		// Step-based convergence: a vanishing Newton step with finite
 		// residual indicates stagnation at machine precision.
 		if lambda*dx.NormInf() <= opt.RelTol*(1+x.NormInf()) && res <= 100*opt.AbsTol {
@@ -125,11 +163,17 @@ type ScaledFunc func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcSc
 
 // DCSolve finds a DC solution of fn using plain Newton first, then gmin
 // stepping, then source stepping — the standard SPICE escalation ladder.
+// Partial Options are safe: zero fields are defaulted independently.
 func DCSolve(fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
+	return DCSolveCtx(context.Background(), fn, x0, opt)
+}
+
+// DCSolveCtx is DCSolve with cost diagnostics carried by ctx.
+func DCSolveCtx(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
 	plain := func(g, s float64) Func {
 		return func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) { fn(x, f, j, g, s) }
 	}
-	if x, _, err := Solve(plain(1, 1), x0, opt); err == nil {
+	if x, _, err := SolveCtx(ctx, plain(1, 1), x0, opt); err == nil {
 		return x, nil
 	}
 	// Gmin stepping: start with heavy shunts and relax geometrically.
@@ -137,7 +181,7 @@ func DCSolve(fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
 	ok := true
 	for _, g := range []float64{1e9, 1e7, 1e5, 1e3, 1e2, 10, 1} {
 		var err error
-		x, _, err = Solve(plain(g, 1), x, opt)
+		x, _, err = SolveCtx(ctx, plain(g, 1), x, opt)
 		if err != nil {
 			ok = false
 			break
@@ -150,7 +194,7 @@ func DCSolve(fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
 	x = x0.Clone()
 	for _, s := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
 		var err error
-		x, _, err = Solve(plain(1, s), x, opt)
+		x, _, err = SolveCtx(ctx, plain(1, s), x, opt)
 		if err != nil {
 			return nil, fmt.Errorf("solver: DC continuation failed at source scale %g: %w", s, err)
 		}

@@ -56,7 +56,63 @@ func TestNewtonReportsNonConvergence(t *testing.T) {
 
 func TestDefaultOptionsSane(t *testing.T) {
 	opt := solver.DefaultOptions()
-	if opt.MaxIter <= 0 || opt.AbsTol <= 0 || opt.RelTol <= 0 || !opt.Damping {
+	if opt.MaxIter <= 0 || opt.AbsTol <= 0 || opt.RelTol <= 0 || opt.NoDamping || opt.MaxStep <= 0 {
 		t.Fatalf("suspicious defaults: %+v", opt)
+	}
+}
+
+func TestPartialOptionsKeepCallerFields(t *testing.T) {
+	// Regression: Solve used to replace the ENTIRE Options with
+	// DefaultOptions() whenever MaxIter was zero, silently discarding any
+	// tolerances the caller did set. A loose caller-set AbsTol with a
+	// defaulted MaxIter must now be honored.
+	//
+	// f(x) = x³ near 0 converges slowly (Newton contracts by only 1/3 per
+	// step) so the residual trajectory cleanly separates the two tolerances.
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = x[0] * x[0] * x[0]
+		if j != nil {
+			j.Set(0, 0, 3*x[0]*x[0]+1e-30)
+		}
+	}
+	loose, tight := solver.Options{AbsTol: 1e-6, RelTol: 1e-300}, solver.Options{AbsTol: 1e-12, RelTol: 1e-300}
+	_, stLoose, err := solver.Solve(fn, linalg.Vec{1}, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stTight, err := solver.Solve(fn, linalg.Vec{1}, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stLoose.Converged || stLoose.Residual > 1e-6 {
+		t.Fatalf("loose solve: %+v", stLoose)
+	}
+	// If the caller's AbsTol had been clobbered back to the default, both
+	// runs would stop after the same number of iterations.
+	if stLoose.Iterations >= stTight.Iterations {
+		t.Fatalf("caller AbsTol ignored: loose took %d iterations, tight took %d",
+			stLoose.Iterations, stTight.Iterations)
+	}
+}
+
+func TestNegativeMaxStepDisablesClamp(t *testing.T) {
+	// MaxStep < 0 means "no clamp": the 1000-unit first Newton step of
+	// f(x) = 1e-6·(x − 1000) must land in one iteration.
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = 1e-6 * (x[0] - 1000)
+		if j != nil {
+			j.Set(0, 0, 1e-6)
+		}
+	}
+	opt := solver.Options{MaxStep: -1, AbsTol: 1e-12}
+	x, st, err := solver.Solve(fn, linalg.Vec{0}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1000) > 1e-3 {
+		t.Fatalf("x = %g, want 1000", x[0])
+	}
+	if st.Iterations > 2 {
+		t.Fatalf("unclamped solve took %d iterations, want ≤2", st.Iterations)
 	}
 }

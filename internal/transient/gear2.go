@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/diag"
 	"repro/internal/linalg"
 )
 
@@ -16,10 +17,11 @@ import (
 // bootstrapped with one Backward-Euler step. L-stability makes it the
 // method of choice for circuits whose trapezoidal solutions ring on
 // switching events (the transmission-gate edges of the clocked FSM).
+// Adaptive stepping is rejected by RunCtx (ErrGear2Adaptive) before this
+// runs.
 func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
-	if opt.Adaptive {
-		return nil, errors.New("transient: Gear2 supports fixed steps only")
-	}
+	defer diag.SpanFrom(ctx, "transient").End()
+	dm := diag.FromContext(ctx)
 	if opt.Record <= 0 {
 		opt.Record = 1
 	}
@@ -44,7 +46,7 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 	// Bootstrap: one BE step (θ-stepper with BE).
 	beOpt := opt
 	beOpt.Method = BE
-	st := newStepper(sys, beOpt)
+	st := newStepper(sys, beOpt, dm)
 	xPrev := x.Clone()
 	{
 		hh := h
@@ -67,6 +69,7 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 		xPrev.CopyFrom(x)
 		x.CopyFrom(x1)
 		res.Steps++
+		dm.Inc(diag.TransientSteps)
 		res.T = append(res.T, t0+hh)
 		res.X = append(res.X, x.Clone())
 		if t0+hh >= t1 {
@@ -75,17 +78,20 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 		}
 	}
 
+	gws := sys.NewWorkspace()
+	gws.SetMetrics(dm)
 	g := &gearStepper{
 		sys:   sys,
-		ws:    sys.NewWorkspace(),
+		ws:    gws,
 		opt:   opt,
+		m:     dm,
 		f1:    linalg.NewVec(n),
 		jac:   linalg.NewMat(n, n),
 		resid: linalg.NewVec(n),
 		sysJ:  linalg.NewMat(n, n),
 	}
 	t := t0 + h
-	sinceRecord := 1
+	sinceRecord := 0 // the bootstrap point above was recorded
 	for t < t1-1e-15 {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -112,8 +118,10 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 			x.CopyFrom(x1)
 			t += hh
 			res.Steps++
+			dm.Inc(diag.TransientSteps)
 			res.T = append(res.T, t)
 			res.X = append(res.X, x.Clone())
+			sinceRecord = 0 // recorded above; keep the post-loop flush honest
 			break
 		}
 		x1, iters, err := g.step(xPrev, x, t, hh)
@@ -135,12 +143,19 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 		x.CopyFrom(x1)
 		t += hh
 		res.Steps++
+		dm.Inc(diag.TransientSteps)
 		sinceRecord++
 		if sinceRecord >= opt.Record || t >= t1 {
 			res.T = append(res.T, t)
 			res.X = append(res.X, x.Clone())
 			sinceRecord = 0
 		}
+	}
+	// Flush the decimation tail (see RunCtx): never drop the final accepted
+	// state when Record > 1 and the loop exits inside the guard band.
+	if sinceRecord > 0 {
+		res.T = append(res.T, t)
+		res.X = append(res.X, x.Clone())
 	}
 	res.Sens = sens
 	return res, nil
@@ -151,6 +166,7 @@ type gearStepper struct {
 	sys   *circuit.System
 	ws    *circuit.Workspace
 	opt   Options
+	m     *diag.Metrics // nil when diagnostics are off
 	f1    linalg.Vec
 	jac   *linalg.Mat
 	resid linalg.Vec
@@ -183,10 +199,13 @@ func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, e
 			g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
 		}
 		lu, err := linalg.Factorize(g.jac)
+		g.m.Inc(diag.LUFactorizations)
 		if err != nil {
 			return nil, iter, fmt.Errorf("transient: singular Gear2 matrix: %w", err)
 		}
 		dx := lu.Solve(g.resid)
+		g.m.Inc(diag.LUSolves)
+		g.m.Inc(diag.NewtonIterations)
 		if m := dx.NormInf(); m > 2 {
 			dx.Scale(2 / m)
 		}
@@ -208,6 +227,7 @@ func (g *gearStepper) sensFactors(x1 linalg.Vec, t, h float64) (*linalg.LU, erro
 	for i := 0; i < n*n; i++ {
 		g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
 	}
+	g.m.Inc(diag.LUFactorizations)
 	return linalg.Factorize(g.jac)
 }
 

@@ -1,0 +1,129 @@
+package transient_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/linalg"
+	"repro/internal/transient"
+)
+
+// TestRecordDecimationFlushesTail pins the fix for the dropped-tail bug: with
+// Record > 1, the loop guard can exit inside the 1e-15 guard band of t1
+// before the `t >= t1` record condition ever fires, leaving the final
+// accepted state unrecorded. The trajectory must always end at the last
+// accepted state, so Final() is identical across Record settings.
+func TestRecordDecimationFlushesTail(t *testing.T) {
+	sys := rcCircuit(t)
+	tau := 1e-3
+	for _, method := range []transient.Method{transient.BE, transient.Trap, transient.Gear2} {
+		for _, adaptive := range []bool{false, true} {
+			if adaptive && method == transient.Gear2 {
+				continue // rejected by design; covered below
+			}
+			name := method.String()
+			if adaptive {
+				name += "/adaptive"
+			}
+			t.Run(name, func(t *testing.T) {
+				run := func(record int) *transient.Result {
+					res, err := transient.Run(sys, linalg.Vec{0}, 0, 3*tau, transient.Options{
+						Method: method, Step: tau / 333, Adaptive: adaptive, Record: record,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				dense := run(1)
+				// 7 does not divide the step count, so without the tail flush
+				// the last accepted state lands between record points.
+				thin := run(7)
+				if thin.Steps != dense.Steps {
+					t.Fatalf("Record must not change stepping: %d vs %d steps", thin.Steps, dense.Steps)
+				}
+				fd, ft := dense.Final(), thin.Final()
+				if fd == nil || ft == nil {
+					t.Fatal("Final() returned nil on a successful run")
+				}
+				if fd[0] != ft[0] {
+					t.Fatalf("decimated run dropped the tail: Final %g (Record=7) vs %g (Record=1)", ft[0], fd[0])
+				}
+				tEnd := thin.T[len(thin.T)-1]
+				if math.Abs(tEnd-3*tau) > 1e-12*3*tau {
+					t.Fatalf("decimated trajectory ends at t=%g, want %g", tEnd, 3*tau)
+				}
+			})
+		}
+	}
+}
+
+func TestFinalNilOnEmptyResult(t *testing.T) {
+	var r *transient.Result
+	if r.Final() != nil {
+		t.Fatal("nil Result must yield nil Final")
+	}
+	if (&transient.Result{}).Final() != nil {
+		t.Fatal("empty trajectory must yield nil Final, not panic")
+	}
+}
+
+func TestGear2AdaptiveIsExplicitError(t *testing.T) {
+	sys := rcCircuit(t)
+	_, err := transient.Run(sys, linalg.Vec{0}, 0, 1e-3, transient.Options{
+		Method: transient.Gear2, Step: 1e-6, Adaptive: true,
+	})
+	if !errors.Is(err, transient.ErrGear2Adaptive) {
+		t.Fatalf("Gear2+Adaptive must return ErrGear2Adaptive, got %v", err)
+	}
+}
+
+// TestRunCountsWork verifies the diag threading: a metrics-carrying context
+// must see steps, Newton iterations, LU work and circuit evaluations, and the
+// counters must agree with the Result's own bookkeeping.
+func TestRunCountsWork(t *testing.T) {
+	sys := rcCircuit(t)
+	m := diag.New()
+	ctx := diag.WithMetrics(context.Background(), m)
+	res, err := transient.RunCtx(ctx, sys, linalg.Vec{0}, 0, 1e-3, transient.Options{
+		Method: transient.Trap, Step: 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(diag.TransientSteps); got != int64(res.Steps) {
+		t.Fatalf("TransientSteps = %d, Result.Steps = %d", got, res.Steps)
+	}
+	if got := m.Get(diag.NewtonIterations); got != int64(res.NewtonIters) {
+		t.Fatalf("NewtonIterations = %d, Result.NewtonIters = %d", got, res.NewtonIters)
+	}
+	if m.Get(diag.LUFactorizations) == 0 || m.Get(diag.LUSolves) == 0 || m.Get(diag.CircuitEvals) == 0 {
+		t.Fatalf("LU/eval counters empty: %+v", m.Snapshot().Counters)
+	}
+	snap := m.Snapshot()
+	if len(snap.Phases) == 0 || snap.Phases[0].Name != "transient" {
+		t.Fatalf("expected a 'transient' phase span, got %+v", snap.Phases)
+	}
+}
+
+// TestGear2CountsWork is the same for the BDF2 path.
+func TestGear2CountsWork(t *testing.T) {
+	sys := rcCircuit(t)
+	m := diag.New()
+	ctx := diag.WithMetrics(context.Background(), m)
+	res, err := transient.RunCtx(ctx, sys, linalg.Vec{0}, 0, 1e-3, transient.Options{
+		Method: transient.Gear2, Step: 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(diag.TransientSteps); got != int64(res.Steps) {
+		t.Fatalf("TransientSteps = %d, Result.Steps = %d", got, res.Steps)
+	}
+	if got := m.Get(diag.NewtonIterations); got != int64(res.NewtonIters) {
+		t.Fatalf("NewtonIterations = %d, Result.NewtonIters = %d", got, res.NewtonIters)
+	}
+}

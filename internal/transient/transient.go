@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/circuit"
+	"repro/internal/diag"
 	"repro/internal/linalg"
 )
 
@@ -36,11 +37,17 @@ const (
 	Gear2
 )
 
+// theta returns the implicit-weighting parameter of the one-step θ-method.
+// Gear2 is a two-step formula with no θ equivalent, so asking for one is a
+// programming error, not a degenerate Trap.
 func (m Method) theta() float64 {
-	if m == BE {
+	switch m {
+	case BE:
 		return 1
+	case Trap:
+		return 0.5
 	}
-	return 0.5
+	panic("transient: theta() is undefined for method " + m.String())
 }
 
 // String implements fmt.Stringer.
@@ -91,11 +98,22 @@ func (r *Result) Node(k int) []float64 {
 	return out
 }
 
-// Final returns the last recorded state.
-func (r *Result) Final() linalg.Vec { return r.X[len(r.X)-1] }
+// Final returns the last recorded state, or nil when the trajectory is empty
+// (a run that failed before its first accepted step).
+func (r *Result) Final() linalg.Vec {
+	if r == nil || len(r.X) == 0 {
+		return nil
+	}
+	return r.X[len(r.X)-1]
+}
 
 // ErrStepUnderflow indicates the adaptive controller hit MinStep.
 var ErrStepUnderflow = errors.New("transient: step size underflow")
+
+// ErrGear2Adaptive is returned when Options request Gear2 with Adaptive
+// stepping: the fixed-coefficient BDF2 implementation has no variable-step
+// form, and silently running fixed-step would misrepresent the result.
+var ErrGear2Adaptive = errors.New("transient: Gear2 supports fixed steps only (Adaptive must be false)")
 
 // Run integrates the circuit ODE C·ẋ = −f(x,t) from x0 over [t0, t1].
 //
@@ -112,8 +130,12 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		return nil, errors.New("transient: Options.Step must be positive")
 	}
 	if opt.Method == Gear2 {
+		if opt.Adaptive {
+			return nil, ErrGear2Adaptive
+		}
 		return runGear2(ctx, sys, x0, t0, t1, opt)
 	}
+	defer diag.SpanFrom(ctx, "transient").End()
 	if opt.Record <= 0 {
 		opt.Record = 1
 	}
@@ -134,7 +156,8 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 	}
 
 	n := sys.N
-	st := newStepper(sys, opt)
+	dm := diag.FromContext(ctx)
+	st := newStepper(sys, opt, dm)
 	res := &Result{}
 	x := x0.Clone()
 	t := t0
@@ -175,6 +198,7 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 			}
 			h /= 2
 			res.Rejected++
+			dm.Inc(diag.TransientRejections)
 			continue
 		}
 		res.NewtonIters += iters
@@ -194,6 +218,7 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 			if lte > opt.LTETol && h > opt.MinStep {
 				h = math.Max(h/2, opt.MinStep)
 				res.Rejected++
+				dm.Inc(diag.TransientRejections)
 				continue
 			}
 			// Grow cautiously when comfortably below tolerance. h only
@@ -216,12 +241,21 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		x.CopyFrom(xNew)
 		t += hTaken
 		res.Steps++
+		dm.Inc(diag.TransientSteps)
 		sinceRecord++
 		if sinceRecord >= opt.Record || t >= t1 {
 			res.T = append(res.T, t)
 			res.X = append(res.X, x.Clone())
 			sinceRecord = 0
 		}
+	}
+	// Flush the decimation tail: with Record > 1 the loop can exit (t within
+	// the 1e-15 guard band of t1, so `t >= t1` never fired) with the final
+	// accepted state unrecorded. The trajectory must always end at the last
+	// accepted point — Final() and every PSS/xval consumer depend on it.
+	if sinceRecord > 0 {
+		res.T = append(res.T, t)
+		res.X = append(res.X, x.Clone())
 	}
 	res.Sens = sens
 	return res, nil
@@ -234,6 +268,7 @@ type stepper struct {
 	sys   *circuit.System
 	ws    *circuit.Workspace
 	opt   Options
+	m     *diag.Metrics // nil when diagnostics are off
 	f0    linalg.Vec
 	f1    linalg.Vec
 	jac   *linalg.Mat
@@ -241,10 +276,12 @@ type stepper struct {
 	sysJ  *linalg.Mat
 }
 
-func newStepper(sys *circuit.System, opt Options) *stepper {
+func newStepper(sys *circuit.System, opt Options, m *diag.Metrics) *stepper {
 	n := sys.N
+	ws := sys.NewWorkspace()
+	ws.SetMetrics(m)
 	return &stepper{
-		sys: sys, ws: sys.NewWorkspace(), opt: opt,
+		sys: sys, ws: ws, opt: opt, m: m,
 		f0:    linalg.NewVec(n),
 		f1:    linalg.NewVec(n),
 		jac:   linalg.NewMat(n, n),
@@ -285,10 +322,13 @@ func (s *stepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, erro
 			s.jac.Data[i] = c.Data[i]/h + th*s.sysJ.Data[i]
 		}
 		lu, err := linalg.Factorize(s.jac)
+		s.m.Inc(diag.LUFactorizations)
 		if err != nil {
 			return nil, iter, fmt.Errorf("transient: singular iteration matrix: %w", err)
 		}
 		dx := lu.Solve(s.resid)
+		s.m.Inc(diag.LUSolves)
+		s.m.Inc(diag.NewtonIterations)
 		// Simple step clamp: node voltages should not move more than ~2 V
 		// per Newton iteration (device models are exponential-free, but the
 		// tgate logistic can still overshoot).
@@ -323,8 +363,10 @@ func (s *stepper) stepSensitivity(x0, x1 linalg.Vec, t, h float64) (*linalg.Mat,
 		rhs.Data[i] = c.Data[i]/h - (1-th)*j0.Data[i]
 	}
 	lu, err := linalg.Factorize(lhs)
+	s.m.Inc(diag.LUFactorizations)
 	if err != nil {
 		return nil, fmt.Errorf("transient: singular sensitivity matrix: %w", err)
 	}
+	s.m.Add(diag.LUSolves, int64(n))
 	return lu.SolveMat(rhs), nil
 }

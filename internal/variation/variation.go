@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/diag"
 	"repro/internal/gae"
 	"repro/internal/parallel"
 	"repro/internal/ppv"
@@ -120,7 +121,8 @@ func SensitivitiesCtx(ctx context.Context, base ringosc.Config, params []Param, 
 		return nil, fmt.Errorf("variation: nominal evaluation: %w", err)
 	}
 	// Corner 2i is param i at +1σ, corner 2i+1 at −1σ.
-	corners, err := parallel.Map(ctx, 2*len(params), workers, func(i int) (Metrics, error) {
+	corners, err := parallel.MapWorkerCtx(ctx, 2*len(params), workers, func(wctx context.Context, _, i int) (Metrics, error) {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
 		prm := params[i/2]
 		cfg := base
 		sign := +1.0
@@ -130,7 +132,7 @@ func SensitivitiesCtx(ctx context.Context, base ringosc.Config, params []Param, 
 			dir = "−1σ"
 		}
 		prm.Apply(&cfg, sign)
-		m, err := EvaluateCtx(ctx, cfg)
+		m, err := EvaluateCtx(wctx, cfg)
 		if err != nil {
 			return Metrics{}, fmt.Errorf("variation: %s %s: %w", prm.Name, dir, err)
 		}
@@ -171,7 +173,9 @@ func MonteCarlo(base ringosc.Config, params []Param, n int, seed int64) ([]Sampl
 // any worker count. On error or cancellation the partial slice is returned;
 // samples that did not run are zero-valued.
 func MonteCarloCtx(ctx context.Context, base ringosc.Config, params []Param, n int, seed int64, workers int) ([]Sample, error) {
-	return parallel.Map(ctx, n, workers, func(i int) (Sample, error) {
+	return parallel.MapWorkerCtx(ctx, n, workers, func(wctx context.Context, _, i int) (Sample, error) {
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
+		ctx := wctx
 		rng := rand.New(rand.NewSource(parallel.SubSeed(seed, i)))
 		cfg := base
 		deltas := make([]float64, len(params))

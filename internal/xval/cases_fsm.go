@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
@@ -36,12 +37,12 @@ func bitWord(bits []bool) float64 {
 // spiceAdderRun builds and simulates the transistor-level serial adder for
 // nPeriods clock periods from the given carry state, returning the decoded
 // per-period sum/cout/slave levels.
-func spiceAdderRun(fx *Fixtures, a, b []bool, carry0 bool, nPeriods int) (sums, couts, slaves []bool, err error) {
-	_, sol, _, err := fx.Ring1()
+func spiceAdderRun(ctx context.Context, fx *Fixtures, a, b []bool, carry0 bool, nPeriods int) (sums, couts, slaves []bool, err error) {
+	_, sol, _, err := fx.Ring1(ctx)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	cal, err := fx.AdderCal()
+	cal, err := fx.AdderCal(ctx)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -60,7 +61,7 @@ func spiceAdderRun(fx *Fixtures, a, b []bool, carry0 bool, nPeriods int) (sums, 
 		return nil, nil, nil, err
 	}
 	T1 := 1 / sol.F0
-	res, err := transient.Run(ac.Sys, ac.InitialState(sol, carry0, carry0), 0,
+	res, err := transient.RunCtx(ctx, ac.Sys, ac.InitialState(sol, carry0, carry0), 0,
 		float64(nPeriods)*ac.ClockPeriod, transient.Options{
 			Method: transient.Trap, Step: T1 / 256, Record: 4,
 		})
@@ -98,8 +99,8 @@ func spiceAdderRun(fx *Fixtures, a, b []bool, carry0 bool, nPeriods int) (sums, 
 
 // macroAdderRun simulates the phase-macromodel serial adder and decodes the
 // same per-period streams.
-func macroAdderRun(fx *Fixtures, a, b []bool) (sums, couts []bool, err error) {
-	_, _, p, err := fx.Ring1()
+func macroAdderRun(ctx context.Context, fx *Fixtures, a, b []bool) (sums, couts []bool, err error) {
+	_, _, p, err := fx.Ring1(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,14 +140,14 @@ func adder101Case() *Case {
 			"spice_sum_word":  {Kind: Exact},
 			"spice_cout_word": {Kind: Exact},
 		},
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
 			a := []bool{true, false, true}
 			wantSum, wantCout := phlogic.GoldenSerialAdder(a, a)
-			mSums, mCouts, err := macroAdderRun(fx, a, a)
+			mSums, mCouts, err := macroAdderRun(ctx, fx, a, a)
 			if err != nil {
 				return nil, nil, fmt.Errorf("macromodel: %w", err)
 			}
-			sSums, sCouts, sSlaves, err := spiceAdderRun(fx, a, a, false, len(a))
+			sSums, sCouts, sSlaves, err := spiceAdderRun(ctx, fx, a, a, false, len(a))
 			if err != nil {
 				return nil, nil, fmt.Errorf("spice: %w", err)
 			}
@@ -192,7 +193,7 @@ func fig20StatesCase() *Case {
 		Family: "fsm",
 		Desc:   "Fig. 20 carry states (a=0, b=1): macromodel FSM vs transistor-level circuit",
 		Slow:   true,
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
 			var checks []Check
 			obs := Observables{}
 			for _, sc := range []struct {
@@ -204,13 +205,13 @@ func fig20StatesCase() *Case {
 				{"carry1", true, [2]bool{false, true}},
 			} {
 				// SPICE level: one clock period from the prepared carry state.
-				sSums, sCouts, _, err := spiceAdderRun(fx, []bool{false}, []bool{true}, sc.carry, 1)
+				sSums, sCouts, _, err := spiceAdderRun(ctx, fx, []bool{false}, []bool{true}, sc.carry, 1)
 				if err != nil {
 					return nil, nil, fmt.Errorf("spice %s: %w", sc.name, err)
 				}
 				// Macromodel: streams whose bit 0 establishes the same carry
 				// state, decoded at bit 1 with a = 0, b = 1.
-				mSums, mCouts, err := macroAdderRun(fx, []bool{sc.carry, false}, []bool{sc.carry, true})
+				mSums, mCouts, err := macroAdderRun(ctx, fx, []bool{sc.carry, false}, []bool{sc.carry, true})
 				if err != nil {
 					return nil, nil, fmt.Errorf("macromodel %s: %w", sc.name, err)
 				}

@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -65,8 +66,8 @@ func lockThresholdCase() *Case {
 			"lock_phase0_100u": {Kind: Cycles, Tol: 1e-3},
 			"lock_phase1_100u": {Kind: Cycles, Tol: 1e-3},
 		},
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
-			_, _, p, err := fx.Ring1()
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+			_, _, p, err := fx.Ring1(ctx)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -127,8 +128,8 @@ func lockPhaseTransientCase() *Case {
 			"phase_avg": {Kind: Cycles, Tol: 1e-3},
 			"phase_raw": {Kind: Cycles, Tol: 2e-3},
 		},
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
-			_, _, p, err := fx.Ring1()
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+			_, _, p, err := fx.Ring1(ctx)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -141,8 +142,8 @@ func lockPhaseTransientCase() *Case {
 			}
 			T1 := 1 / f1
 			const x0 = 0.3
-			avg := m.Transient(x0, 0, 800*T1, T1)
-			raw := m.TransientNonAveraged(x0, 0, 800*T1, 64, nil)
+			avg := m.TransientCtx(ctx, x0, 0, 800*T1, T1)
+			raw := m.TransientNonAveragedCtx(ctx, x0, 0, 800*T1, 64, nil)
 			// The unaveraged trajectory carries the fast ripple; its lock
 			// phase is the mean over the settled tail, not the last sample.
 			rawLock := tailMean(raw.Dphi)
@@ -200,12 +201,12 @@ func flipSettleOrderingCase() *Case {
 			"settle_ms_100u": {Kind: Rel, Tol: 1e-3},
 			"settle_ms_150u": {Kind: Rel, Tol: 1e-3},
 		},
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
-			_, _, p, err := fx.Ring1()
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+			_, _, p, err := fx.Ring1(ctx)
 			if err != nil {
 				return nil, nil, err
 			}
-			cal, err := fx.Cal()
+			cal, err := fx.Cal(ctx)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -224,7 +225,7 @@ func flipSettleOrderingCase() *Case {
 					gae.Injection{Name: "SYNC", Node: 0, Amp: syncAmpLatch, Harmonic: 2, Phase: cal.SyncPhase},
 					gae.Injection{Name: "D", Node: 0, Amp: da, Harmonic: 1, Phase: dPhase + 0.5},
 				)
-				tr := m.Transient(preFlipPhase(pre), 0, 3000*T1, T1)
+				tr := m.TransientCtx(ctx, preFlipPhase(pre), 0, 3000*T1, T1)
 				settle[da] = tr.SettleTime(0.02)
 				final[da] = tr.Final()
 				flipped[da] = gae.CircularDistance(wrapCycle(tr.Final()), 0) < 0.1
@@ -254,7 +255,7 @@ func flipSettleOrderingCase() *Case {
 				gae.Injection{Name: "SYNC", Node: 0, Amp: syncAmpLatch, Harmonic: 2, Phase: cal.SyncPhase},
 				gae.Injection{Name: "D", Node: 0, Amp: 100e-6, Harmonic: 1, Phase: dPhase + 0.5},
 			)
-			raw := m100.TransientNonAveraged(preFlipPhase(pre100), 0, 3000*T1, 64, nil)
+			raw := m100.TransientNonAveragedCtx(ctx, preFlipPhase(pre100), 0, 3000*T1, 64, nil)
 			checks = append(checks, Check{
 				ID: "gae/flip-settle-ordering/avg-vs-raw-final", MethodA: "gae-transient", MethodB: "eq13-transient",
 				A: wrapCycle(final[100e-6]), B: wrapCycle(tailMean(raw.Dphi)), Kind: Cycles, Tol: 0.02,
@@ -299,7 +300,7 @@ func lockSpiceCase() *Case {
 			"drift_locked": {Kind: Abs, Tol: 0.01},
 			"drift_free":   {Kind: Rel, Tol: 0.05},
 		},
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
 			const f0 = 9596.0 // calibrated free-running frequency
 			f1 := f0 + 40     // inside the 100 µA band, outside the 5 µA band
 			runPhase := func(syncAmp float64) ([]wave.PhasePoint, error) {
@@ -312,7 +313,7 @@ func lockSpiceCase() *Case {
 					return nil, err
 				}
 				T1 := 1 / f1
-				res, err := transient.Run(l.Sys, l.KickStart(), 0, 120*T1, transient.Options{
+				res, err := transient.RunCtx(ctx, l.Sys, l.KickStart(), 0, 120*T1, transient.Options{
 					Method: transient.Trap, Step: T1 / 512,
 				})
 				if err != nil {
@@ -386,12 +387,12 @@ func flipSpiceCase() *Case {
 			"spice_settle_ms": {Kind: Rel, Tol: 0.02},
 			"gae_settle_ms":   {Kind: Rel, Tol: 1e-3},
 		},
-		Run: func(fx *Fixtures) ([]Check, Observables, error) {
-			_, _, p, err := fx.Ring1()
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+			_, _, p, err := fx.Ring1(ctx)
 			if err != nil {
 				return nil, nil, err
 			}
-			cal, err := fx.Cal()
+			cal, err := fx.Cal(ctx)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -411,7 +412,7 @@ func flipSpiceCase() *Case {
 			if err != nil {
 				return nil, nil, err
 			}
-			tr, err := transient.Run(l.Sys, l.KickStart(), 0, totalCycles*T1, transient.Options{
+			tr, err := transient.RunCtx(ctx, l.Sys, l.KickStart(), 0, totalCycles*T1, transient.Options{
 				Method: transient.Trap, Step: T1 / 512,
 			})
 			if err != nil {
@@ -435,7 +436,7 @@ func flipSpiceCase() *Case {
 				gae.Injection{Name: "SYNC", Node: 0, Amp: cfg.SyncAmp, Harmonic: 2, Phase: cal.SyncPhase},
 				gae.Injection{Name: "D", Node: 0, Amp: cfg.DAmp, Harmonic: 1, Phase: dPhase1},
 			)
-			gaeTr := m.Transient(preFlipPhase(pre), flipT, totalCycles*T1, T1)
+			gaeTr := m.TransientCtx(ctx, preFlipPhase(pre), flipT, totalCycles*T1, T1)
 
 			// Mean measured phase before the flip (the two phase definitions
 			// differ by a constant; the paper makes the same remark).

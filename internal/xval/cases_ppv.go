@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -17,12 +18,12 @@ func ppvCases() []*Case {
 			ID:     "ppv/adjoint-vs-hb",
 			Family: "ppv",
 			Desc:   "adjoint PPV vs PPV-HB: node-0 Fourier coefficients, waveform, extraction health",
-			Run: func(fx *Fixtures) ([]Check, Observables, error) {
-				_, sol, td, err := fx.Ring1()
+			Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+				_, sol, td, err := fx.Ring1(ctx)
 				if err != nil {
 					return nil, nil, err
 				}
-				_, fd, err := fx.HB1()
+				_, fd, err := fx.HB1(ctx)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -73,12 +74,12 @@ func ppvCases() []*Case {
 			ID:     "ppv/2n1p-asymmetry",
 			Family: "ppv",
 			Desc:   "2N1P inverter enlarges the PPV second harmonic (paper Fig. 6, both rings via the adjoint)",
-			Run: func(fx *Fixtures) ([]Check, Observables, error) {
-				_, _, p1, err := fx.Ring1()
+			Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+				_, _, p1, err := fx.Ring1(ctx)
 				if err != nil {
 					return nil, nil, err
 				}
-				_, _, p2, err := fx.Ring2()
+				_, _, p2, err := fx.Ring2(ctx)
 				if err != nil {
 					return nil, nil, err
 				}

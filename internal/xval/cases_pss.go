@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 )
@@ -19,12 +20,12 @@ func pssCases() []*Case {
 				"f0_hz":    {Kind: Rel, Tol: 1e-5},
 				"hb_f0_hz": {Kind: Rel, Tol: 1e-5},
 			},
-			Run: func(fx *Fixtures) ([]Check, Observables, error) {
-				_, sol, _, err := fx.Ring1()
+			Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+				_, sol, _, err := fx.Ring1(ctx)
 				if err != nil {
 					return nil, nil, err
 				}
-				hb, _, err := fx.HB1()
+				hb, _, err := fx.HB1(ctx)
 				if err != nil {
 					return nil, nil, err
 				}

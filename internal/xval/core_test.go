@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -67,14 +68,14 @@ func fakeLedger(failB bool) []*Case {
 	return []*Case{
 		{
 			ID: "pss/ok", Family: "pss",
-			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+			Run: func(_ context.Context, fx *Fixtures) ([]Check, Observables, error) {
 				return []Check{{ID: "pss/ok/x", A: 1, B: 1, Kind: Exact}},
 					Observables{"v": 2.5}, nil
 			},
 		},
 		{
 			ID: "gae/maybe", Family: "gae",
-			Run: func(fx *Fixtures) ([]Check, Observables, error) {
+			Run: func(_ context.Context, fx *Fixtures) ([]Check, Observables, error) {
 				b := 3.0
 				if failB {
 					b = 4

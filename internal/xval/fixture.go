@@ -18,11 +18,13 @@ import (
 // so concurrent cases pay each solve exactly once; construction mirrors
 // figs.Context (StepsPerPeriod 1024, workers-bounded PPV fan-out) so the
 // ledger certifies the same numerical route the figures are generated from.
+//
+// Getters take the calling case's context: cancellation flows into the
+// solves, and the construction cost lands on the diagnostics of whichever
+// case triggers it first (the same attribution DurationMS has always had).
 type Fixtures struct {
-	// Workers bounds internal fan-out (adjoint PPV columns); ≤ 0: per CPU.
+	// Workers bounds internal fan-out (adjoint PPV columns); ≤ 0: one per CPU.
 	Workers int
-	// Ctx cancels in-flight fixture construction.
-	Ctx context.Context
 
 	once1, once2 sync.Once
 	r1, r2       *ringosc.Ring
@@ -62,25 +64,18 @@ func NewFixtures(workers int) *Fixtures {
 	return &Fixtures{Workers: workers}
 }
 
-func (fx *Fixtures) ctx() context.Context {
-	if fx.Ctx != nil {
-		return fx.Ctx
-	}
-	return context.Background()
-}
-
-func (fx *Fixtures) buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+func (fx *Fixtures) buildChain(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 	r, err := ringosc.Build(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sol, err := pss.ShootAutonomousCtx(fx.ctx(), r.Sys, r.KickStart(), pss.Options{
+	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
 	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	p, err := ppv.FromSolutionCtx(fx.ctx(), r.Sys, sol, parallel.Workers(fx.Workers))
+	p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, parallel.Workers(fx.Workers))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -89,17 +84,17 @@ func (fx *Fixtures) buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution
 
 // Ring1 returns the 1N1P (paper Fig. 3) ring chain: circuit, shooting PSS,
 // adjoint PPV.
-func (fx *Fixtures) Ring1() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+func (fx *Fixtures) Ring1(ctx context.Context) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 	fx.once1.Do(func() {
-		fx.r1, fx.sol1, fx.p1, fx.err1 = fx.buildChain(ringosc.DefaultConfig())
+		fx.r1, fx.sol1, fx.p1, fx.err1 = fx.buildChain(ctx, ringosc.DefaultConfig())
 	})
 	return fx.r1, fx.sol1, fx.p1, fx.err1
 }
 
 // Ring2 returns the 2N1P variant chain.
-func (fx *Fixtures) Ring2() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+func (fx *Fixtures) Ring2(ctx context.Context) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 	fx.once2.Do(func() {
-		fx.r2, fx.sol2, fx.p2, fx.err2 = fx.buildChain(ringosc.Config2N1P())
+		fx.r2, fx.sol2, fx.p2, fx.err2 = fx.buildChain(ctx, ringosc.Config2N1P())
 	})
 	return fx.r2, fx.sol2, fx.p2, fx.err2
 }
@@ -107,15 +102,15 @@ func (fx *Fixtures) Ring2() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
 // HB1 returns the refined harmonic-balance solution of the 1N1P ring and
 // the PPV extracted from its HB Jacobian (the frequency-domain route the
 // time-domain adjoint is checked against).
-func (fx *Fixtures) HB1() (*pss.HBSolution, *ppv.PPV, error) {
+func (fx *Fixtures) HB1(ctx context.Context) (*pss.HBSolution, *ppv.PPV, error) {
 	fx.onceHB.Do(func() {
-		r, sol, _, err := fx.Ring1()
+		r, sol, _, err := fx.Ring1(ctx)
 		if err != nil {
 			fx.hbErr = err
 			return
 		}
 		hb := pss.HBFromSolution(r.Sys, sol, HBHarmonics)
-		if err := pss.RefineHB(r.Sys, hb, 20, 1e-10); err != nil {
+		if err := pss.RefineHBCtx(ctx, r.Sys, hb, 20, 1e-10); err != nil {
 			fx.hbErr = err
 			return
 		}
@@ -132,9 +127,9 @@ func (fx *Fixtures) HB1() (*pss.HBSolution, *ppv.PPV, error) {
 
 // Cal returns the latch calibration at the default 100 µA SYNC operating
 // point (used by the phase-macromodel FSM).
-func (fx *Fixtures) Cal() (phasemacro.Calibration, error) {
+func (fx *Fixtures) Cal(ctx context.Context) (phasemacro.Calibration, error) {
 	fx.onceCal.Do(func() {
-		_, _, p, err := fx.Ring1()
+		_, _, p, err := fx.Ring1(ctx)
 		if err != nil {
 			fx.calErr = err
 			return
@@ -147,9 +142,9 @@ func (fx *Fixtures) Cal() (phasemacro.Calibration, error) {
 
 // AdderCal returns the calibration at the 120 µA operating point used when
 // the macromodel FSM is compared to the transistor-level adder.
-func (fx *Fixtures) AdderCal() (phasemacro.Calibration, error) {
+func (fx *Fixtures) AdderCal(ctx context.Context) (phasemacro.Calibration, error) {
 	fx.onceAdderCal.Do(func() {
-		_, _, p, err := fx.Ring1()
+		_, _, p, err := fx.Ring1(ctx)
 		if err != nil {
 			fx.adderCalErr = err
 			return

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/parallel"
 )
 
@@ -173,13 +174,40 @@ type Case struct {
 	// is held to. Observables without an entry default to Rel 1e-3.
 	Golden map[string]GoldenTol
 	// Run executes the case against the shared fixtures, returning the
-	// method-pair checks and the measured observables.
-	Run func(fx *Fixtures) ([]Check, Observables, error)
+	// method-pair checks and the measured observables. The context carries a
+	// per-case diagnostics collector; cases must pass it to the Ctx engine
+	// variants for their numerical work to be attributed.
+	Run func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error)
 }
 
 // DefaultGoldenTol is applied to observables without an explicit entry in
 // Case.Golden.
 var DefaultGoldenTol = GoldenTol{Kind: Rel, Tol: 1e-3}
+
+// Cost is the numerical work a case performed, snapshotted from its private
+// diagnostics collector. Shared-fixture construction is attributed to the
+// first case that needs the artifact, mirroring DurationMS.
+type Cost struct {
+	NewtonIters  int64 `json:"newton_iters"`
+	LUFactor     int64 `json:"lu_factor"`
+	LUSolve      int64 `json:"lu_solve"`
+	TranSteps    int64 `json:"tran_steps"`
+	TranRejected int64 `json:"tran_rejected,omitempty"`
+	CircuitEvals int64 `json:"circuit_evals"`
+	GAESteps     int64 `json:"gae_steps,omitempty"`
+}
+
+func costFrom(m *diag.Metrics) Cost {
+	return Cost{
+		NewtonIters:  m.Get(diag.NewtonIterations),
+		LUFactor:     m.Get(diag.LUFactorizations),
+		LUSolve:      m.Get(diag.LUSolves),
+		TranSteps:    m.Get(diag.TransientSteps),
+		TranRejected: m.Get(diag.TransientRejections),
+		CircuitEvals: m.Get(diag.CircuitEvals),
+		GAESteps:     m.Get(diag.GAESteps),
+	}
+}
 
 // CaseResult is the outcome of one case, including golden comparisons.
 type CaseResult struct {
@@ -191,6 +219,7 @@ type CaseResult struct {
 	Observables Observables `json:"observables,omitempty"`
 	Err         string      `json:"err,omitempty"`
 	DurationMS  float64     `json:"duration_ms"`
+	Cost        Cost        `json:"cost"`
 	Pass        bool        `json:"pass"`
 }
 
@@ -240,12 +269,24 @@ func Select(cases []*Case, opt Options) []*Case {
 	return out
 }
 
-// RunCase executes one case and folds in its golden comparisons.
-func RunCase(c *Case, fx *Fixtures, golden *GoldenSet) CaseResult {
+// RunCase executes one case and folds in its golden comparisons. The case
+// always runs against a fresh diagnostics collector (negligible next to any
+// case's numerical work) so CaseResult.Cost is populated even without a
+// caller-supplied one; if ctx already carries a *diag.Metrics the per-case
+// counts are merged into it, giving CLI-level -metrics totals for free.
+func RunCase(ctx context.Context, c *Case, fx *Fixtures, golden *GoldenSet) CaseResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cm := diag.New()
 	start := time.Now()
 	res := CaseResult{ID: c.ID, Family: c.Family, Desc: c.Desc, Slow: c.Slow}
-	checks, obs, err := c.Run(fx)
+	checks, obs, err := c.Run(diag.WithMetrics(ctx, cm), fx)
 	res.DurationMS = float64(time.Since(start)) / 1e6
+	res.Cost = costFrom(cm)
+	if parent := diag.FromContext(ctx); parent != nil {
+		parent.Merge(cm)
+	}
 	if err != nil {
 		res.Err = err.Error()
 		res.Pass = false
@@ -282,7 +323,7 @@ func Run(cases []*Case, fx *Fixtures, opt Options) *Report {
 	// Case errors land in the per-case result rather than aborting the run:
 	// the report must show every drifted entry, not just the first.
 	_ = parallel.For(ctx, len(selected), opt.Workers, func(i int) error {
-		results[i] = RunCase(selected[i], fx, opt.Golden)
+		results[i] = RunCase(ctx, selected[i], fx, opt.Golden)
 		return nil
 	})
 	rep := &Report{Version: 1, FastOnly: opt.FastOnly, Cases: results, Pass: true}
@@ -321,7 +362,11 @@ func (r *Report) Summary() string {
 		} else if !cr.Pass {
 			status = "FAIL"
 		}
-		fmt.Fprintf(&sb, "%-5s %-34s %7.0f ms  %s\n", status, cr.ID, cr.DurationMS, cr.Desc)
+		fmt.Fprintf(&sb, "%-5s %-34s %7.0f ms %6s nwt %6s lu %6s stp %6s ev  %s\n",
+			status, cr.ID, cr.DurationMS,
+			compactCount(cr.Cost.NewtonIters), compactCount(cr.Cost.LUFactor),
+			compactCount(cr.Cost.TranSteps), compactCount(cr.Cost.CircuitEvals),
+			cr.Desc)
 		if cr.Err != "" {
 			fmt.Fprintf(&sb, "      error: %s\n", cr.Err)
 		}
@@ -335,4 +380,19 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&sb, "%d checks, %d failed, %d skipped → %s\n",
 		r.NumChecks, r.NumFailed, r.NumSkipped, map[bool]string{true: "PASS", false: "FAIL"}[r.Pass])
 	return sb.String()
+}
+
+// compactCount renders a counter in at most five characters (9999, 56k,
+// 1.2M) so the per-case cost columns stay aligned.
+func compactCount(n int64) string {
+	switch {
+	case n < 10_000:
+		return fmt.Sprintf("%d", n)
+	case n < 1_000_000:
+		return fmt.Sprintf("%dk", (n+500)/1_000)
+	case n < 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%dM", (n+500_000)/1_000_000)
+	}
 }

@@ -1,6 +1,7 @@
 package xval
 
 import (
+	"context"
 	"flag"
 	"testing"
 )
@@ -41,7 +42,7 @@ func TestLedger(t *testing.T) {
 				t.Skip("slow SPICE-level conformance case")
 			}
 			t.Parallel()
-			res := RunCase(c, fx, golden)
+			res := RunCase(context.Background(), c, fx, golden)
 			if res.Err != "" {
 				t.Fatalf("case error: %s", res.Err)
 			}
