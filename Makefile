@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-engine
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
 # suite under the race detector, and the cross-method conformance ledger.
@@ -59,3 +59,12 @@ bench-overhead:
 	$(GO) test -run '^$$' -bench '^BenchmarkShootAutonomousRing$$' -benchtime 20x -count 8 . \
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
 			-only '^BenchmarkShootAutonomousRing$$' -tol 0.02 -alloc-tol 0
+
+# Engine memoization gate: the cold build→PSS→PPV pipeline and the warm
+# cache hit against their pinned baselines. The warm path is the one that
+# must not regress — it gates the Engine's whole value proposition (a cache
+# hit must stay a map lookup, not drift back toward a recompute).
+bench-engine:
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineRingPPV(Cold|Warm)$$' -benchtime 1x -count 6 . \
+		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
+			-only '^BenchmarkEngineRingPPV' -tol 0.5

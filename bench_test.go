@@ -116,6 +116,40 @@ func BenchmarkShootAutonomousRing(b *testing.B) {
 	}
 }
 
+// --- Engine memoization: the cold build→PSS→PPV pipeline against a warm
+// cache hit on the same engine. `make bench-engine` compares both against
+// BENCH_baseline.json; the warm path must stay a cache lookup (shared
+// pointer return), orders of magnitude under the cold solve. ---
+
+func BenchmarkEngineRingPPVCold(b *testing.B) {
+	cfg := phlogon.DefaultRingConfig()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := phlogon.NewEngine(phlogon.EngineOptions{})
+		if _, _, _, err := eng.RingPPV(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineRingPPVWarm(b *testing.B) {
+	cfg := phlogon.DefaultRingConfig()
+	ctx := context.Background()
+	eng := phlogon.NewEngine(phlogon.EngineOptions{})
+	if _, _, _, err := eng.RingPPV(ctx, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eng.RingPPV(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Efficiency comparison (the paper's headline): identical physics
 // through the SPICE-level engine and the phase-macromodel engines. ---
 
@@ -214,7 +248,7 @@ func BenchmarkEffSpiceTransientFSM(b *testing.B) {
 func BenchmarkEffPhaseMacroFSM(b *testing.B) {
 	_, _, p := benchFixture(b)
 	aBits := []bool{true, false, true}
-	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
+	sa, err := phlogic.NewSerialAdder(p, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
 		SyncAmp: 100e-6, ClockCycles: 100,
 	})
 	if err != nil {

@@ -19,12 +19,11 @@ import (
 	"syscall"
 
 	"repro/internal/diag"
+	"repro/internal/engine"
 	"repro/internal/gae"
 	"repro/internal/netlist"
 	"repro/internal/noise"
 	"repro/internal/phasemacro"
-	"repro/internal/ppv"
-	"repro/internal/pss"
 	"repro/internal/ringosc"
 	"repro/internal/variation"
 )
@@ -65,17 +64,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		r, err := ringosc.Build(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
-			GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, *workers)
+		eng := engine.New(engine.Options{Workers: *workers})
+		_, sol, p, err := eng.RingPPV(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -104,7 +94,7 @@ func main() {
 		}
 		fmt.Printf("stochastic check: %d basin hops over %d s of simulated operation\n", hops, *runs)
 	case "sens":
-		sens, err := variation.SensitivitiesCtx(ctx, cfg, variation.StandardParams(), *workers)
+		sens, err := variation.SensitivitiesEng(ctx, variation.NewEngine(*workers), cfg, variation.StandardParams(), *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -114,7 +104,8 @@ func main() {
 			fmt.Printf("%-8s %12.4g %12.4g %12.4g %12.4g\n", s.Param, s.DF0, s.DV1, s.DV2, s.DLockWidth)
 		}
 	case "mc":
-		samples, err := variation.MonteCarloCtx(ctx, cfg, variation.StandardParams(), *nMC, *seed, *workers)
+		veng := variation.NewEngine(*workers)
+		samples, err := variation.MonteCarloEng(ctx, veng, cfg, variation.StandardParams(), *nMC, *seed, *workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,7 +114,7 @@ func main() {
 		fmt.Printf("  f0:         mean %.5g Hz, rel. std %.3g\n", st.MeanF0, st.RelStdF0)
 		fmt.Printf("  lock width: mean %.4g Hz, rel. std %.3g (SYNC 100 µA)\n", st.MeanLockWidth, st.RelStdLockWidth)
 		fmt.Printf("  |V2|:       mean %.4g,    rel. std %.3g\n", st.MeanV2, st.RelStdV2)
-		nom, err := variation.Evaluate(cfg)
+		nom, err := variation.EvaluateEng(ctx, veng, cfg)
 		if err != nil {
 			fatal(err)
 		}

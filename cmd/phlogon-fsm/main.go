@@ -17,11 +17,10 @@ import (
 	"os"
 
 	"repro/internal/diag"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/phlogic"
 	"repro/internal/plot"
-	"repro/internal/ppv"
-	"repro/internal/pss"
 	"repro/internal/ringosc"
 )
 
@@ -55,21 +54,12 @@ func main() {
 		fatal(err)
 	}
 
-	r, err := ringosc.Build(ringosc.DefaultConfig())
+	eng := engine.New(engine.Options{})
+	_, _, p, err := eng.RingPPV(ctx, ringosc.DefaultConfig())
 	if err != nil {
 		fatal(err)
 	}
-	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
-		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, 0)
-	if err != nil {
-		fatal(err)
-	}
-	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, bBits, phlogic.SerialAdderConfig{
+	sa, err := phlogic.NewSerialAdder(p, p.F0, aBits, bBits, phlogic.SerialAdderConfig{
 		SyncAmp: sv, ClockCycles: *clk,
 	})
 	if err != nil {

@@ -22,12 +22,11 @@ import (
 	"syscall"
 
 	"repro/internal/diag"
+	"repro/internal/engine"
 	"repro/internal/gae"
 	"repro/internal/netlist"
 	"repro/internal/phasemacro"
 	"repro/internal/plot"
-	"repro/internal/ppv"
-	"repro/internal/pss"
 	"repro/internal/ringosc"
 )
 
@@ -61,17 +60,8 @@ func main() {
 	if *use2n1p {
 		cfg = ringosc.Config2N1P()
 	}
-	r, err := ringosc.Build(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
-		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, *workers)
+	eng := engine.New(engine.Options{Workers: *workers})
+	_, _, p, err := eng.RingPPV(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -127,11 +117,24 @@ func main() {
 		ch.Add("LHS", x, lhs)
 		fmt.Println(ch.ASCII(80, 18))
 	case "range":
+		// The sweep goes through the engine's batch API: the PSS→PPV chain is
+		// already cached from the warm-up above, so the batch only pays for
+		// the GAE band computations.
 		amps := gae.Linspace(0, 2*sv, 21)
-		pts, err := m.SweepSyncAmplitudeCtx(ctx, 0, 2, amps, *workers)
+		res, err := eng.GAESweepBatch(ctx, []engine.GAESweepRequest{{
+			Config: cfg,
+			F1:     f1,
+			Injections: []gae.Injection{
+				{Name: "SYNC", Node: 0, Amp: sv, Harmonic: 2, Phase: cal.SyncPhase},
+				{Name: "D", Node: 0, Amp: dv, Harmonic: 1, Phase: dPhase},
+			},
+			SyncNode: 0, SyncHarm: 2,
+			Amps: amps,
+		}})
 		if err != nil {
 			fatal(err)
 		}
+		pts := res[0].Points
 		fmt.Printf("%12s %14s %14s %12s\n", "SYNC [µA]", "f1_lo [Hz]", "f1_hi [Hz]", "width [Hz]")
 		for _, pt := range pts {
 			fmt.Printf("%12.4g %14.6g %14.6g %12.4g\n", pt.Amp*1e6, pt.F1Lo, pt.F1Hi, pt.F1Hi-pt.F1Lo)

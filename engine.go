@@ -1,0 +1,44 @@
+package phlogon
+
+import (
+	"repro/internal/engine"
+	"repro/internal/gae"
+	"repro/internal/pss"
+)
+
+// Engine is the memoizing analysis engine: a concurrency-safe,
+// content-addressed cache of the expensive pipeline artifacts (periodic
+// steady states and PPV macromodels) with singleflight deduplication — N
+// concurrent requests for the same artifact trigger exactly one
+// computation — a byte-accounted LRU, and a bounded compute pool. Cached
+// artifacts are shared immutable pointers: do not mutate what an Engine
+// returns.
+//
+// One Engine should outlive many analyses; every designer flow that touches
+// the same oscillator family then pays for one extraction.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine. The zero value is a good default:
+// a 256 MiB cache, one compute slot per CPU, and the facade's standard
+// PSS options (1024 steps per period).
+type EngineOptions = engine.Options
+
+// EngineStats is a point-in-time snapshot of an Engine's cache behaviour.
+type EngineStats = engine.Stats
+
+// PSSOptions tunes the shooting solver (EngineOptions.PSS and the pss
+// package's entry points).
+type PSSOptions = pss.Options
+
+// GAESweepRequest asks Engine.GAESweepBatch for a SYNC-amplitude locking
+// sweep on one ring configuration.
+type GAESweepRequest = engine.GAESweepRequest
+
+// GAESweepResult is one GAESweepRequest's outcome.
+type GAESweepResult = engine.GAESweepResult
+
+// LockPoint is one point of a locking-range sweep.
+type LockPoint = gae.LockPoint
+
+// NewEngine returns an empty memoizing analysis engine.
+func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }

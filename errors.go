@@ -1,0 +1,35 @@
+package phlogon
+
+import (
+	"repro/internal/gae"
+	"repro/internal/linalg"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// The public error taxonomy. Every analysis failure surfaced by this library
+// wraps one of these sentinels, so callers branch with errors.Is instead of
+// matching message strings:
+//
+//	if errors.Is(err, phlogon.ErrNoConvergence) { relax tolerances / improve the guess }
+//	if errors.Is(err, phlogon.ErrNoLock)        { increase injection amplitude }
+//
+// The variables alias the internal sentinels, so errors.Is matches wrap
+// chains built anywhere in the library.
+var (
+	// ErrNoConvergence: a Newton-type iteration (DC, transient corrector,
+	// shooting, harmonic balance) stalled before reaching tolerance.
+	ErrNoConvergence = solver.ErrNoConvergence
+
+	// ErrSingularJacobian: a linear solve met a matrix that is singular to
+	// working precision (floating islands, a degenerate bordered system).
+	ErrSingularJacobian = linalg.ErrSingular
+
+	// ErrNoLock: a GAE analysis required an injection lock that does not
+	// exist (injection too weak or detuning too large).
+	ErrNoLock = gae.ErrNoLock
+
+	// ErrUnsupported: the requested option combination is not implemented
+	// (e.g. Gear2 with adaptive stepping).
+	ErrUnsupported = transient.ErrUnsupported
+)

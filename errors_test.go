@@ -1,0 +1,73 @@
+package phlogon_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	phlogon "repro"
+	"repro/internal/gae"
+	"repro/internal/linalg"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+)
+
+// The taxonomy contract: every failure mode of the library wraps one of the
+// four public sentinels, wherever in the stack it originates.
+
+func TestErrNoConvergenceFromShooting(t *testing.T) {
+	r, err := phlogon.BuildRing(phlogon.DefaultRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Newton iteration at an unreachable tolerance must fail through the
+	// public sentinel.
+	_, err = pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 64, SettleCycles: 1,
+		MaxIter: 1, Tol: 1e-30,
+	})
+	if err == nil {
+		t.Fatal("one iteration at Tol=1e-30 converged?")
+	}
+	if !errors.Is(err, phlogon.ErrNoConvergence) {
+		t.Fatalf("shooting failure does not wrap ErrNoConvergence: %v", err)
+	}
+}
+
+func TestErrSingularJacobian(t *testing.T) {
+	_, err := linalg.Factorize(linalg.NewMat(2, 2)) // the zero matrix
+	if !errors.Is(err, phlogon.ErrSingularJacobian) {
+		t.Fatalf("singular LU does not wrap ErrSingularJacobian: %v", err)
+	}
+}
+
+func TestErrNoLock(t *testing.T) {
+	eng := phlogon.NewEngine(phlogon.EngineOptions{
+		PSS: phlogon.PSSOptions{StepsPerPeriod: 256, SettleCycles: 10},
+	})
+	_, _, p, err := eng.RingPPV(context.Background(), ringosc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A vanishing SYNC drive cannot overcome a 1% detuning.
+	m := gae.NewModel(p, 1.01*p.F0, gae.Injection{Node: 0, Amp: 1e-15, Harmonic: 2})
+	if _, _, err := m.SHILPhases(); !errors.Is(err, phlogon.ErrNoLock) {
+		t.Fatalf("lockless SHIL does not wrap ErrNoLock: %v", err)
+	}
+}
+
+func TestErrUnsupported(t *testing.T) {
+	r, err := phlogon.BuildRing(phlogon.DefaultRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = phlogon.RunTransientCtx(context.Background(), r.Sys, r.KickStart(),
+		0, 1e-3, phlogon.TransientOptions{Method: transient.Gear2, Adaptive: true, Step: 1e-6})
+	if !errors.Is(err, phlogon.ErrUnsupported) {
+		t.Fatalf("Gear2+Adaptive does not wrap ErrUnsupported: %v", err)
+	}
+	if !errors.Is(err, transient.ErrGear2Adaptive) {
+		t.Fatalf("specific sentinel lost from the chain: %v", err)
+	}
+}

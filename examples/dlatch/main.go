@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,7 +21,8 @@ import (
 )
 
 func main() {
-	_, sol, p, err := phlogon.RingPPV(phlogon.DefaultRingConfig())
+	ctx := context.Background()
+	_, sol, p, err := phlogon.RingPPVCtx(ctx, phlogon.DefaultRingConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := phlogon.RunTransient(l.Sys, l.KickStart(), 0, 120*T1, transient.Options{
+	res, err := phlogon.RunTransientCtx(ctx, l.Sys, l.KickStart(), 0, 120*T1, transient.Options{
 		Method: transient.Trap, Step: T1 / 512,
 	})
 	if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,6 +31,7 @@ C3  n3 0 {cload}
 `
 
 func main() {
+	ctx := context.Background()
 	ckt, err := phlogon.ParseNetlist(deck)
 	if err != nil {
 		log.Fatal(err)
@@ -45,13 +47,13 @@ func main() {
 	for i := range x0 {
 		x0[i] = 1.5 + 1.2*float64(i%3-1)
 	}
-	sol, err := pss.ShootAutonomous(sys, x0, pss.Options{GuessT: 1 / 9.6e3, StepsPerPeriod: 1024})
+	sol, err := pss.ShootAutonomousCtx(ctx, sys, x0, pss.Options{GuessT: 1 / 9.6e3, StepsPerPeriod: 1024})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("PSS: f0 = %.6g Hz, periodicity residual %.2g V\n", sol.F0, sol.Residual)
 
-	p, err := ppv.FromSolution(sys, sol)
+	p, err := ppv.FromSolutionCtx(ctx, sys, sol, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	_, sol, p, err := phlogon.RingPPV(phlogon.DefaultRingConfig())
+	_, sol, p, err := phlogon.RingPPVCtx(context.Background(), phlogon.DefaultRingConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

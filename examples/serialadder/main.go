@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,7 +15,7 @@ import (
 )
 
 func main() {
-	_, _, p, err := phlogon.RingPPV(phlogon.DefaultRingConfig())
+	_, _, p, err := phlogon.RingPPVCtx(context.Background(), phlogon.DefaultRingConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,6 +59,16 @@ const (
 	SweepPoints
 	// EnsembleRuns counts stochastic ensemble members integrated.
 	EnsembleRuns
+	// EngineHits counts analysis-engine artifact requests served from the
+	// memoization cache (internal/engine).
+	EngineHits
+	// EngineMisses counts artifact requests that started a computation.
+	EngineMisses
+	// EngineCoalesced counts artifact requests that joined an in-flight
+	// computation instead of starting their own (singleflight).
+	EngineCoalesced
+	// EngineEvictions counts artifacts evicted by the engine's LRU.
+	EngineEvictions
 
 	numCounters
 )
@@ -76,6 +86,10 @@ var counterNames = [numCounters]string{
 	GAESteps:            "gae_steps",
 	SweepPoints:         "sweep_points",
 	EnsembleRuns:        "ensemble_runs",
+	EngineHits:          "engine_hits",
+	EngineMisses:        "engine_misses",
+	EngineCoalesced:     "engine_coalesced",
+	EngineEvictions:     "engine_evictions",
 }
 
 // String returns the stable snake_case name used in snapshots and JSON.

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+
+	"repro/internal/diag"
+)
+
+// lruCache is a byte-accounted least-recently-used artifact store. It has no
+// lock of its own: the owning Engine serializes access under Engine.mu.
+type lruCache struct {
+	capacity int64 // bytes; <= 0 means unbounded
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key   string
+	val   any
+	bytes int64
+}
+
+func newLRU(capacity int64) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or replaces) a value and evicts from the cold end until the
+// cache fits its capacity again. It returns the number of evicted entries.
+// A single artifact larger than the whole capacity is still admitted — the
+// cache then holds exactly that artifact; refusing it would make every
+// request for it a permanent miss.
+func (c *lruCache) add(key string, val any, bytes int64) (evicted int) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += bytes - e.bytes
+		e.val, e.bytes = val, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, bytes: bytes})
+		c.bytes += bytes
+	}
+	for c.capacity > 0 && c.bytes > c.capacity && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the number of resident artifacts.
+func (c *lruCache) len() int { return c.ll.Len() }
+
+// flight is one in-progress computation of an artifact. Concurrent requests
+// for the same key attach to the existing flight instead of recomputing;
+// the computation is canceled only when every attached waiter has gone.
+type flight struct {
+	done    chan struct{} // closed after val/err are set
+	val     any
+	err     error
+	waiters int // callers currently blocked on done
+	cancel  context.CancelFunc
+}
+
+// semMarker marks a context as already holding an Engine pool slot, so
+// nested artifact computations (a PPV chain building on a cached PSS) do not
+// dead-lock acquiring a second slot.
+type semMarker struct{}
+
+// do is the memoization core: one cache lookup, one singleflight join, or
+// one computation — in that order. compute receives a context that (a)
+// carries the triggering caller's diagnostics, (b) is canceled only when
+// every waiter has abandoned the flight, and (c) is marked as holding the
+// engine's pool slot. compute must return the artifact and its approximate
+// resident size in bytes. Errors (including cancellations) are returned to
+// every waiter but never cached, so a failed or canceled computation cannot
+// poison the cache: the next request simply recomputes.
+func (e *Engine) do(ctx context.Context, key string, compute func(context.Context) (any, int64, error)) (any, error) {
+	dm := diag.FromContext(ctx)
+
+	e.mu.Lock()
+	if v, ok := e.cache.get(key); ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		dm.Inc(diag.EngineHits)
+		return v, nil
+	}
+	if f, ok := e.flights[key]; ok {
+		f.waiters++
+		e.mu.Unlock()
+		e.coalesced.Add(1)
+		dm.Inc(diag.EngineCoalesced)
+		return e.wait(ctx, key, f)
+	}
+	// Miss: open a new flight. The computation context derives its values
+	// (diagnostics attribution) from the triggering caller but not its
+	// cancellation — that is owned by the flight's waiter count. A compute
+	// chain that is itself running inside a flight (marker present) already
+	// holds a pool slot and must not acquire a second one.
+	nested := ctx.Value(semMarker{}) != nil
+	cctx, cancel := context.WithCancel(context.WithValue(context.WithoutCancel(ctx), semMarker{}, true))
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	e.flights[key] = f
+	e.mu.Unlock()
+	e.misses.Add(1)
+	dm.Inc(diag.EngineMisses)
+
+	go e.run(cctx, key, f, compute, !nested)
+	return e.wait(ctx, key, f)
+}
+
+// run executes one flight: acquire a pool slot (unless the triggering chain
+// already holds one), compute, publish, and cache on success.
+func (e *Engine) run(cctx context.Context, key string, f *flight, compute func(context.Context) (any, int64, error), acquireSlot bool) {
+	defer f.cancel()
+	val, bytes, err := func() (any, int64, error) {
+		if acquireSlot {
+			if err := e.acquire(cctx); err != nil {
+				return nil, 0, err
+			}
+			defer e.release()
+		}
+		return compute(cctx)
+	}()
+
+	e.mu.Lock()
+	delete(e.flights, key)
+	if err == nil {
+		if n := e.cache.add(key, val, bytes); n > 0 {
+			e.evictions.Add(int64(n))
+			diag.FromContext(cctx).Add(diag.EngineEvictions, int64(n))
+		}
+	}
+	e.mu.Unlock()
+
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+// wait blocks one caller on a flight. A caller whose own context ends
+// detaches; when the last waiter detaches, the flight's computation is
+// canceled (and its error discarded with it — nothing is cached).
+func (e *Engine) wait(ctx context.Context, key string, f *flight) (any, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		e.mu.Lock()
+		f.waiters--
+		abandon := f.waiters == 0
+		e.mu.Unlock()
+		if abandon {
+			f.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// acquire takes one slot of the engine's bounded compute pool.
+func (e *Engine) acquire(ctx context.Context) error {
+	if e.sem == nil {
+		return nil
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() {
+	if e.sem != nil {
+		<-e.sem
+	}
+}

@@ -1,0 +1,285 @@
+// Package engine is the memoizing analysis engine of the design tools: a
+// concurrency-safe, content-addressed cache of the expensive pipeline
+// artifacts every designer flow repeats — periodic steady states (shooting)
+// and PPV phase macromodels — with singleflight deduplication so N
+// concurrent requests for the same artifact trigger exactly one
+// computation.
+//
+// The design follows the macromodeling argument of the source papers: an
+// extracted PPV is a reusable abstraction of its oscillator (Roychowdhury's
+// PRC-hierarchy work), and a single latch macromodel serves every gate of a
+// phase-logic system. One extraction should therefore feed thousands of
+// downstream GAE/noise/FSM analyses, not be recomputed by each of them.
+//
+// Mechanics:
+//
+//   - Keys are canonical content hashes of (circuit config, solver/PSS
+//     options) — see Fingerprint; field order never matters.
+//   - A cache miss opens a singleflight: concurrent requests for the same
+//     key attach to the in-progress computation (diag.EngineCoalesced) and
+//     all receive its result. Cancellation is refcounted: the computation is
+//     aborted only when every attached caller has gone, and errors —
+//     including cancellations — are never cached, so a canceled flight
+//     cannot poison the cache.
+//   - Artifacts live in a byte-accounted LRU (Options.CapacityBytes);
+//     evictions are counted in diag.EngineEvictions and Stats.
+//   - The engine owns a bounded compute pool (Options.Workers): at most
+//     that many artifact computations run at once, and batch APIs fan out
+//     on the same bound. Cached artifacts are shared pointers — they are
+//     immutable by the repository's concurrency contract (immutable
+//     circuit.System, per-call workspaces) and must not be mutated.
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/diag"
+	"repro/internal/gae"
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// DefaultCapacityBytes bounds the artifact cache when Options.CapacityBytes
+// is zero: 256 MiB holds hundreds of ring-latch chains (one 1024-step,
+// 3-node PSS+PPV chain is ≈ 0.3 MiB).
+const DefaultCapacityBytes = 256 << 20
+
+// Options configures an Engine.
+type Options struct {
+	// CapacityBytes bounds the artifact cache (approximate resident bytes).
+	// 0 selects DefaultCapacityBytes; negative disables eviction.
+	CapacityBytes int64
+	// Workers bounds the engine's compute pool: at most this many artifact
+	// computations (and batch items) run concurrently. <= 0: one per CPU.
+	Workers int
+	// PSS overrides the periodic-steady-state solve options used by the
+	// ring pipeline. Zero fields are defaulted (StepsPerPeriod 1024); a zero
+	// GuessT means "derive from the ring's analytic frequency estimate".
+	// These options are part of every cache key.
+	PSS pss.Options
+}
+
+// Stats is a point-in-time snapshot of the engine's cache behaviour.
+type Stats struct {
+	Hits      int64 // requests served from the cache
+	Misses    int64 // requests that started a computation
+	Coalesced int64 // requests that joined an in-flight computation
+	Evictions int64 // artifacts evicted by the LRU
+	Entries   int   // resident artifacts
+	Bytes     int64 // approximate resident bytes
+}
+
+// Engine is a concurrency-safe memoizing analysis engine. The zero value is
+// not usable; construct with New. All methods may be called from any number
+// of goroutines.
+type Engine struct {
+	workers int
+	pssOpt  pss.Options
+	sem     chan struct{}
+
+	mu      sync.Mutex
+	cache   *lruCache
+	flights map[string]*flight
+
+	hits, misses, coalesced, evictions atomic.Int64
+}
+
+// New returns an empty engine.
+func New(opt Options) *Engine {
+	capacity := opt.CapacityBytes
+	if capacity == 0 {
+		capacity = DefaultCapacityBytes
+	}
+	pssOpt := opt.PSS
+	if pssOpt.StepsPerPeriod == 0 {
+		pssOpt.StepsPerPeriod = 1024
+	}
+	w := parallel.Workers(opt.Workers)
+	return &Engine{
+		workers: w,
+		pssOpt:  pssOpt,
+		sem:     make(chan struct{}, w),
+		cache:   newLRU(capacity),
+		flights: map[string]*flight{},
+	}
+}
+
+// Stats snapshots the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	entries, bytes := e.cache.len(), e.cache.bytes
+	e.mu.Unlock()
+	return Stats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Coalesced: e.coalesced.Load(),
+		Evictions: e.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Workers reports the engine's resolved compute-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// pssArtifact is a cached ring + its converged periodic steady state.
+type pssArtifact struct {
+	ring *ringosc.Ring
+	sol  *pss.Solution
+}
+
+// ppvArtifact additionally carries the extracted phase macromodel.
+type ppvArtifact struct {
+	ring *ringosc.Ring
+	sol  *pss.Solution
+	p    *ppv.PPV
+}
+
+// RingPSS builds the ring for cfg and computes its periodic steady state by
+// shooting, memoized under the content hash of (cfg, the engine's PSS
+// options).
+func (e *Engine) RingPSS(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, error) {
+	key := "pss/" + Fingerprint(cfg, e.pssOpt)
+	v, err := e.do(ctx, key, func(cctx context.Context) (any, int64, error) {
+		r, err := ringosc.Build(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		opt := e.pssOpt
+		if opt.GuessT == 0 {
+			opt.GuessT = 1 / r.EstimatedF0()
+		}
+		sol, err := pss.ShootAutonomousCtx(cctx, r.Sys, r.KickStart(), opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &pssArtifact{ring: r, sol: sol}, solutionBytes(sol), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	a := v.(*pssArtifact)
+	return a.ring, a.sol, nil
+}
+
+// RingPPV is the memoized one-call pipeline: build → PSS (shooting) → PPV
+// (time-domain adjoint). The PSS stage is itself cached, so a PPV request
+// reuses an existing steady state and vice versa. Repeated calls with an
+// identical cfg return the same shared artifact at near-zero cost.
+func (e *Engine) RingPPV(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
+	key := "ppv/" + Fingerprint(cfg, e.pssOpt)
+	v, err := e.do(ctx, key, func(cctx context.Context) (any, int64, error) {
+		r, sol, err := e.RingPSS(cctx, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		p, err := ppv.FromSolutionCtx(cctx, r.Sys, sol, e.workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The PPV references the PSS artifact's grid and solution; only the
+		// PPV-specific storage is charged to this entry.
+		return &ppvArtifact{ring: r, sol: sol, p: p}, ppvBytes(p), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a := v.(*ppvArtifact)
+	return a.ring, a.sol, a.p, nil
+}
+
+// GAESweepRequest asks for a SYNC-amplitude locking sweep (the Fig. 7
+// machinery) on the ring described by Config. The expensive PSS→PPV chain is
+// resolved through the cache, so a batch over one ring family costs one
+// extraction regardless of batch size.
+type GAESweepRequest struct {
+	Config ringosc.Config
+	// F1 is the reference frequency; 0 means the ring's own f0.
+	F1 float64
+	// Injections are held fixed in the model (e.g. a calibrated SYNC or a
+	// logic input); the swept injection is described below.
+	Injections []gae.Injection
+	// SyncNode/SyncHarm describe the swept SYNC injection.
+	SyncNode, SyncHarm int
+	// Amps are the swept SYNC amplitudes.
+	Amps []float64
+}
+
+// GAESweepResult is one request's outcome.
+type GAESweepResult struct {
+	F0     float64 // the ring's free-running frequency
+	Points []gae.LockPoint
+}
+
+// GAESweepBatch resolves every request's PPV through the cache (duplicate
+// configs coalesce into one computation) and runs the locking sweeps on the
+// engine's worker pool. Results are ordered as requested and bit-identical
+// at any worker count.
+func (e *Engine) GAESweepBatch(ctx context.Context, reqs []GAESweepRequest) ([]GAESweepResult, error) {
+	defer diag.SpanFrom(ctx, "engine.gae_batch").End()
+	return parallel.MapWorkerCtx(ctx, len(reqs), e.workers, func(wctx context.Context, _, i int) (GAESweepResult, error) {
+		req := reqs[i]
+		_, sol, p, err := e.RingPPV(wctx, req.Config)
+		if err != nil {
+			return GAESweepResult{}, err
+		}
+		f1 := req.F1
+		if f1 == 0 {
+			f1 = sol.F0
+		}
+		m := gae.NewModel(p, f1, req.Injections...)
+		pts, err := m.SweepSyncAmplitudeCtx(wctx, req.SyncNode, req.SyncHarm, req.Amps, 1)
+		if err != nil {
+			return GAESweepResult{}, err
+		}
+		return GAESweepResult{F0: sol.F0, Points: pts}, nil
+	})
+}
+
+// --- artifact size accounting (approximate resident bytes) ---
+
+func vecSliceBytes(vs []linalg.Vec) int64 {
+	n := int64(0)
+	for _, v := range vs {
+		n += 24 + 8*int64(len(v))
+	}
+	return n
+}
+
+func matBytes(m *linalg.Mat) int64 {
+	if m == nil {
+		return 0
+	}
+	return 32 + 8*int64(len(m.Data))
+}
+
+// solutionBytes estimates the resident size of a PSS solution: the state
+// grid dominates ((K+1)·N floats), plus the monodromy and bookkeeping.
+func solutionBytes(s *pss.Solution) int64 {
+	n := int64(128) // struct header + scalars
+	n += 24 + 8*int64(len(s.Grid))
+	n += 24 + 8*int64(len(s.X0))
+	n += vecSliceBytes(s.States)
+	n += matBytes(s.Monodromy)
+	n += 24 + 16*int64(len(s.Multipliers))
+	return n
+}
+
+// ppvBytes estimates the PPV-specific storage: the sampled VI grid and the
+// per-node Fourier series. The referenced PSS solution is accounted by its
+// own cache entry.
+func ppvBytes(p *ppv.PPV) int64 {
+	n := int64(128)
+	n += vecSliceBytes(p.VI)
+	for _, s := range p.NodeSeries {
+		if s != nil {
+			n += 48 + 16*int64(len(s.Coef))
+		}
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Fingerprint content-addresses a set of Go values: it returns the SHA-256
+// (hex) of a canonical rendering in which every struct is written as its
+// exported fields sorted by *name*. Two configuration structs that carry the
+// same field names and values therefore hash identically even if the fields
+// are declared (or literally written) in a different order — the hash is a
+// function of the configuration's content, never of its layout. This is the
+// keying scheme of the artifact cache: equal fingerprints ⇒ the same
+// computation ⇒ the same artifact.
+//
+// Supported kinds are the ones configuration structs are made of: booleans,
+// integers, floats, complex numbers, strings, structs, pointers, interfaces,
+// maps (keys sorted by rendered form), slices and arrays. Unexported fields
+// are skipped (they cannot influence an analysis run from outside the
+// package that owns them). Funcs and channels render as their kind name
+// only; configurations must not smuggle behaviour through them.
+func Fingerprint(vals ...any) string {
+	h := sha256.New()
+	for _, v := range vals {
+		writeCanonical(h, reflect.ValueOf(v))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type byteWriter interface {
+	Write(p []byte) (int, error)
+}
+
+func writeString(w byteWriter, s string) { w.Write([]byte(s)) }
+
+// writeCanonical renders v deterministically. The rendering is prefix-free
+// enough for hashing purposes: every composite opens and closes with a
+// dedicated rune and every element is terminated.
+func writeCanonical(w byteWriter, v reflect.Value) {
+	if !v.IsValid() {
+		writeString(w, "nil")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		writeString(w, strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		writeString(w, strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		writeString(w, strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		// 'x' (hex float) is exact: distinct values never collide and equal
+		// values render identically, including negative zero and infinities.
+		writeString(w, strconv.FormatFloat(v.Float(), 'x', -1, 64))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		writeString(w, strconv.FormatFloat(real(c), 'x', -1, 64))
+		writeString(w, "+i")
+		writeString(w, strconv.FormatFloat(imag(c), 'x', -1, 64))
+	case reflect.String:
+		// Length-prefixed so "ab"+"c" ≠ "a"+"bc".
+		writeString(w, strconv.Itoa(v.Len()))
+		writeString(w, ":")
+		writeString(w, v.String())
+	case reflect.Struct:
+		t := v.Type()
+		names := make([]string, 0, t.NumField())
+		idx := make(map[string]int, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			names = append(names, f.Name)
+			idx[f.Name] = i
+		}
+		sort.Strings(names)
+		writeString(w, "{")
+		for _, name := range names {
+			writeString(w, name)
+			writeString(w, "=")
+			writeCanonical(w, v.Field(idx[name]))
+			writeString(w, ";")
+		}
+		writeString(w, "}")
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			writeString(w, "nil")
+			return
+		}
+		writeCanonical(w, v.Elem())
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			writeString(w, "nil")
+			return
+		}
+		writeString(w, "[")
+		for i := 0; i < v.Len(); i++ {
+			writeCanonical(w, v.Index(i))
+			writeString(w, ",")
+		}
+		writeString(w, "]")
+	case reflect.Map:
+		if v.IsNil() {
+			writeString(w, "nil")
+			return
+		}
+		keys := v.MapKeys()
+		rendered := make([]struct{ k, val string }, len(keys))
+		for i, k := range keys {
+			var kb, vb renderBuf
+			writeCanonical(&kb, k)
+			writeCanonical(&vb, v.MapIndex(k))
+			rendered[i].k = string(kb)
+			rendered[i].val = string(vb)
+		}
+		sort.Slice(rendered, func(i, j int) bool { return rendered[i].k < rendered[j].k })
+		writeString(w, "map{")
+		for _, kv := range rendered {
+			writeString(w, kv.k)
+			writeString(w, "=>")
+			writeString(w, kv.val)
+			writeString(w, ";")
+		}
+		writeString(w, "}")
+	default:
+		// Funcs, channels, unsafe pointers: content-addressing is impossible;
+		// render the kind so the hash is at least deterministic.
+		writeString(w, fmt.Sprintf("<%s>", v.Kind()))
+	}
+}
+
+// renderBuf is a minimal in-memory byteWriter for map-key sorting.
+type renderBuf []byte
+
+func (b *renderBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}

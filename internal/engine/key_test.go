@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// Two struct types with identical exported field names and values but a
+// different declaration order: the canonical fingerprint must not see the
+// difference (the hash addresses content, not layout).
+type orderedA struct {
+	Alpha  float64
+	Beta   int
+	Gamma  string
+	Nested innerA
+}
+
+type orderedB struct {
+	Nested innerB
+	Gamma  string
+	Beta   int
+	Alpha  float64
+}
+
+type innerA struct {
+	X, Y float64
+}
+
+type innerB struct {
+	Y float64
+	X float64
+}
+
+func TestFingerprintFieldOrderIndependence(t *testing.T) {
+	a := orderedA{Alpha: 1.5, Beta: 42, Gamma: "ring", Nested: innerA{X: 3e-9, Y: -0.25}}
+	b := orderedB{Alpha: 1.5, Beta: 42, Gamma: "ring", Nested: innerB{X: 3e-9, Y: -0.25}}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("field order changed the fingerprint:\n a=%s\n b=%s", Fingerprint(a), Fingerprint(b))
+	}
+	b.Alpha = 1.5000000000000002 // one ulp away must be a different artifact
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("value change did not change the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	c1 := ringosc.DefaultConfig()
+	c2 := ringosc.DefaultConfig()
+	if Fingerprint(c1) != Fingerprint(c2) {
+		t.Fatal("identical configs must fingerprint identically")
+	}
+	c2.CLoad *= 1.01
+	if Fingerprint(c1) == Fingerprint(c2) {
+		t.Fatal("CLoad change must change the fingerprint")
+	}
+	if Fingerprint(ringosc.DefaultConfig()) == Fingerprint(ringosc.Config2N1P()) {
+		t.Fatal("1N1P and 2N1P must not collide")
+	}
+	o1 := pss.Options{StepsPerPeriod: 1024}
+	o2 := pss.Options{StepsPerPeriod: 512}
+	if Fingerprint(c1, o1) == Fingerprint(c1, o2) {
+		t.Fatal("PSS options must be part of the key")
+	}
+}
+
+func TestFingerprintCollections(t *testing.T) {
+	m1 := map[string]float64{"a": 1, "b": 2, "c": 3}
+	m2 := map[string]float64{"c": 3, "a": 1, "b": 2}
+	if Fingerprint(m1) != Fingerprint(m2) {
+		t.Fatal("map insertion order changed the fingerprint")
+	}
+	if Fingerprint([]string{"ab", "c"}) == Fingerprint([]string{"a", "bc"}) {
+		t.Fatal("string boundaries must be length-delimited")
+	}
+	var nilSlice []float64
+	if Fingerprint(nilSlice) == Fingerprint([]float64{}) {
+		t.Fatal("nil and empty slices are distinct configurations")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/parallel"
 	"repro/internal/phasemacro"
 	"repro/internal/plot"
@@ -34,26 +35,25 @@ type Result struct {
 }
 
 // Context caches the expensive shared artifacts (PSS solutions and PPVs of
-// the two ring variants) across figure generators.
+// the two ring variants) across figure generators, resolved through a
+// memoizing engine.Engine so concurrent generators coalesce into one solve
+// per artifact.
 //
 // Figure generation fans out on two levels, both bounded by Workers: All()
 // runs whole figures concurrently, and the sweep-heavy figures fan their
-// parameter grids out through internal/parallel. The shared caches are
-// sync.Once-guarded and every analysis uses per-call workspaces, so the
-// generators are safe to run concurrently; outputs are bit-identical at any
-// worker count.
+// parameter grids out through internal/parallel. Every analysis uses
+// per-call workspaces, so the generators are safe to run concurrently;
+// outputs are bit-identical at any worker count.
 type Context struct {
 	OutDir string
 	// Workers bounds the figure/sweep fan-out; <= 0 means one per CPU.
+	// Set it before the first figure runs: the engine binds it on first use.
 	Workers int
 	// Ctx, when non-nil, cancels in-flight figure generation.
 	Ctx context.Context
 
-	once1, once2 sync.Once
-	r1, r2       *ringosc.Ring
-	sol1, sol2   *pss.Solution
-	p1, p2       *ppv.PPV
-	err1, err2   error
+	engOnce sync.Once
+	eng     *engine.Engine
 
 	onceCal sync.Once
 	calP    *ppv.PPV
@@ -75,38 +75,24 @@ func (c *Context) ctx() context.Context {
 	return context.Background()
 }
 
+// Engine returns the context's memoizing analysis engine, created on first
+// use so it binds the final Workers value (cmd-line tools set Workers after
+// New).
+func (c *Context) Engine() *engine.Engine {
+	c.engOnce.Do(func() {
+		c.eng = engine.New(engine.Options{Workers: c.Workers})
+	})
+	return c.eng
+}
+
 // Ring1 lazily builds the 1N1P ring, its PSS and PPV.
 func (c *Context) Ring1() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	c.once1.Do(func() {
-		c.r1, c.sol1, c.p1, c.err1 = c.buildChain(ringosc.DefaultConfig())
-	})
-	return c.r1, c.sol1, c.p1, c.err1
+	return c.Engine().RingPPV(c.ctx(), ringosc.DefaultConfig())
 }
 
 // Ring2 lazily builds the 2N1P ring, its PSS and PPV.
 func (c *Context) Ring2() (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	c.once2.Do(func() {
-		c.r2, c.sol2, c.p2, c.err2 = c.buildChain(ringosc.Config2N1P())
-	})
-	return c.r2, c.sol2, c.p2, c.err2
-}
-
-func (c *Context) buildChain(cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	r, err := ringosc.Build(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	sol, err := pss.ShootAutonomousCtx(c.ctx(), r.Sys, r.KickStart(), pss.Options{
-		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	p, err := ppv.FromSolutionCtx(c.ctx(), r.Sys, sol, c.workers())
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return r, sol, p, nil
+	return c.Engine().RingPPV(c.ctx(), ringosc.Config2N1P())
 }
 
 // calibration returns the latch calibration used by the FSM figures,

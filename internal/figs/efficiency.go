@@ -96,7 +96,7 @@ func (c *Context) Efficiency() ([]EffRow, error) {
 	}
 	{
 		aBits := []bool{true, false, true}
-		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
+		sa, err := phlogic.NewSerialAdder(p, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
 			SyncAmp: 100e-6, ClockCycles: 100,
 		})
 		if err != nil {

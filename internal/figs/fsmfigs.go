@@ -94,7 +94,7 @@ func (c *Context) Fig16() (*Result, error) {
 		return nil, err
 	}
 	aBits := []bool{true, false, true}
-	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
+	sa, err := phlogic.NewSerialAdder(p, p.F0, aBits, aBits, phlogic.SerialAdderConfig{
 		SyncAmp: 100e-6, ClockCycles: 100,
 	})
 	if err != nil {
@@ -436,7 +436,7 @@ func (c *Context) Fig20() (*Result, error) {
 		// same carry state, decoded at bit 1 with a = 0, b = 1.
 		aB := []bool{sc.carry, false}
 		bB := []bool{sc.carry, true}
-		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, aB, bB, phlogic.SerialAdderConfig{
+		sa, err := phlogic.NewSerialAdder(p, p.F0, aB, bB, phlogic.SerialAdderConfig{
 			SyncAmp: 100e-6, ClockCycles: 100,
 		})
 		if err != nil {

@@ -10,6 +10,8 @@ import (
 
 // SerialAdderConfig sizes the Fig. 15 serial adder.
 type SerialAdderConfig struct {
+	InjNode     int     // latch node receiving SYNC and coupled inputs (default 0, the latch output node of the paper's vehicle)
+	OutNode     int     // latch node whose waveform encodes the stored bit (default 0)
 	SyncAmp     float64 // SYNC current amplitude per latch, A (e.g. 100 µA)
 	InputAmp    float64 // external input phasor amplitude, V (0: match latch swing)
 	GateSat     float64 // op-amp saturation amplitude, V (0: match latch swing)
@@ -30,8 +32,10 @@ type SerialAdder struct {
 }
 
 // NewSerialAdder assembles the adder around the latch PPV p (both latches
-// are instances of the same design, as on the breadboard).
-func NewSerialAdder(p *ppv.PPV, injNode, outNode int, f1 float64, aBits, bBits []bool, cfg SerialAdderConfig) (*SerialAdder, error) {
+// are instances of the same design, as on the breadboard). The injection and
+// readout nodes come from cfg (InjNode/OutNode), so every knob of the adder
+// is named at the call site.
+func NewSerialAdder(p *ppv.PPV, f1 float64, aBits, bBits []bool, cfg SerialAdderConfig) (*SerialAdder, error) {
 	if len(aBits) != len(bBits) {
 		return nil, fmt.Errorf("phlogic: input streams differ in length (%d vs %d)", len(aBits), len(bBits))
 	}
@@ -47,9 +51,9 @@ func NewSerialAdder(p *ppv.PPV, injNode, outNode int, f1 float64, aBits, bBits [
 	// Distinct F0 shifts model breadboard device mismatch between the two
 	// physical latch instances (±0.05% here) — and keep noise-free
 	// antipodal bit flips from stalling on the exact saddle.
-	master := &phasemacro.Latch{Name: "Q1", P: p, Node: injNode, Out: outNode,
+	master := &phasemacro.Latch{Name: "Q1", P: p, Node: cfg.InjNode, Out: cfg.OutNode,
 		SyncAmp: cfg.SyncAmp, F0Shift: +5e-4 * p.F0}
-	slave := &phasemacro.Latch{Name: "Q2", P: p, Node: injNode, Out: outNode,
+	slave := &phasemacro.Latch{Name: "Q2", P: p, Node: cfg.InjNode, Out: cfg.OutNode,
 		SyncAmp: cfg.SyncAmp, F0Shift: -5e-4 * p.F0}
 	cal, err := phasemacro.Calibrate(master, cfg.Rc)
 	if err != nil {

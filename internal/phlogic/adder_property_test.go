@@ -25,7 +25,7 @@ func TestSerialAdderRandomStreamsProperty(t *testing.T) {
 			a[i] = rng.Intn(2) == 1
 			b[i] = rng.Intn(2) == 1
 		}
-		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, a, b, phlogic.SerialAdderConfig{
+		sa, err := phlogic.NewSerialAdder(p, p.F0, a, b, phlogic.SerialAdderConfig{
 			SyncAmp: 100e-6, ClockCycles: 100,
 		})
 		if err != nil {
@@ -61,7 +61,7 @@ func TestSerialAdderClockRateLimit(t *testing.T) {
 	p := ringPPV(t)
 	a := []bool{true, false, true}
 	run := func(clockCycles float64) bool {
-		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, a, a, phlogic.SerialAdderConfig{
+		sa, err := phlogic.NewSerialAdder(p, p.F0, a, a, phlogic.SerialAdderConfig{
 			SyncAmp: 100e-6, ClockCycles: clockCycles,
 		})
 		if err != nil {

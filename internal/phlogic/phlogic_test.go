@@ -177,7 +177,7 @@ func TestSerialAdderComputesCorrectly(t *testing.T) {
 		{{true, true, true}, {true, true, true}},       // 7 + 7
 	}
 	for _, tc := range cases {
-		sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, tc[0], tc[1], phlogic.SerialAdderConfig{
+		sa, err := phlogic.NewSerialAdder(p, p.F0, tc[0], tc[1], phlogic.SerialAdderConfig{
 			SyncAmp: 100e-6, ClockCycles: 100,
 		})
 		if err != nil {
@@ -215,7 +215,7 @@ func TestMasterSlaveHandoff(t *testing.T) {
 	p := ringPPV(t)
 	a := []bool{true, true}
 	b := []bool{true, true} // both bits set: carry goes 0 → 1 after bit 0
-	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, a, b, phlogic.SerialAdderConfig{
+	sa, err := phlogic.NewSerialAdder(p, p.F0, a, b, phlogic.SerialAdderConfig{
 		SyncAmp: 100e-6, ClockCycles: 100,
 	})
 	if err != nil {

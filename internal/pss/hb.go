@@ -11,6 +11,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/fourier"
 	"repro/internal/linalg"
+	"repro/internal/solver"
 )
 
 // HBSolution is a periodic steady state in the frequency domain: for each
@@ -471,5 +472,5 @@ func RefineHBCtx(ctx context.Context, sys *circuit.System, hb *HBSolution, maxIt
 		}
 	}
 	hb.Residual = hbResidualNorm(sys, hb, dm)
-	return fmt.Errorf("pss: HB Newton did not converge (residual %.3g)", hb.Residual)
+	return fmt.Errorf("pss: HB Newton did not converge (residual %.3g): %w", hb.Residual, solver.ErrNoConvergence)
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/fourier"
 	"repro/internal/linalg"
+	"repro/internal/solver"
 	"repro/internal/transient"
 )
 
@@ -214,7 +215,7 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 			return nil, errors.New("pss: period iterate became non-positive")
 		}
 	}
-	return nil, fmt.Errorf("pss: shooting did not converge (residual %.3g V after %d iterations)", lastRes, opt.MaxIter)
+	return nil, fmt.Errorf("pss: shooting did not converge (residual %.3g V after %d iterations): %w", lastRes, opt.MaxIter, solver.ErrNoConvergence)
 }
 
 // ShootDriven finds the periodic steady state of a circuit driven at a known
@@ -274,7 +275,7 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 			x[i] -= dx[i]
 		}
 	}
-	return nil, fmt.Errorf("pss: driven shooting did not converge (residual %.3g V)", lastRes)
+	return nil, fmt.Errorf("pss: driven shooting did not converge (residual %.3g V): %w", lastRes, solver.ErrNoConvergence)
 }
 
 // buildSolution integrates one final period on the converged orbit, records

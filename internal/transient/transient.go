@@ -110,10 +110,16 @@ func (r *Result) Final() linalg.Vec {
 // ErrStepUnderflow indicates the adaptive controller hit MinStep.
 var ErrStepUnderflow = errors.New("transient: step size underflow")
 
+// ErrUnsupported is the sentinel under every "this option combination is not
+// implemented" error of the transient engine, so callers can distinguish
+// capability gaps (errors.Is(err, ErrUnsupported)) from numerical failures.
+var ErrUnsupported = errors.New("transient: unsupported option combination")
+
 // ErrGear2Adaptive is returned when Options request Gear2 with Adaptive
 // stepping: the fixed-coefficient BDF2 implementation has no variable-step
-// form, and silently running fixed-step would misrepresent the result.
-var ErrGear2Adaptive = errors.New("transient: Gear2 supports fixed steps only (Adaptive must be false)")
+// form, and silently running fixed-step would misrepresent the result. It
+// wraps ErrUnsupported.
+var ErrGear2Adaptive = fmt.Errorf("%w: Gear2 supports fixed steps only (Adaptive must be false)", ErrUnsupported)
 
 // Run integrates the circuit ODE C·ẋ = −f(x,t) from x0 over [t0, t1].
 //

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"repro/internal/diag"
+	"repro/internal/engine"
 	"repro/internal/gae"
 	"repro/internal/parallel"
 	"repro/internal/ppv"
@@ -63,6 +64,17 @@ type Metrics struct {
 	LockWidth float64 // SHIL locking band width at 100 µA SYNC, Hz
 }
 
+// NewEngine returns a memoizing analysis engine configured for this
+// package's pipeline: variation analyses use the coarser 512-step PSS grid
+// (×2 faster than the figure-quality 1024 grid, and the golden numbers in
+// the tests and EXPERIMENTS.md are pinned to it).
+func NewEngine(workers int) *engine.Engine {
+	return engine.New(engine.Options{
+		Workers: workers,
+		PSS:     pss.Options{StepsPerPeriod: 512},
+	})
+}
+
 // Evaluate runs the full pipeline (build → PSS → PPV → GAE band) for a
 // configuration.
 func Evaluate(cfg ringosc.Config) (Metrics, error) {
@@ -73,19 +85,38 @@ func Evaluate(cfg ringosc.Config) (Metrics, error) {
 // transients. Each call builds its own circuit and workspaces, so any number
 // of evaluations may run concurrently.
 func EvaluateCtx(ctx context.Context, cfg ringosc.Config) (Metrics, error) {
-	r, err := ringosc.Build(cfg)
-	if err != nil {
-		return Metrics{}, err
-	}
-	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
-		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 512,
-	})
-	if err != nil {
-		return Metrics{}, err
-	}
-	p, err := ppv.FromSolution(r.Sys, sol)
-	if err != nil {
-		return Metrics{}, err
+	return EvaluateEng(ctx, nil, cfg)
+}
+
+// EvaluateEng is EvaluateCtx resolving the PSS→PPV chain through a memoizing
+// engine (see NewEngine): repeated corners — the nominal point of every
+// sensitivity run, or identical Monte-Carlo re-runs — coalesce into one
+// computation. A nil engine computes directly.
+func EvaluateEng(ctx context.Context, eng *engine.Engine, cfg ringosc.Config) (Metrics, error) {
+	var sol *pss.Solution
+	var p *ppv.PPV
+	var err error
+	if eng != nil {
+		_, sol, p, err = eng.RingPPV(ctx, cfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+	} else {
+		var r *ringosc.Ring
+		r, err = ringosc.Build(cfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+		sol, err = pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
+			GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 512,
+		})
+		if err != nil {
+			return Metrics{}, err
+		}
+		p, err = ppv.FromSolution(r.Sys, sol)
+		if err != nil {
+			return Metrics{}, err
+		}
 	}
 	m := gae.NewModel(p, sol.F0, gae.Injection{Node: 0, Amp: 100e-6, Harmonic: 2})
 	lo, hi := m.LockingBand()
@@ -116,7 +147,15 @@ func Sensitivities(base ringosc.Config, params []Param) ([]Sensitivity, error) {
 // the dominant cost) run concurrently on up to workers goroutines after the
 // nominal point. Results are bit-identical at any worker count.
 func SensitivitiesCtx(ctx context.Context, base ringosc.Config, params []Param, workers int) ([]Sensitivity, error) {
-	nom, err := EvaluateCtx(ctx, base)
+	return SensitivitiesEng(ctx, nil, base, params, workers)
+}
+
+// SensitivitiesEng is SensitivitiesCtx with the corner pipelines resolved
+// through a memoizing engine (nil: compute directly). Sharing one engine
+// between the sensitivity and Monte-Carlo passes of a characterization run
+// makes the repeated nominal evaluation free.
+func SensitivitiesEng(ctx context.Context, eng *engine.Engine, base ringosc.Config, params []Param, workers int) ([]Sensitivity, error) {
+	nom, err := EvaluateEng(ctx, eng, base)
 	if err != nil {
 		return nil, fmt.Errorf("variation: nominal evaluation: %w", err)
 	}
@@ -132,7 +171,7 @@ func SensitivitiesCtx(ctx context.Context, base ringosc.Config, params []Param, 
 			dir = "−1σ"
 		}
 		prm.Apply(&cfg, sign)
-		m, err := EvaluateCtx(wctx, cfg)
+		m, err := EvaluateEng(wctx, eng, cfg)
 		if err != nil {
 			return Metrics{}, fmt.Errorf("variation: %s %s: %w", prm.Name, dir, err)
 		}
@@ -173,6 +212,13 @@ func MonteCarlo(base ringosc.Config, params []Param, n int, seed int64) ([]Sampl
 // any worker count. On error or cancellation the partial slice is returned;
 // samples that did not run are zero-valued.
 func MonteCarloCtx(ctx context.Context, base ringosc.Config, params []Param, n int, seed int64, workers int) ([]Sample, error) {
+	return MonteCarloEng(ctx, nil, base, params, n, seed, workers)
+}
+
+// MonteCarloEng is MonteCarloCtx with the sample pipelines resolved through
+// a memoizing engine (nil: compute directly); re-running the same seed
+// against a warm engine is then nearly free.
+func MonteCarloEng(ctx context.Context, eng *engine.Engine, base ringosc.Config, params []Param, n int, seed int64, workers int) ([]Sample, error) {
 	return parallel.MapWorkerCtx(ctx, n, workers, func(wctx context.Context, _, i int) (Sample, error) {
 		diag.FromContext(wctx).Inc(diag.SweepPoints)
 		ctx := wctx
@@ -190,7 +236,7 @@ func MonteCarloCtx(ctx context.Context, base ringosc.Config, params []Param, n i
 			deltas[j] = d
 			prm.Apply(&cfg, d)
 		}
-		m, err := EvaluateCtx(ctx, cfg)
+		m, err := EvaluateEng(ctx, eng, cfg)
 		if err != nil {
 			return Sample{}, fmt.Errorf("variation: sample %d: %w", i, err)
 		}

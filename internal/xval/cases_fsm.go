@@ -104,7 +104,7 @@ func macroAdderRun(ctx context.Context, fx *Fixtures, a, b []bool) (sums, couts 
 	if err != nil {
 		return nil, nil, err
 	}
-	sa, err := phlogic.NewSerialAdder(p, 0, 0, p.F0, a, b, phlogic.SerialAdderConfig{
+	sa, err := phlogic.NewSerialAdder(p, p.F0, a, b, phlogic.SerialAdderConfig{
 		SyncAmp: 100e-6, ClockCycles: 100,
 	})
 	if err != nil {

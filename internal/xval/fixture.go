@@ -4,20 +4,20 @@ import (
 	"context"
 	"sync"
 
-	"repro/internal/parallel"
+	"repro/internal/engine"
 	"repro/internal/phasemacro"
 	"repro/internal/ppv"
 	"repro/internal/pss"
 	"repro/internal/ringosc"
 )
 
-// Fixtures lazily builds and caches the expensive shared artifacts the
-// ledger cases compare: the two ring variants with their shooting PSS and
-// adjoint PPV, the refined harmonic-balance solution with its PPV-HB
-// extraction, and the latch calibrations. Every getter is sync.Once-guarded
-// so concurrent cases pay each solve exactly once; construction mirrors
-// figs.Context (StepsPerPeriod 1024, workers-bounded PPV fan-out) so the
-// ledger certifies the same numerical route the figures are generated from.
+// Fixtures caches the expensive shared artifacts the ledger cases compare:
+// the two ring variants with their shooting PSS and adjoint PPV (resolved
+// through a memoizing engine.Engine, so concurrent cases coalesce into one
+// solve per artifact), the refined harmonic-balance solution with its PPV-HB
+// extraction, and the latch calibrations. Construction mirrors figs.Context
+// (StepsPerPeriod 1024, workers-bounded PPV fan-out) so the ledger certifies
+// the same numerical route the figures are generated from.
 //
 // Getters take the calling case's context: cancellation flows into the
 // solves, and the construction cost lands on the diagnostics of whichever
@@ -26,11 +26,7 @@ type Fixtures struct {
 	// Workers bounds internal fan-out (adjoint PPV columns); ≤ 0: one per CPU.
 	Workers int
 
-	once1, once2 sync.Once
-	r1, r2       *ringosc.Ring
-	sol1, sol2   *pss.Solution
-	p1, p2       *ppv.PPV
-	err1, err2   error
+	eng *engine.Engine
 
 	onceHB sync.Once
 	hb1    *pss.HBSolution
@@ -61,42 +57,18 @@ const AdderCalSyncAmp = 120e-6
 
 // NewFixtures returns an empty fixture cache.
 func NewFixtures(workers int) *Fixtures {
-	return &Fixtures{Workers: workers}
-}
-
-func (fx *Fixtures) buildChain(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	r, err := ringosc.Build(cfg)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	sol, err := pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
-		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	p, err := ppv.FromSolutionCtx(ctx, r.Sys, sol, parallel.Workers(fx.Workers))
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return r, sol, p, nil
+	return &Fixtures{Workers: workers, eng: engine.New(engine.Options{Workers: workers})}
 }
 
 // Ring1 returns the 1N1P (paper Fig. 3) ring chain: circuit, shooting PSS,
 // adjoint PPV.
 func (fx *Fixtures) Ring1(ctx context.Context) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	fx.once1.Do(func() {
-		fx.r1, fx.sol1, fx.p1, fx.err1 = fx.buildChain(ctx, ringosc.DefaultConfig())
-	})
-	return fx.r1, fx.sol1, fx.p1, fx.err1
+	return fx.eng.RingPPV(ctx, ringosc.DefaultConfig())
 }
 
 // Ring2 returns the 2N1P variant chain.
 func (fx *Fixtures) Ring2(ctx context.Context) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	fx.once2.Do(func() {
-		fx.r2, fx.sol2, fx.p2, fx.err2 = fx.buildChain(ctx, ringosc.Config2N1P())
-	})
-	return fx.r2, fx.sol2, fx.p2, fx.err2
+	return fx.eng.RingPPV(ctx, ringosc.Config2N1P())
 }
 
 // HB1 returns the refined harmonic-balance solution of the 1N1P ring and

@@ -16,17 +16,26 @@
 //   - the paper's concrete vehicles (package ringosc) and figure
 //     regeneration (package figs, cmd/phlogon-figs).
 //
-// A typical designer flow:
+// A typical designer flow goes through an Engine, which memoizes the
+// expensive PSS and PPV artifacts so every downstream analysis of the same
+// oscillator reuses one extraction:
 //
-//	ring, _ := phlogon.BuildRing(phlogon.DefaultRingConfig())
-//	sol, _ := phlogon.FindPSS(ring)                      // f0, waveforms, Floquet
-//	p, _ := phlogon.ExtractPPV(ring, sol)                // phase macromodel
+//	eng := phlogon.NewEngine(phlogon.EngineOptions{})
+//	ring, sol, p, _ := eng.RingPPV(ctx, phlogon.DefaultRingConfig())
 //	m := phlogon.NewGAE(p, 9.6e3,
 //	    phlogon.Injection{Node: 0, Amp: 100e-6, Harmonic: 2}) // SYNC at 2·f1
 //	locks := m.StableEquilibria()                        // the stored bit's phases
+//	_ = ring
+//	_ = sol
+//
+// Every analysis entry point takes a context.Context first (cancellation,
+// deadlines, and diagnostics attribution flow through it); the ctx-less
+// names remain as deprecated wrappers over context.Background().
 package phlogon
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/device"
 	"repro/internal/gae"
@@ -97,33 +106,55 @@ func BuildRing(cfg RingConfig) (*Ring, error) { return ringosc.Build(cfg) }
 // BuildDLatch assembles the Fig. 9 D latch.
 func BuildDLatch(cfg DLatchConfig) (*DLatch, error) { return ringosc.BuildLatch(cfg) }
 
-// FindPSS computes a ring's periodic steady state by shooting.
-func FindPSS(r *Ring) (*PSS, error) {
-	return pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+// FindPSSCtx computes a ring's periodic steady state by shooting. The
+// context carries cancellation and diagnostics (see package diag via the
+// cmd-line tools' -diag flag).
+func FindPSSCtx(ctx context.Context, r *Ring) (*PSS, error) {
+	return pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
 	})
 }
 
-// ExtractPPV extracts the time-domain PPV macromodel from a PSS.
-func ExtractPPV(r *Ring, sol *PSS) (*PPV, error) {
-	return ppv.FromSolution(r.Sys, sol)
+// FindPSS computes a ring's periodic steady state by shooting.
+//
+// Deprecated: use FindPSSCtx, or an Engine to memoize the solve.
+func FindPSS(r *Ring) (*PSS, error) { return FindPSSCtx(context.Background(), r) }
+
+// ExtractPPVCtx extracts the time-domain PPV macromodel from a PSS.
+func ExtractPPVCtx(ctx context.Context, r *Ring, sol *PSS) (*PPV, error) {
+	return ppv.FromSolutionCtx(ctx, r.Sys, sol, 1)
 }
 
-// RingPPV is the one-call pipeline: build → PSS → PPV.
-func RingPPV(cfg RingConfig) (*Ring, *PSS, *PPV, error) {
+// ExtractPPV extracts the time-domain PPV macromodel from a PSS.
+//
+// Deprecated: use ExtractPPVCtx, or an Engine to memoize the extraction.
+func ExtractPPV(r *Ring, sol *PSS) (*PPV, error) {
+	return ExtractPPVCtx(context.Background(), r, sol)
+}
+
+// RingPPVCtx is the one-call pipeline: build → PSS → PPV. Unlike an
+// Engine's RingPPV it recomputes from scratch on every call.
+func RingPPVCtx(ctx context.Context, cfg RingConfig) (*Ring, *PSS, *PPV, error) {
 	r, err := ringosc.Build(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sol, err := FindPSS(r)
+	sol, err := FindPSSCtx(ctx, r)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	p, err := ppv.FromSolution(r.Sys, sol)
+	p, err := ExtractPPVCtx(ctx, r, sol)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return r, sol, p, nil
+}
+
+// RingPPV is the one-call pipeline: build → PSS → PPV.
+//
+// Deprecated: use Engine.RingPPV (memoized) or RingPPVCtx.
+func RingPPV(cfg RingConfig) (*Ring, *PSS, *PPV, error) {
+	return RingPPVCtx(context.Background(), cfg)
 }
 
 // NewGAE builds a Generalized Adler Equation around a PPV.
@@ -131,14 +162,22 @@ func NewGAE(p *PPV, f1 float64, inj ...Injection) *GAE {
 	return gae.NewModel(p, f1, inj...)
 }
 
+// RunTransientCtx integrates a circuit's ODE (SPICE-level transient
+// analysis) with cancellation.
+func RunTransientCtx(ctx context.Context, sys *System, x0 []float64, t0, t1 float64, opt TransientOptions) (*TransientResult, error) {
+	return transient.RunCtx(ctx, sys, x0, t0, t1, opt)
+}
+
 // RunTransient integrates a circuit's ODE (SPICE-level transient analysis).
+//
+// Deprecated: use RunTransientCtx.
 func RunTransient(sys *System, x0 []float64, t0, t1 float64, opt TransientOptions) (*TransientResult, error) {
-	return transient.Run(sys, x0, t0, t1, opt)
+	return RunTransientCtx(context.Background(), sys, x0, t0, t1, opt)
 }
 
 // NewSerialAdder builds the Fig. 15 serial adder on phase macromodels.
 func NewSerialAdder(p *PPV, f1 float64, aBits, bBits []bool, cfg phlogic.SerialAdderConfig) (*SerialAdder, error) {
-	return phlogic.NewSerialAdder(p, 0, 0, f1, aBits, bBits, cfg)
+	return phlogic.NewSerialAdder(p, f1, aBits, bBits, cfg)
 }
 
 // Devices re-exported for programmatic circuit building.
