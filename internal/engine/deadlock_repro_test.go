@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Repro: nested lookup coalesces onto a non-nested pending flight while the
+// parent flight holds the only pool slot → circular wait.
+func TestReproNestedCoalesceDeadlock(t *testing.T) {
+	e := New(Options{Workers: 1})
+	ctx := context.Background()
+
+	holdingSlot := make(chan struct{})
+	pssOpened := make(chan struct{})
+	done := make(chan struct{})
+
+	// B: "ppv" flight — acquires the only slot, then (nested) requests "pss".
+	go func() {
+		e.do(ctx, "ppv", func(cctx context.Context) (any, int64, error) {
+			close(holdingSlot) // we own the slot now
+			<-pssOpened        // wait until A has opened the pss flight
+			v, err := e.do(cctx, "pss", func(context.Context) (any, int64, error) {
+				return "pss-val", 8, nil
+			})
+			return v, 8, err
+		})
+		close(done)
+	}()
+
+	<-holdingSlot
+	// A: non-nested "pss" request — opens the flight; its run goroutine
+	// queues on the slot held by B.
+	go func() {
+		e.do(ctx, "pss", func(context.Context) (any, int64, error) {
+			return "pss-val", 8, nil
+		})
+	}()
+	time.Sleep(100 * time.Millisecond) // let A's flight reach acquire()
+	close(pssOpened)
+
+	select {
+	case <-done:
+		// no deadlock
+	case <-time.After(3 * time.Second):
+		t.Fatal("deadlock: ppv flight holds the slot and waits on the pss flight, which waits for the slot")
+	}
+}
