@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-engine
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
 # suite under the race detector, and the cross-method conformance ledger.
@@ -59,6 +59,16 @@ bench-overhead:
 	$(GO) test -run '^$$' -bench '^BenchmarkShootAutonomousRing$$' -benchtime 20x -count 8 . \
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
 			-only '^BenchmarkShootAutonomousRing$$' -tol 0.02 -alloc-tol 0
+
+# Allocation gate: the four headline hot-path benchmarks must hold the
+# zero-allocation transient plumbing — allocs/op is deterministic, so its
+# tolerance is essentially zero, and B/op is gated alongside it. Timing is
+# not this gate's job (bench-compare covers it), hence the wide -tol.
+bench-alloc:
+	$(GO) test -run '^$$' -bench '^Benchmark(EffSpiceTransientFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' -benchtime 1x -count 2 -benchmem . \
+		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
+			-only '^Benchmark(EffSpiceTransientFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' \
+			-tol 1.0 -alloc-tol 0.05 -bytes-tol 0.25
 
 # Engine memoization gate: the cold build→PSS→PPV pipeline and the warm
 # cache hit against their pinned baselines. The warm path is the one that

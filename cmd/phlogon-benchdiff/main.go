@@ -48,7 +48,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phlogon-benchdiff parse   [-o file]                         < bench-output
-  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] [-only regexp] < bench-output`)
+  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] [-bytes-tol x] [-only regexp] < bench-output`)
 }
 
 // df is package-level so fatal can flush profiles before exiting. benchdiff
@@ -111,6 +111,7 @@ func cmdCompare(args []string) {
 	baseFile := fs.String("baseline", "", "baseline JSON written by parse (required)")
 	tol := fs.Float64("tol", 1.0, "allowed fractional ns/op slowdown (1.0 = 2× the baseline)")
 	allocTol := fs.Float64("alloc-tol", 0.15, "allowed fractional allocs/op growth")
+	bytesTol := fs.Float64("bytes-tol", 0.25, "allowed fractional B/op growth")
 	only := fs.String("only", "", "compare only benchmarks matching this regexp")
 	df = diag.AddFlags(fs)
 	startDiag(fs, args)
@@ -146,7 +147,7 @@ func cmdCompare(args []string) {
 			fatal(fmt.Errorf("-only %q matches no benchmark on either side", *only))
 		}
 	}
-	diffs := Compare(&base, cur, *tol, *allocTol)
+	diffs := Compare(&base, cur, *tol, *allocTol, *bytesTol)
 	bad := 0
 	for _, d := range diffs {
 		if d.Regressed {
@@ -154,8 +155,8 @@ func cmdCompare(args []string) {
 		}
 		fmt.Println(d)
 	}
-	fmt.Printf("%d benchmarks compared, %d regressed (tol %+.0f%% time, %+.0f%% allocs)\n",
-		len(diffs), bad, *tol*100, *allocTol*100)
+	fmt.Printf("%d benchmarks compared, %d regressed (tol %+.0f%% time, %+.0f%% allocs, %+.0f%% bytes)\n",
+		len(diffs), bad, *tol*100, *allocTol*100, *bytesTol*100)
 	if bad > 0 {
 		df.Stop()
 		os.Exit(1)

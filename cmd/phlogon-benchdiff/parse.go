@@ -93,6 +93,7 @@ type Diff struct {
 	Base, Cur  *Result // nil when the benchmark is missing on that side
 	TimeRatio  float64 // cur/base ns/op (0 when either side is missing)
 	AllocRatio float64 // cur/base allocs/op (0 when either side lacks counts)
+	ByteRatio  float64 // cur/base B/op (0 when either side lacks counts)
 	Regressed  bool
 	Why        string
 }
@@ -112,6 +113,9 @@ func (d Diff) String() string {
 		if d.AllocRatio > 0 {
 			s += fmt.Sprintf("  allocs ×%.2f", d.AllocRatio)
 		}
+		if d.ByteRatio > 0 {
+			s += fmt.Sprintf("  bytes ×%.2f", d.ByteRatio)
+		}
 		if d.Why != "" {
 			s += "  (" + d.Why + ")"
 		}
@@ -121,9 +125,11 @@ func (d Diff) String() string {
 
 // Compare evaluates cur against base. A benchmark regresses when its ns/op
 // exceeds (1+tol)× the baseline, its allocs/op exceed (1+allocTol)× the
-// baseline, or it vanished from the run; new benchmarks are reported but
-// pass (pin them with `make bench-baseline`).
-func Compare(base, cur *Set, tol, allocTol float64) []Diff {
+// baseline, its B/op exceed (1+bytesTol)× the baseline, or it vanished from
+// the run; new benchmarks are reported but pass (pin them with
+// `make bench-baseline`). Allocation counts and bytes are only gated when
+// both sides carry them (-benchmem on both the baseline and current run).
+func Compare(base, cur *Set, tol, allocTol, bytesTol float64) []Diff {
 	var diffs []Diff
 	for _, name := range sortedNames(base, cur) {
 		d := Diff{Name: name}
@@ -148,6 +154,9 @@ func Compare(base, cur *Set, tol, allocTol float64) []Diff {
 			if d.Base.AllocsPerOp > 0 {
 				d.AllocRatio = d.Cur.AllocsPerOp / d.Base.AllocsPerOp
 			}
+			if d.Base.BytesPerOp > 0 {
+				d.ByteRatio = d.Cur.BytesPerOp / d.Base.BytesPerOp
+			}
 			if d.TimeRatio > 1+tol {
 				d.Regressed = true
 				d.Why = fmt.Sprintf("slower than tol ×%.2f", 1+tol)
@@ -158,6 +167,13 @@ func Compare(base, cur *Set, tol, allocTol float64) []Diff {
 					d.Why += "; "
 				}
 				d.Why += fmt.Sprintf("allocs above tol ×%.2f", 1+allocTol)
+			}
+			if d.ByteRatio > 1+bytesTol {
+				d.Regressed = true
+				if d.Why != "" {
+					d.Why += "; "
+				}
+				d.Why += fmt.Sprintf("bytes above tol ×%.2f", 1+bytesTol)
 			}
 		}
 		diffs = append(diffs, d)

@@ -69,25 +69,31 @@ func mkSet(pairs map[string]Result) *Set {
 
 func TestCompareVerdicts(t *testing.T) {
 	base := mkSet(map[string]Result{
-		"BenchmarkStable":  {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkStable":  {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
 		"BenchmarkSlower":  {NsPerOp: 100, AllocsPerOp: 10},
 		"BenchmarkAllocUp": {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkBytesUp": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1000},
+		"BenchmarkNoMem":   {NsPerOp: 100}, // baseline never ran -benchmem
 		"BenchmarkGone":    {NsPerOp: 100},
 	})
 	cur := mkSet(map[string]Result{
-		"BenchmarkStable":  {NsPerOp: 150, AllocsPerOp: 10}, // within ×2 tol
-		"BenchmarkSlower":  {NsPerOp: 250, AllocsPerOp: 10}, // past ×2 tol
-		"BenchmarkAllocUp": {NsPerOp: 100, AllocsPerOp: 13}, // past ×1.15 allocs
+		"BenchmarkStable":  {NsPerOp: 150, AllocsPerOp: 10, BytesPerOp: 1100}, // within every tol
+		"BenchmarkSlower":  {NsPerOp: 250, AllocsPerOp: 10},                   // past ×2 tol
+		"BenchmarkAllocUp": {NsPerOp: 100, AllocsPerOp: 13},                   // past ×1.15 allocs
+		"BenchmarkBytesUp": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1500}, // past ×1.25 bytes
+		"BenchmarkNoMem":   {NsPerOp: 100, BytesPerOp: 9999},                  // not gated without a bytes baseline
 		"BenchmarkNew":     {NsPerOp: 100},
 	})
 	verdicts := map[string]bool{}
-	for _, d := range Compare(base, cur, 1.0, 0.15) {
+	for _, d := range Compare(base, cur, 1.0, 0.15, 0.25) {
 		verdicts[d.Name] = d.Regressed
 	}
 	want := map[string]bool{
 		"BenchmarkStable":  false,
 		"BenchmarkSlower":  true,
 		"BenchmarkAllocUp": true,
+		"BenchmarkBytesUp": true,
+		"BenchmarkNoMem":   false, // bytes gate needs both sides instrumented
 		"BenchmarkGone":    true,  // disappeared
 		"BenchmarkNew":     false, // informational
 	}
@@ -107,8 +113,8 @@ func TestCompareVerdicts(t *testing.T) {
 }
 
 func TestCompareExactBaselinePasses(t *testing.T) {
-	base := mkSet(map[string]Result{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 7}})
-	for _, d := range Compare(base, base, 1.0, 0.15) {
+	base := mkSet(map[string]Result{"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 7, BytesPerOp: 512}})
+	for _, d := range Compare(base, base, 1.0, 0.15, 0.25) {
 		if d.Regressed {
 			t.Errorf("self-comparison regressed: %s", d)
 		}

@@ -62,6 +62,20 @@ func TestParseCompareRoundTrip(t *testing.T) {
 		t.Fatalf("regressed compare exit %d, want 1\nstdout: %s", res.ExitCode, res.Stdout)
 	}
 	cmdtest.MustContain(t, res.Stdout, "FAIL BenchmarkX", "1 regressed")
+
+	// 10× more bytes per op: gated by -bytes-tol.
+	fat := strings.Replace(fakeBench, "10 B/op", "100 B/op", 1)
+	res = runWithStdin(t, bin, fat, "compare", "-baseline", baseline)
+	if res.ExitCode != 1 {
+		t.Fatalf("bytes-regressed compare exit %d, want 1\nstdout: %s", res.ExitCode, res.Stdout)
+	}
+	cmdtest.MustContain(t, res.Stdout, "bytes above tol")
+
+	// ...and waved through when the tolerance allows it.
+	res = runWithStdin(t, bin, fat, "compare", "-baseline", baseline, "-bytes-tol", "20")
+	if res.ExitCode != 0 {
+		t.Fatalf("relaxed bytes-tol exit %d, want 0\nstdout: %s", res.ExitCode, res.Stdout)
+	}
 }
 
 func TestCompareOnlyFilter(t *testing.T) {

@@ -96,22 +96,33 @@ func (w *Workspace) EvalScaled(x linalg.Vec, t float64, f linalg.Vec, j *linalg.
 // XDot computes ẋ = -C⁻¹·f(x, t) using workspace scratch for the residual.
 // The returned vector is freshly allocated (callers retain XDot results).
 func (w *Workspace) XDot(x linalg.Vec, t float64) linalg.Vec {
+	return w.XDotInto(linalg.NewVec(w.sys.N), x, t)
+}
+
+// XDotInto is XDot writing into dst (which must not alias x): hot loops pass
+// a pinned destination and the evaluation touches only workspace scratch.
+// Safe concurrently across workspaces — the shared System.CLU factorization
+// is read-only under SolveInto.
+func (w *Workspace) XDotInto(dst linalg.Vec, x linalg.Vec, t float64) linalg.Vec {
 	f := w.EvalF(x, t, w.fbuf)
 	f.Scale(-1)
-	return w.sys.CLU.Solve(f)
+	return w.sys.CLU.SolveInto(dst, f)
 }
 
 // RHSJacobian computes A(t) = d(ẋ)/dx = -C⁻¹·J(x, t) using workspace
 // scratch for the evaluation; the returned matrix is freshly allocated.
 func (w *Workspace) RHSJacobian(x linalg.Vec, t float64) *linalg.Mat {
-	w.EvalFJ(x, t, w.fbuf, w.jbuf)
 	n := w.sys.N
-	a := linalg.NewMat(n, n)
-	for j := 0; j < n; j++ {
-		col := w.sys.CLU.Solve(w.jbuf.Col(j))
-		for i := 0; i < n; i++ {
-			a.Set(i, j, -col[i])
-		}
-	}
-	return a
+	return w.RHSJacobianInto(linalg.NewMat(n, n), x, t)
+}
+
+// RHSJacobianInto is RHSJacobian writing into dst (n×n, not aliasing the
+// workspace's Jacobian buffer). Bitwise identical to RHSJacobian: the
+// column-wise substitution order of SolveMatInto matches the historical
+// per-column Solve loop exactly.
+func (w *Workspace) RHSJacobianInto(dst *linalg.Mat, x linalg.Vec, t float64) *linalg.Mat {
+	w.EvalFJ(x, t, w.fbuf, w.jbuf)
+	w.sys.CLU.SolveMatInto(dst, w.jbuf)
+	dst.Scale(-1)
+	return dst
 }

@@ -69,6 +69,14 @@ const (
 	EngineCoalesced
 	// EngineEvictions counts artifacts evicted by the engine's LRU.
 	EngineEvictions
+	// LUFactorizationsReused counts the subset of LUFactorizations that
+	// refactorized into retained buffers (FactorizeInto on a warm scratch)
+	// instead of allocating fresh factor/pivot storage.
+	LUFactorizationsReused
+	// ScratchBytesPinned accumulates the bytes of long-lived numeric scratch
+	// (Newton/LU/sensitivity buffers) pinned by solver and transient
+	// scratches, counted once when each scratch first runs under metrics.
+	ScratchBytesPinned
 
 	numCounters
 )
@@ -90,6 +98,9 @@ var counterNames = [numCounters]string{
 	EngineMisses:        "engine_misses",
 	EngineCoalesced:     "engine_coalesced",
 	EngineEvictions:     "engine_evictions",
+
+	LUFactorizationsReused: "lu_factorizations_reused",
+	ScratchBytesPinned:     "scratch_bytes_pinned",
 }
 
 // String returns the stable snake_case name used in snapshots and JSON.

@@ -104,6 +104,17 @@ func (e *Engine) do(ctx context.Context, key string, compute func(context.Contex
 		e.mu.Unlock()
 		e.coalesced.Add(1)
 		dm.Inc(diag.EngineCoalesced)
+		if ctx.Value(semMarker{}) != nil {
+			// A nested caller holds a pool slot, and the flight it is joining
+			// may be queued for that very slot. Lend the slot for the duration
+			// of the wait and take one back before resuming the parent
+			// computation; a joiner that never blocks while holding a slot
+			// cannot participate in a circular wait.
+			e.release()
+			v, err := e.wait(ctx, key, f)
+			e.acquireBlocking()
+			return v, err
+		}
 		return e.wait(ctx, key, f)
 	}
 	// Miss: open a new flight. The computation context derives its values
@@ -180,6 +191,16 @@ func (e *Engine) acquire(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// acquireBlocking retakes a slot unconditionally — used when a lent slot
+// must be recovered even on the cancellation path, so the parent compute's
+// deferred release stays balanced. It cannot deadlock: the caller holds no
+// slot while blocked here, and every slot holder eventually releases.
+func (e *Engine) acquireBlocking() {
+	if e.sem != nil {
+		e.sem <- struct{}{}
 	}
 }
 

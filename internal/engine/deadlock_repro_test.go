@@ -6,8 +6,11 @@ import (
 	"time"
 )
 
-// Repro: nested lookup coalesces onto a non-nested pending flight while the
-// parent flight holds the only pool slot → circular wait.
+// Regression: a nested lookup that coalesces onto a non-nested pending
+// flight while its parent flight holds the only pool slot used to produce a
+// circular wait (runner queued on the slot, slot holder blocked on the
+// runner). The slot-lending rule in do() breaks the cycle: a nested joiner
+// releases its slot for the duration of the wait.
 func TestReproNestedCoalesceDeadlock(t *testing.T) {
 	e := New(Options{Workers: 1})
 	ctx := context.Background()

@@ -11,22 +11,51 @@ import (
 var ErrSingular = errors.New("linalg: matrix is singular to working precision")
 
 // LU holds an LU factorization with partial pivoting: P·A = L·U.
+//
+// The zero LU is ready for FactorizeInto, which retains its packed-factor and
+// pivot buffers across calls: a pinned LU refactorized every Newton iteration
+// allocates only on the first call (or when the matrix dimension grows).
+// tbuf is private scratch for SolveTInto, so the -Into methods of one LU
+// value must not be called concurrently; the allocating Solve/SolveT/SolveMat
+// wrappers remain safe for concurrent use on a shared factorization.
 type LU struct {
-	lu   *Mat  // packed L (unit lower) and U
-	piv  []int // row permutation
-	sign int   // permutation sign, for Det
-	n    int
+	lu     *Mat  // packed L (unit lower) and U
+	piv    []int // row permutation
+	sign   int   // permutation sign, for Det
+	n      int
+	tbuf   Vec  // SolveTInto intermediate (lazy)
+	reused bool // last FactorizeInto reused retained buffers
 }
 
 // Factorize computes the LU factorization of the square matrix a with
 // partial pivoting. a is not modified. It returns ErrSingular when a pivot
 // underflows relative to the matrix scale.
 func Factorize(a *Mat) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorizeInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeInto recomputes the factorization of a into f's retained buffers,
+// allocating only when f has never factorized a matrix of this size. a is
+// not modified. On error the factorization is invalid and must not be used
+// for solves. Use ReusedBuffers to observe whether the call allocated.
+func (f *LU) FactorizeInto(a *Mat) error {
 	if a.Rows != a.Cols {
 		panic("linalg: Factorize requires a square matrix")
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, n: n}
+	f.reused = f.lu != nil && f.lu.Rows == n && f.lu.Cols == n && cap(f.piv) >= n
+	if !f.reused {
+		f.lu = NewMat(n, n)
+		f.piv = make([]int, n)
+	}
+	f.piv = f.piv[:n]
+	copy(f.lu.Data, a.Data)
+	f.sign = 1
+	f.n = n
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -34,9 +63,9 @@ func Factorize(a *Mat) (*LU, error) {
 	scale := lu.NormInf()
 	if scale == 0 {
 		if n == 0 {
-			return f, nil
+			return nil
 		}
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	tol := scale * 1e-300 // absolute floor; relative conditioning handled by caller
 	for k := 0; k < n; k++ {
@@ -48,7 +77,7 @@ func Factorize(a *Mat) (*LU, error) {
 			}
 		}
 		if maxAbs <= tol || math.IsNaN(maxAbs) {
-			return nil, fmt.Errorf("%w (pivot %d, |pivot|=%.3g)", ErrSingular, k, maxAbs)
+			return fmt.Errorf("%w (pivot %d, |pivot|=%.3g)", ErrSingular, k, maxAbs)
 		}
 		if p != k {
 			rk := lu.Data[k*n : (k+1)*n]
@@ -73,20 +102,32 @@ func Factorize(a *Mat) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
+
+// ReusedBuffers reports whether the most recent FactorizeInto reused the
+// retained factor/pivot buffers instead of allocating fresh ones.
+func (f *LU) ReusedBuffers() bool { return f.reused }
 
 // Solve solves A·x = b and returns x; b is not modified.
 func (f *LU) Solve(b Vec) Vec {
-	if len(b) != f.n {
-		panic("linalg: LU.Solve dimension mismatch")
+	return f.SolveInto(NewVec(f.n), b)
+}
+
+// SolveInto solves A·x = b into dst and returns dst. dst must not alias b;
+// b is not modified. No allocation occurs.
+func (f *LU) SolveInto(dst, b Vec) Vec {
+	if len(b) != f.n || len(dst) != f.n {
+		panic("linalg: LU.SolveInto dimension mismatch")
 	}
-	x := NewVec(f.n)
+	if f.n > 0 && &dst[0] == &b[0] {
+		panic("linalg: LU.SolveInto dst must not alias b")
+	}
 	for i, p := range f.piv {
-		x[i] = b[p]
+		dst[i] = b[p]
 	}
-	f.solveInPlace(x)
-	return x
+	f.solveInPlace(dst)
+	return dst
 }
 
 // SolveT solves Aᵀ·x = b and returns x (used for adjoint systems).
@@ -116,6 +157,41 @@ func (f *LU) SolveT(b Vec) Vec {
 	return x
 }
 
+// SolveTInto solves Aᵀ·x = b into dst and returns dst. dst must not alias b.
+// It uses a lazily pinned intermediate inside the LU, so after the first call
+// the steady state is allocation-free — and therefore one LU's -Into methods
+// must not be shared across goroutines (use SolveT on shared factorizations).
+func (f *LU) SolveTInto(dst, b Vec) Vec {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic("linalg: LU.SolveTInto dimension mismatch")
+	}
+	if n > 0 && &dst[0] == &b[0] {
+		panic("linalg: LU.SolveTInto dst must not alias b")
+	}
+	if cap(f.tbuf) < n {
+		f.tbuf = NewVec(n)
+	}
+	y := f.tbuf[:n]
+	copy(y, b)
+	lu := f.lu
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			y[i] -= lu.At(k, i) * y[k]
+		}
+		y[i] /= lu.At(i, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			y[i] -= lu.At(k, i) * y[k]
+		}
+	}
+	for i, p := range f.piv {
+		dst[p] = y[i]
+	}
+	return dst
+}
+
 // solveInPlace applies forward/back substitution to a permuted RHS.
 func (f *LU) solveInPlace(x Vec) {
 	n, lu := f.n, f.lu
@@ -139,14 +215,44 @@ func (f *LU) solveInPlace(x Vec) {
 
 // SolveMat solves A·X = B column by column.
 func (f *LU) SolveMat(b *Mat) *Mat {
-	if b.Rows != f.n {
-		panic("linalg: LU.SolveMat dimension mismatch")
+	return f.SolveMatInto(NewMat(f.n, b.Cols), b)
+}
+
+// SolveMatInto solves A·X = B into dst, column by column, without allocating
+// a column copy per RHS column (the substitution runs strided in place of
+// dst). dst must not alias b; b is not modified. Bitwise identical to
+// SolveMat: each column sees the same arithmetic in the same order.
+func (f *LU) SolveMatInto(dst, b *Mat) *Mat {
+	n := f.n
+	if b.Rows != n || dst.Rows != n || dst.Cols != b.Cols {
+		panic("linalg: LU.SolveMatInto dimension mismatch")
 	}
-	x := NewMat(f.n, b.Cols)
-	for j := 0; j < b.Cols; j++ {
-		x.SetCol(j, f.Solve(b.Col(j)))
+	if n > 0 && b.Cols > 0 && &dst.Data[0] == &b.Data[0] {
+		panic("linalg: LU.SolveMatInto dst must not alias b")
 	}
-	return x
+	lu, cols := f.lu, b.Cols
+	for j := 0; j < cols; j++ {
+		for i, p := range f.piv {
+			dst.Data[i*cols+j] = b.Data[p*cols+j]
+		}
+		for i := 1; i < n; i++ {
+			s := dst.Data[i*cols+j]
+			row := lu.Data[i*n : (i+1)*n]
+			for k := 0; k < i; k++ {
+				s -= row[k] * dst.Data[k*cols+j]
+			}
+			dst.Data[i*cols+j] = s
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := dst.Data[i*cols+j]
+			row := lu.Data[i*n : (i+1)*n]
+			for k := i + 1; k < n; k++ {
+				s -= row[k] * dst.Data[k*cols+j]
+			}
+			dst.Data[i*cols+j] = s / row[i]
+		}
+	}
+	return dst
 }
 
 // Det returns det(A) from the factorization.

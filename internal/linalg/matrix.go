@@ -158,10 +158,23 @@ func (m *Mat) MulVecT(v Vec) Vec {
 
 // Mul returns m·a.
 func (m *Mat) Mul(a *Mat) *Mat {
+	return m.MulInto(NewMat(m.Rows, a.Cols), a)
+}
+
+// MulInto computes m·a into dst and returns dst. dst must not alias m or a;
+// its previous contents are discarded. Bitwise identical to Mul (same
+// accumulation order).
+func (m *Mat) MulInto(dst, a *Mat) *Mat {
 	if m.Cols != a.Rows {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %d vs %d", m.Cols, a.Rows))
 	}
-	out := NewMat(m.Rows, a.Cols)
+	if dst.Rows != m.Rows || dst.Cols != a.Cols {
+		panic("linalg: MulInto shape mismatch")
+	}
+	if len(dst.Data) > 0 && (sameData(dst, m) || sameData(dst, a)) {
+		panic("linalg: MulInto dst must not alias an operand")
+	}
+	dst.Zero()
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			mik := m.At(i, k)
@@ -169,13 +182,18 @@ func (m *Mat) Mul(a *Mat) *Mat {
 				continue
 			}
 			arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 			for j, x := range arow {
 				orow[j] += mik * x
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// sameData reports whether two matrices share their backing array's start.
+func sameData(a, b *Mat) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
 }
 
 // NormInf returns the maximum absolute row sum.

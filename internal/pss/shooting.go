@@ -129,20 +129,25 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 	dm := diag.FromContext(ctx)
 	dm.Inc(diag.NewtonSolves)
 
+	// One transient scratch serves the settle run, every shooting iteration,
+	// and the final grid pass — the monodromy propagation inside each run is
+	// where a cold shooting solve used to spend most of its allocations.
+	tsc := transient.NewScratch(sys)
+
 	// Settle onto the limit cycle and refine the period guess from the
 	// trajectory's recurrence before shooting.
 	T := opt.GuessT
 	x := x0.Clone()
 	if opt.SettleCycles > 0 {
 		sp := diag.SpanFrom(ctx, "pss.settle")
-		res, err := transient.RunCtx(ctx, sys, x, 0, float64(opt.SettleCycles)*T, transient.Options{
+		res, err := tsc.Run(ctx, x, 0, float64(opt.SettleCycles)*T, transient.Options{
 			Method: transient.Trap, Step: T / float64(opt.StepsPerPeriod),
 		})
 		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("pss: settle transient failed: %w", err)
 		}
-		x = res.Final()
+		x = res.Final().Clone() // Final aliases the run's arena; x is mutated below
 		if Tref, err := estimatePeriodFromRecurrence(res, T); err == nil {
 			T = Tref
 		}
@@ -156,10 +161,22 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 	anchor := xd.MaxAbsIndex()
 	anchorVal := x[anchor]
 
+	// Bordered Newton system, rebuilt in pinned buffers each iteration:
+	//   [ M − I   ẋ(T) ] [Δx]   [ −r ]
+	//   [ e_aᵀ      0  ] [ΔT] = [  0 ]
+	// Every entry written below is rewritten each iteration; the untouched
+	// remainder of the border row stays zero from allocation.
+	big := linalg.NewMat(n+1, n+1)
+	rhs := linalg.NewVec(n + 1)
+	dz := linalg.NewVec(n + 1)
+	r := linalg.NewVec(n)
+	fT := linalg.NewVec(n)
+	var lu linalg.LU
+
 	var lastRes float64
 	var mono *linalg.Mat
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		run, err := transient.RunCtx(ctx, sys, x, 0, T, transient.Options{
+		run, err := tsc.Run(ctx, x, 0, T, transient.Options{
 			Method:      opt.Method,
 			Step:        T / float64(opt.StepsPerPeriod),
 			Sensitivity: true,
@@ -169,39 +186,36 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 		}
 		xT := run.Final()
 		mono = run.Sens
-		r := linalg.NewVec(n)
 		r.Sub(xT, x)
 		lastRes = r.NormInf()
 		if lastRes <= opt.Tol {
-			return buildSolution(ctx, sys, x, T, anchor, opt, mono, iter)
+			return buildSolution(ctx, tsc, sys, x, T, anchor, opt, mono, iter)
 		}
 		dm.Inc(diag.NewtonIterations)
-		// Bordered Newton system:
-		//   [ M − I   ẋ(T) ] [Δx]   [ −r ]
-		//   [ e_aᵀ      0  ] [ΔT] = [  0 ]
-		big := linalg.NewMat(n+1, n+1)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				big.Set(i, j, mono.At(i, j))
 			}
 			big.Addf(i, i, -1)
 		}
-		fT := ws.XDot(xT, T)
+		ws.XDotInto(fT, xT, T)
 		for i := 0; i < n; i++ {
 			big.Set(i, n, fT[i])
 		}
 		big.Set(n, anchor, 1)
-		rhs := linalg.NewVec(n + 1)
 		for i := 0; i < n; i++ {
 			rhs[i] = -r[i]
 		}
 		rhs[n] = anchorVal - x[anchor]
-		lu, err := linalg.Factorize(big)
+		err = lu.FactorizeInto(big)
 		dm.Inc(diag.LUFactorizations)
+		if lu.ReusedBuffers() {
+			dm.Inc(diag.LUFactorizationsReused)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("pss: singular bordered Jacobian: %w", err)
 		}
-		dz := lu.Solve(rhs)
+		lu.SolveInto(dz, rhs)
 		dm.Inc(diag.LUSolves)
 		// Damping: limit the period update to ±20% per iteration.
 		if dT := dz[n]; math.Abs(dT) > 0.2*T {
@@ -241,10 +255,15 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 	defer diag.SpanFrom(ctx, "pss.shoot").End()
 	dm := diag.FromContext(ctx)
 	dm.Inc(diag.NewtonSolves)
+	tsc := transient.NewScratch(sys)
 	x := x0.Clone()
+	r := linalg.NewVec(n)
+	dx := linalg.NewVec(n)
+	jac := linalg.NewMat(n, n)
+	var lu linalg.LU
 	var lastRes float64
 	for iter := 0; iter < opt.MaxIter; iter++ {
-		run, err := transient.RunCtx(ctx, sys, x, 0, T, transient.Options{
+		run, err := tsc.Run(ctx, x, 0, T, transient.Options{
 			Method:      opt.Method,
 			Step:        T / float64(opt.StepsPerPeriod),
 			Sensitivity: true,
@@ -253,23 +272,25 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 			return nil, fmt.Errorf("pss: driven shooting transient failed: %w", err)
 		}
 		xT := run.Final()
-		r := linalg.NewVec(n)
 		r.Sub(xT, x)
 		lastRes = r.NormInf()
 		if lastRes <= opt.Tol {
-			return buildSolution(ctx, sys, x, T, -1, opt, run.Sens, iter)
+			return buildSolution(ctx, tsc, sys, x, T, -1, opt, run.Sens, iter)
 		}
 		dm.Inc(diag.NewtonIterations)
-		jac := run.Sens.Clone()
+		jac.CopyFrom(run.Sens)
 		for i := 0; i < n; i++ {
 			jac.Addf(i, i, -1)
 		}
-		lu, err := linalg.Factorize(jac)
+		err = lu.FactorizeInto(jac)
 		dm.Inc(diag.LUFactorizations)
+		if lu.ReusedBuffers() {
+			dm.Inc(diag.LUFactorizationsReused)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("pss: singular shooting Jacobian (is the circuit autonomous?): %w", err)
 		}
-		dx := lu.Solve(r)
+		lu.SolveInto(dx, r)
 		dm.Inc(diag.LUSolves)
 		for i := 0; i < n; i++ {
 			x[i] -= dx[i]
@@ -279,11 +300,13 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 }
 
 // buildSolution integrates one final period on the converged orbit, records
-// the uniform grid, and computes Floquet multipliers.
-func buildSolution(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T float64, anchor int, opt Options, mono *linalg.Mat, iters int) (*Solution, error) {
+// the uniform grid, and computes Floquet multipliers. The grid run goes
+// through the caller's transient scratch; the returned Solution retains only
+// per-run storage (run.X's arena and run.Sens belong to that run alone).
+func buildSolution(ctx context.Context, tsc *transient.Scratch, sys *circuit.System, x0 linalg.Vec, T float64, anchor int, opt Options, mono *linalg.Mat, iters int) (*Solution, error) {
 	defer diag.SpanFrom(ctx, "pss.grid").End()
 	k := opt.StepsPerPeriod
-	run, err := transient.RunCtx(ctx, sys, x0, 0, T, transient.Options{
+	run, err := tsc.Run(ctx, x0, 0, T, transient.Options{
 		Method:      opt.Method,
 		Step:        T / float64(k),
 		Sensitivity: true,

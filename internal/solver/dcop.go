@@ -28,5 +28,7 @@ func DCOperatingPointCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec
 	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat, gminScale, srcScale float64) {
 		ws.EvalScaled(x, t, f, j, gminScale, srcScale)
 	}
-	return DCSolveCtx(ctx, fn, x0, DefaultOptions())
+	// One scratch serves the whole escalation ladder; it dies with this call,
+	// so the returned alias into it is safely caller-owned.
+	return DCSolveWith(ctx, fn, x0, DefaultOptions(), NewScratch(sys.N))
 }

@@ -65,6 +65,49 @@ type Stats struct {
 // ErrNoConvergence is returned when the iteration stalls.
 var ErrNoConvergence = errors.New("solver: Newton iteration did not converge")
 
+// Scratch holds every buffer a Newton solve needs — iterate, residual,
+// Jacobian, line-search trials, step, and a pinned LU factorization — so a
+// warm solve allocates nothing. One Scratch serves one goroutine; give each
+// worker its own (they are cheap, and NewScratch is the only allocation
+// site). A nil *Scratch passed to SolveWith/DCSolveWith allocates a private
+// one, which is exactly the old SolveCtx behavior.
+type Scratch struct {
+	x, f, xTry, fTry, dx linalg.Vec
+	j                    *linalg.Mat
+	lu                   linalg.LU
+	pinned, reported     int64 // bytes pinned / bytes already counted on metrics
+}
+
+// NewScratch returns a Scratch sized for n unknowns.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{}
+	s.ensure(n)
+	return s
+}
+
+// ensure (re)sizes the buffers for n unknowns; a warm same-size call is free.
+func (s *Scratch) ensure(n int) {
+	if s.j != nil && s.j.Rows == n && len(s.x) == n {
+		return
+	}
+	s.x = linalg.NewVec(n)
+	s.f = linalg.NewVec(n)
+	s.xTry = linalg.NewVec(n)
+	s.fTry = linalg.NewVec(n)
+	s.dx = linalg.NewVec(n)
+	s.j = linalg.NewMat(n, n)
+	s.pinned = int64(8 * (5*n + n*n + 2*n*n)) // vectors + Jacobian + LU factors (once factorized)
+}
+
+// countPinned reports not-yet-counted pinned bytes on m (once per scratch).
+func (s *Scratch) countPinned(m *diag.Metrics) {
+	if m == nil || s.pinned == s.reported {
+		return
+	}
+	m.Add(diag.ScratchBytesPinned, s.pinned-s.reported)
+	s.reported = s.pinned
+}
+
 // Solve runs damped Newton–Raphson from x0 and returns the solution.
 func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
 	return SolveCtx(context.Background(), fn, x0, opt)
@@ -73,19 +116,48 @@ func Solve(fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
 // SolveCtx is Solve with diagnostics: when ctx carries a *diag.Metrics, the
 // solve counts its iterations, line-search backtracks and LU work there.
 func SolveCtx(ctx context.Context, fn Func, x0 linalg.Vec, opt Options) (linalg.Vec, Stats, error) {
+	return SolveWith(ctx, fn, x0, opt, nil)
+}
+
+// SolveWith is SolveCtx running entirely inside sc: a warm scratch makes the
+// steady-state solve allocation-free. The returned vector ALIASES sc's
+// iterate buffer — it is valid until the next solve through the same
+// scratch; clone it to retain. A nil sc allocates a private scratch (making
+// the returned vector caller-owned, as SolveCtx always was).
+//
+// The line search evaluates trial points with a nil Jacobian (residual
+// only); once a step is accepted, f and J are re-evaluated together at the
+// accepted point, so the next factorization always sees the Jacobian of the
+// accepted state — never that of a rejected backtracking trial.
+func SolveWith(ctx context.Context, fn Func, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, Stats, error) {
 	m := diag.FromContext(ctx)
 	n := len(x0)
 	opt = opt.withDefaults()
 	m.Inc(diag.NewtonSolves)
-	x := x0.Clone()
-	f := linalg.NewVec(n)
-	j := linalg.NewMat(n, n)
-	xTry := linalg.NewVec(n)
-	fTry := linalg.NewVec(n)
+	if sc == nil {
+		sc = NewScratch(n)
+	} else {
+		sc.ensure(n)
+	}
+	sc.countPinned(m)
+	x, f, j := sc.x, sc.f, sc.j
+	xTry, fTry, dx := sc.xTry, sc.fTry, sc.dx
+	copy(x, x0) // x0 may alias sc.x (continuation chains); copy is then a no-op
 
 	fn(x, f, j)
 	res := f.NormInf()
 	st := Stats{Residual: res}
+	// NormInf cannot flag NaN (NaN loses every comparison, reading as 0 —
+	// i.e. "converged"), so scan the entries: a non-finite initial residual
+	// means the seed is outside the model's domain. Factorizing the matching
+	// garbage Jacobian would surface as a baffling ErrSingular — or worse,
+	// an all-NaN residual would silently pass the convergence test; fail
+	// fast with the honest diagnosis instead.
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return x, st, fmt.Errorf("%w: initial residual is not finite (f[%d] = %g)", ErrNoConvergence, i, v)
+		}
+	}
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		if res <= opt.AbsTol {
 			st.Converged = true
@@ -93,12 +165,15 @@ func SolveCtx(ctx context.Context, fn Func, x0 linalg.Vec, opt Options) (linalg.
 			st.Residual = res
 			return x, st, nil
 		}
-		lu, err := linalg.Factorize(j)
+		err := sc.lu.FactorizeInto(j)
 		m.Inc(diag.LUFactorizations)
+		if sc.lu.ReusedBuffers() {
+			m.Inc(diag.LUFactorizationsReused)
+		}
 		if err != nil {
 			return x, st, fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, err)
 		}
-		dx := lu.Solve(f)
+		sc.lu.SolveInto(dx, f)
 		m.Inc(diag.LUSolves)
 		dx.Scale(-1)
 		if opt.MaxStep > 0 {
@@ -107,14 +182,15 @@ func SolveCtx(ctx context.Context, fn Func, x0 linalg.Vec, opt Options) (linalg.
 			}
 		}
 		// Line search: halve the step until the residual decreases (or accept
-		// a full step when damping is off).
+		// a full step when damping is off). Trials are residual-only — a
+		// rejected candidate costs an f evaluation, not a Jacobian assembly.
 		lambda := 1.0
 		accepted := false
 		for ls := 0; ls < 12; ls++ {
 			for i := range xTry {
 				xTry[i] = x[i] + lambda*dx[i]
 			}
-			fn(xTry, fTry, j) // Jacobian refreshed at the candidate point
+			fn(xTry, fTry, nil)
 			newRes := fTry.NormInf()
 			if opt.NoDamping || newRes < res || newRes <= opt.AbsTol || math.IsNaN(res) {
 				if math.IsNaN(newRes) || math.IsInf(newRes, 0) {
@@ -147,6 +223,14 @@ func SolveCtx(ctx context.Context, fn Func, x0 linalg.Vec, opt Options) (linalg.
 			st.Residual = res
 			return x, st, nil
 		}
+		if res > opt.AbsTol {
+			// Refresh f and J together at the ACCEPTED point. Historically the
+			// next factorization used whatever Jacobian the last line-search
+			// trial left behind — the Jacobian of a rejected candidate when
+			// backtracking fired — which was both slower to converge and
+			// subtly wrong.
+			fn(x, f, j)
+		}
 	}
 	st.Residual = res
 	if res <= 10*opt.AbsTol { // close enough for continuation purposes
@@ -170,18 +254,31 @@ func DCSolve(fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
 
 // DCSolveCtx is DCSolve with cost diagnostics carried by ctx.
 func DCSolveCtx(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options) (linalg.Vec, error) {
+	return DCSolveWith(ctx, fn, x0, opt, nil)
+}
+
+// DCSolveWith is DCSolveCtx with every Newton stage of the escalation ladder
+// running through one reusable scratch. Like SolveWith, the returned vector
+// aliases sc when a scratch is supplied; a nil sc allocates a private one.
+func DCSolveWith(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, error) {
 	plain := func(g, s float64) Func {
 		return func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) { fn(x, f, j, g, s) }
 	}
-	if x, _, err := SolveCtx(ctx, plain(1, 1), x0, opt); err == nil {
+	if sc == nil {
+		sc = NewScratch(len(x0))
+	}
+	// x0 may alias sc.x from a previous solve; the continuation restarts below
+	// need the pristine seed after the scratch has been overwritten.
+	orig := x0.Clone()
+	if x, _, err := SolveWith(ctx, plain(1, 1), orig, opt, sc); err == nil {
 		return x, nil
 	}
 	// Gmin stepping: start with heavy shunts and relax geometrically.
-	x := x0.Clone()
+	x := orig
 	ok := true
 	for _, g := range []float64{1e9, 1e7, 1e5, 1e3, 1e2, 10, 1} {
 		var err error
-		x, _, err = SolveCtx(ctx, plain(g, 1), x, opt)
+		x, _, err = SolveWith(ctx, plain(g, 1), x, opt, sc)
 		if err != nil {
 			ok = false
 			break
@@ -191,10 +288,10 @@ func DCSolveCtx(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options) 
 		return x, nil
 	}
 	// Source stepping: ramp sources from 0.
-	x = x0.Clone()
+	x = orig
 	for _, s := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
 		var err error
-		x, _, err = SolveCtx(ctx, plain(1, s), x, opt)
+		x, _, err = SolveWith(ctx, plain(1, s), x, opt, sc)
 		if err != nil {
 			return nil, fmt.Errorf("solver: DC continuation failed at source scale %g: %w", s, err)
 		}

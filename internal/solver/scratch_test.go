@@ -1,0 +1,227 @@
+package solver_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+// cubicFn is a mildly nonlinear diagonal system f_i = x_i + x_i³ − b_i whose
+// evaluation allocates nothing — the probe for scratch allocation tests.
+func cubicFn(b linalg.Vec) solver.Func {
+	return func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		for i := range x {
+			f[i] = x[i] + x[i]*x[i]*x[i] - b[i]
+			if j != nil {
+				j.Set(i, i, 1+3*x[i]*x[i])
+			}
+		}
+	}
+}
+
+func TestWarmScratchNewtonZeroAllocs(t *testing.T) {
+	const n = 12
+	b := linalg.NewVec(n)
+	x0 := linalg.NewVec(n)
+	for i := range b {
+		b[i] = 0.5 + 0.1*float64(i)
+		x0[i] = 0.1
+	}
+	fn := cubicFn(b)
+	sc := solver.NewScratch(n)
+	ctx := context.Background()
+	// Warm up once (pins the LU factors on first factorization).
+	if _, st, err := solver.SolveWith(ctx, fn, x0, solver.Options{}, sc); err != nil || !st.Converged {
+		t.Fatalf("warm-up solve: converged=%v err=%v", st.Converged, err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := solver.SolveWith(ctx, fn, x0, solver.Options{}, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm scratch Newton solve allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+func TestScratchSolveMatchesScratchless(t *testing.T) {
+	const n = 6
+	b := linalg.NewVec(n)
+	x0 := linalg.NewVec(n)
+	for i := range b {
+		b[i] = 1 + float64(i)
+	}
+	fn := cubicFn(b)
+	ctx := context.Background()
+	plain, _, err := solver.SolveCtx(ctx, fn, x0, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratched, _, err := solver.SolveWith(ctx, fn, x0, solver.Options{}, solver.NewScratch(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != scratched[i] {
+			t.Fatalf("iterate %d differs: %x vs %x (scratch changed arithmetic)", i, plain[i], scratched[i])
+		}
+	}
+}
+
+func TestInitialResidualNotFiniteBailsOut(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+			f[0] = bad
+			if j != nil {
+				j.Set(0, 0, bad)
+			}
+		}
+		_, _, err := solver.Solve(fn, linalg.Vec{0}, solver.DefaultOptions())
+		if err == nil {
+			t.Fatalf("bad=%g: expected an error", bad)
+		}
+		if !errors.Is(err, solver.ErrNoConvergence) {
+			t.Errorf("bad=%g: error %v is not ErrNoConvergence", bad, err)
+		}
+		if errors.Is(err, linalg.ErrSingular) {
+			t.Errorf("bad=%g: non-finite residual misdiagnosed as a singular Jacobian: %v", bad, err)
+		}
+	}
+}
+
+// stiffResid is the saturating transfer characteristic of a MOSFET stage
+// driven deep into its flat region: from a far start the Jacobian is nearly
+// zero, the clamped Newton step overshoots the active region, and the line
+// search must backtrack several times per iteration.
+func stiffResid(x float64) float64 { return math.Tanh(5*x) - 0.5 }
+func stiffSlope(x float64) float64 {
+	th := math.Tanh(5 * x)
+	return 5 * (1 - th*th)
+}
+
+// TestLineSearchTrialsSkipJacobian pins the backtracking contract: trial
+// points are evaluated residual-only (nil Jacobian), every Jacobian-carrying
+// evaluation happens at a point the iteration keeps, and there is at most
+// one Jacobian evaluation per accepted iteration — so a factorization can
+// never see the Jacobian of a rejected backtracking candidate.
+func TestLineSearchTrialsSkipJacobian(t *testing.T) {
+	var jacEvals, trialEvals int
+	var lastKept float64 // most recent Jacobian point; must track the iterate
+	fn := func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+		f[0] = stiffResid(x[0])
+		if j != nil {
+			j.Set(0, 0, stiffSlope(x[0]))
+			jacEvals++
+			lastKept = x[0]
+		} else {
+			trialEvals++
+		}
+	}
+	x, st, err := solver.Solve(fn, linalg.Vec{2}, solver.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Atanh(0.5) / 5
+	if math.Abs(x[0]-want) > 1e-8 {
+		t.Fatalf("root %g, want %g", x[0], want)
+	}
+	if trialEvals <= st.Iterations {
+		t.Fatal("test premise broken: the stiff corner no longer triggers backtracking")
+	}
+	// Freshness invariant: at most one Jacobian evaluation per accepted
+	// iteration (plus the initial one) — never one per line-search trial.
+	if jacEvals > st.Iterations+1 {
+		t.Errorf("%d Jacobian evaluations for %d iterations: Jacobians evaluated during backtracking",
+			jacEvals, st.Iterations)
+	}
+	// The final Jacobian point must be an accepted iterate near the solution
+	// (the refresh skips the last, already-converged step, so allow one
+	// quadratic-phase Newton step of slack). A stale-trial Jacobian would
+	// leave lastKept at a rejected λ<1 candidate far from the root.
+	if jacEvals > 1 && math.Abs(lastKept-x[0]) > 1e-3 {
+		t.Errorf("last Jacobian evaluated at %g, final iterate %g", lastKept, x[0])
+	}
+}
+
+// staleNewton mimics the historical solver: f AND J evaluated at every
+// line-search trial, so each iteration pays a full Jacobian assembly per
+// backtrack. The regression test below compares its Jacobian-work count
+// against the current solver on the same stiff corner.
+func staleNewton(fn solver.Func, x0 linalg.Vec, opt solver.Options) (linalg.Vec, int, error) {
+	n := len(x0)
+	x := x0.Clone()
+	f := linalg.NewVec(n)
+	j := linalg.NewMat(n, n)
+	xTry := linalg.NewVec(n)
+	fTry := linalg.NewVec(n)
+	fn(x, f, j)
+	res := f.NormInf()
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		if res <= opt.AbsTol {
+			return x, iter, nil
+		}
+		lu, err := linalg.Factorize(j)
+		if err != nil {
+			return x, iter, err
+		}
+		dx := lu.Solve(f)
+		dx.Scale(-1)
+		if mx := dx.NormInf(); mx > opt.MaxStep {
+			dx.Scale(opt.MaxStep / mx)
+		}
+		lambda := 1.0
+		for ls := 0; ls < 12; ls++ {
+			for i := range xTry {
+				xTry[i] = x[i] + lambda*dx[i]
+			}
+			fn(xTry, fTry, j) // the historical staleness: J at every trial
+			if r := fTry.NormInf(); r < res || r <= opt.AbsTol {
+				break
+			}
+			lambda /= 2
+		}
+		x.CopyFrom(xTry)
+		f.CopyFrom(fTry)
+		res = fTry.NormInf()
+	}
+	return x, opt.MaxIter, errors.New("stale reference did not converge")
+}
+
+func TestLineSearchJacobianWorkRegression(t *testing.T) {
+	mkFn := func(jacEvals *int) solver.Func {
+		return func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+			f[0] = stiffResid(x[0])
+			if j != nil {
+				*jacEvals++
+				j.Set(0, 0, stiffSlope(x[0]))
+			}
+		}
+	}
+	opt := solver.DefaultOptions()
+
+	var staleJacs int
+	if _, _, err := staleNewton(mkFn(&staleJacs), linalg.Vec{2}, opt); err != nil {
+		t.Fatalf("stale reference: %v", err)
+	}
+	var freshJacs int
+	_, st, err := solver.Solve(mkFn(&freshJacs), linalg.Vec{2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("current solver did not converge on the stiff corner")
+	}
+	// The corner backtracks hard, so the per-trial-Jacobian reference must do
+	// strictly more Jacobian assemblies than the residual-only line search.
+	if freshJacs >= staleJacs {
+		t.Errorf("current solver evaluated %d Jacobians, stale reference %d — no win from nil-Jacobian trials",
+			freshJacs, staleJacs)
+	}
+	if freshJacs > st.Iterations+1 {
+		t.Errorf("%d Jacobian evaluations for %d iterations", freshJacs, st.Iterations)
+	}
+}

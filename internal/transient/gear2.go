@@ -17,9 +17,9 @@ import (
 // bootstrapped with one Backward-Euler step. L-stability makes it the
 // method of choice for circuits whose trapezoidal solutions ring on
 // switching events (the transmission-gate edges of the clocked FSM).
-// Adaptive stepping is rejected by RunCtx (ErrGear2Adaptive) before this
-// runs.
-func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
+// Adaptive stepping is rejected by Scratch.Run (ErrGear2Adaptive) before
+// this runs.
+func (sc *Scratch) runGear2(ctx context.Context, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
 	defer diag.SpanFrom(ctx, "transient").End()
 	dm := diag.FromContext(ctx)
 	if opt.Record <= 0 {
@@ -31,65 +31,68 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 	if opt.MaxNewton == 0 {
 		opt.MaxNewton = 40
 	}
+	sys := sc.sys
 	n := sys.N
 	h := opt.Step
 	res := &Result{}
-	x := x0.Clone()
+	arena := &vecArena{n: n} // owned by res; never reused across runs
+	x := sc.x
+	x.CopyFrom(x0)
 	res.T = append(res.T, t0)
-	res.X = append(res.X, x.Clone())
+	res.X = append(res.X, arena.clone(x))
 
-	var sens, sensPrev *linalg.Mat
+	// Sensitivity state is freshly allocated per run (sens ends up in the
+	// caller-retained Result); only the propagation *scratch* is pinned.
+	var sens, sensPrev, sensNext *linalg.Mat
 	if opt.Sensitivity {
 		sens = linalg.Eye(n)
+		sensPrev = linalg.NewMat(n, n)
+		sensNext = linalg.NewMat(n, n)
 	}
 
 	// Bootstrap: one BE step (θ-stepper with BE).
 	beOpt := opt
 	beOpt.Method = BE
-	st := newStepper(sys, beOpt, dm)
-	xPrev := x.Clone()
+	st := sc.st
+	st.bind(beOpt, dm)
+	sc.countPinned(dm)
+	xPrev := sc.prev
+	xPrev.CopyFrom(x)
 	{
 		hh := h
 		if t0+hh > t1 {
 			hh = t1 - t0
 		}
-		x1, iters, err := st.step(x, x.Clone(), t0, hh)
+		x1, iters, err := st.step(x, x, t0, hh)
 		if err != nil {
 			return res, fmt.Errorf("transient: Gear2 bootstrap: %w", err)
 		}
 		res.NewtonIters += iters
 		if opt.Sensitivity {
-			m, err := st.stepSensitivity(x, x1, t0, hh)
-			if err != nil {
+			sensPrev.CopyFrom(sens)
+			if err := st.stepSensitivity(x, x1, t0, hh, sens); err != nil {
 				return res, err
 			}
-			sensPrev = sens
-			sens = m.Mul(sens)
 		}
 		xPrev.CopyFrom(x)
 		x.CopyFrom(x1)
 		res.Steps++
 		dm.Inc(diag.TransientSteps)
 		res.T = append(res.T, t0+hh)
-		res.X = append(res.X, x.Clone())
+		res.X = append(res.X, arena.clone(x))
 		if t0+hh >= t1 {
 			res.Sens = sens
 			return res, nil
 		}
 	}
 
-	gws := sys.NewWorkspace()
-	gws.SetMetrics(dm)
-	g := &gearStepper{
-		sys:   sys,
-		ws:    gws,
-		opt:   opt,
-		m:     dm,
-		f1:    linalg.NewVec(n),
-		jac:   linalg.NewMat(n, n),
-		resid: linalg.NewVec(n),
-		sysJ:  linalg.NewMat(n, n),
+	if sc.g == nil {
+		sc.g = newGearStepper(sys)
+		sc.pinned += int64(8 * (3*n + 3*n*n + n*n)) // vectors, mats, LU factors
 	}
+	g := sc.g
+	g.bind(opt, dm)
+	sc.countPinned(dm)
 	t := t0 + h
 	sinceRecord := 0 // the bootstrap point above was recorded
 	for t < t1-1e-15 {
@@ -101,18 +104,16 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 			// BDF2 coefficients assume equal steps; finish the interval with
 			// a BE step instead of a mismatched one.
 			hh = t1 - t
-			x1, iters, err := st.step(x, x.Clone(), t, hh)
+			x1, iters, err := st.step(x, x, t, hh)
 			if err != nil {
 				return res, fmt.Errorf("transient: Gear2 tail step: %w", err)
 			}
 			res.NewtonIters += iters
 			if opt.Sensitivity {
-				m, err := st.stepSensitivity(x, x1, t, hh)
-				if err != nil {
+				sensPrev.CopyFrom(sens)
+				if err := st.stepSensitivity(x, x1, t, hh, sens); err != nil {
 					return res, err
 				}
-				sensPrev = sens
-				sens = m.Mul(sens)
 			}
 			xPrev.CopyFrom(x)
 			x.CopyFrom(x1)
@@ -120,7 +121,7 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 			res.Steps++
 			dm.Inc(diag.TransientSteps)
 			res.T = append(res.T, t)
-			res.X = append(res.X, x.Clone())
+			res.X = append(res.X, arena.clone(x))
 			sinceRecord = 0 // recorded above; keep the post-loop flush honest
 			break
 		}
@@ -130,14 +131,12 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 		}
 		res.NewtonIters += iters
 		if opt.Sensitivity {
-			m, err := g.sensFactors(x1, t, hh)
-			if err != nil {
+			if err := g.sensFactors(x1, t, hh); err != nil {
 				return res, err
 			}
 			// S_{n+1} = M⁻¹·(4/(2h)·C·S_n − 1/(2h)·C·S_{n−1})
-			next := combineGearSens(sys, m, sens, sensPrev, hh)
-			sensPrev = sens
-			sens = next
+			g.combineSens(sensNext, sens, sensPrev, hh)
+			sens, sensPrev, sensNext = sensNext, sens, sensPrev
 		}
 		xPrev.CopyFrom(x)
 		x.CopyFrom(x1)
@@ -147,21 +146,23 @@ func runGear2(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 fl
 		sinceRecord++
 		if sinceRecord >= opt.Record || t >= t1 {
 			res.T = append(res.T, t)
-			res.X = append(res.X, x.Clone())
+			res.X = append(res.X, arena.clone(x))
 			sinceRecord = 0
 		}
 	}
-	// Flush the decimation tail (see RunCtx): never drop the final accepted
-	// state when Record > 1 and the loop exits inside the guard band.
+	// Flush the decimation tail (see Scratch.Run): never drop the final
+	// accepted state when Record > 1 and the loop exits inside the guard band.
 	if sinceRecord > 0 {
 		res.T = append(res.T, t)
-		res.X = append(res.X, x.Clone())
+		res.X = append(res.X, arena.clone(x))
 	}
 	res.Sens = sens
 	return res, nil
 }
 
-// gearStepper solves one BDF2 step with Newton.
+// gearStepper solves one BDF2 step with Newton. Like stepper, all Newton/LU
+// and sensitivity-combination buffers are pinned so the steady-state step is
+// allocation-free.
 type gearStepper struct {
 	sys   *circuit.System
 	ws    *circuit.Workspace
@@ -171,13 +172,40 @@ type gearStepper struct {
 	jac   *linalg.Mat
 	resid linalg.Vec
 	sysJ  *linalg.Mat
+	dx    linalg.Vec
+	x1    linalg.Vec // the corrector iterate; step's return value aliases it
+	lu    linalg.LU
+	// Sensitivity combination scratch (lazy).
+	tmp1, tmp2 *linalg.Mat
+	slu        linalg.LU
+}
+
+func newGearStepper(sys *circuit.System) *gearStepper {
+	n := sys.N
+	return &gearStepper{
+		sys:   sys,
+		ws:    sys.NewWorkspace(),
+		f1:    linalg.NewVec(n),
+		jac:   linalg.NewMat(n, n),
+		resid: linalg.NewVec(n),
+		sysJ:  linalg.NewMat(n, n),
+		dx:    linalg.NewVec(n),
+		x1:    linalg.NewVec(n),
+	}
+}
+
+// bind points the stepper at this run's options and metrics.
+func (g *gearStepper) bind(opt Options, m *diag.Metrics) {
+	g.opt = opt
+	g.m = m
+	g.ws.SetMetrics(m)
 }
 
 func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, error) {
 	n := g.sys.N
 	c := g.sys.C
 	// Predictor: linear extrapolation.
-	x1 := linalg.NewVec(n)
+	x1 := g.x1
 	for i := range x1 {
 		x1[i] = 2*x0[i] - xm1[i]
 	}
@@ -198,12 +226,15 @@ func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, e
 		for i := 0; i < n*n; i++ {
 			g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
 		}
-		lu, err := linalg.Factorize(g.jac)
+		err := g.lu.FactorizeInto(g.jac)
 		g.m.Inc(diag.LUFactorizations)
+		if g.lu.ReusedBuffers() {
+			g.m.Inc(diag.LUFactorizationsReused)
+		}
 		if err != nil {
 			return nil, iter, fmt.Errorf("transient: singular Gear2 matrix: %w", err)
 		}
-		dx := lu.Solve(g.resid)
+		dx := g.lu.SolveInto(g.dx, g.resid)
 		g.m.Inc(diag.LUSolves)
 		g.m.Inc(diag.NewtonIterations)
 		if m := dx.NormInf(); m > 2 {
@@ -219,28 +250,39 @@ func (g *gearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, e
 	return nil, g.opt.MaxNewton, errors.New("transient: Gear2 Newton did not converge")
 }
 
-// sensFactors returns the factorized iteration matrix at the accepted point.
-func (g *gearStepper) sensFactors(x1 linalg.Vec, t, h float64) (*linalg.LU, error) {
+// sensFactors factorizes the iteration matrix at the accepted point into the
+// pinned sensitivity LU.
+func (g *gearStepper) sensFactors(x1 linalg.Vec, t, h float64) error {
 	n := g.sys.N
 	c := g.sys.C
 	g.ws.EvalFJ(x1, t+h, g.f1, g.sysJ)
 	for i := 0; i < n*n; i++ {
 		g.jac.Data[i] = 3*c.Data[i]/(2*h) + g.sysJ.Data[i]
 	}
+	err := g.slu.FactorizeInto(g.jac)
 	g.m.Inc(diag.LUFactorizations)
-	return linalg.Factorize(g.jac)
+	if g.slu.ReusedBuffers() {
+		g.m.Inc(diag.LUFactorizationsReused)
+	}
+	if err != nil {
+		return fmt.Errorf("transient: singular sensitivity matrix: %w", err)
+	}
+	return nil
 }
 
-// combineGearSens propagates the monodromy through one BDF2 step.
-func combineGearSens(sys *circuit.System, lu *linalg.LU, sN, sNm1 *linalg.Mat, h float64) *linalg.Mat {
-	n := sys.N
-	rhs := linalg.NewMat(n, n)
-	// rhs = C·(4·S_n − S_{n−1})/(2h)
-	tmp := linalg.NewMat(n, n)
-	for i := range tmp.Data {
-		tmp.Data[i] = (4*sN.Data[i] - sNm1.Data[i]) / (2 * h)
+// combineSens propagates the monodromy through one BDF2 step, writing
+// M⁻¹·C·(4·S_n − S_{n−1})/(2h) into dst using the pinned combination
+// scratch. Bitwise identical to the historical allocate-per-step version.
+func (g *gearStepper) combineSens(dst, sN, sNm1 *linalg.Mat, h float64) {
+	n := g.sys.N
+	if g.tmp1 == nil {
+		g.tmp1 = linalg.NewMat(n, n)
+		g.tmp2 = linalg.NewMat(n, n)
 	}
-	prod := sys.C.Mul(tmp)
-	copy(rhs.Data, prod.Data)
-	return lu.SolveMat(rhs)
+	for i := range g.tmp1.Data {
+		g.tmp1.Data[i] = (4*sN.Data[i] - sNm1.Data[i]) / (2 * h)
+	}
+	g.sys.C.MulInto(g.tmp2, g.tmp1)
+	g.slu.SolveMatInto(dst, g.tmp2)
+	g.m.Add(diag.LUSolves, int64(n))
 }

@@ -6,7 +6,11 @@
 //
 // This is the engine the paper contrasts its phase macromodels against:
 // accurate but expensive, because oscillator phase drifts force tiny time
-// steps over thousands of cycles.
+// steps over thousands of cycles. Expensive must mean arithmetic, not
+// garbage: all per-step state (Newton buffers, LU factors, sensitivity
+// matrices) lives in a reusable Scratch, and recorded trajectories are
+// carved from chunked arenas, so the steady-state integration loop does not
+// allocate.
 package transient
 
 import (
@@ -121,17 +125,93 @@ var ErrUnsupported = errors.New("transient: unsupported option combination")
 // wraps ErrUnsupported.
 var ErrGear2Adaptive = fmt.Errorf("%w: Gear2 supports fixed steps only (Adaptive must be false)", ErrUnsupported)
 
+// vecArena hands out n-vectors carved from chunked backing arrays, so
+// recording a trajectory costs one allocation per arenaChunk points instead
+// of one per point. An arena belongs to exactly one Result: its chunks are
+// never reclaimed or reused, so the vectors stay valid for the Result's
+// lifetime — but they share backing storage, so callers must never append
+// to or re-slice a Result.X entry.
+type vecArena struct {
+	n   int
+	buf []float64
+}
+
+// arenaChunk is the number of vectors allocated per arena chunk.
+const arenaChunk = 128
+
+// clone copies x into freshly carved arena storage.
+func (a *vecArena) clone(x linalg.Vec) linalg.Vec {
+	if len(a.buf) < a.n {
+		a.buf = make([]float64, a.n*arenaChunk)
+	}
+	v := linalg.Vec(a.buf[:a.n:a.n])
+	a.buf = a.buf[a.n:]
+	copy(v, x)
+	return v
+}
+
+// Scratch bundles every reusable buffer a transient integration needs — the
+// per-call circuit.Workspace, the corrector's Newton/LU scratch, and the
+// sensitivity-propagation matrices — so repeated runs on one System (the
+// shooting method's inner loop, ensemble members, benchmark iterations)
+// allocate only trajectory storage.
+//
+// A Scratch is NOT safe for concurrent use: like circuit.Workspace, one
+// Scratch serves one goroutine. Concurrent integrations of a shared System
+// each take their own Scratch (or call RunCtx, which makes a private one).
+// Results never alias scratch memory — trajectories live in per-run arenas
+// and sensitivity matrices are freshly allocated per run — so a Result
+// outlives any reuse of the Scratch that produced it.
+type Scratch struct {
+	sys              *circuit.System
+	st               *stepper
+	g                *gearStepper // lazy: Gear2 runs only
+	x, pred, prev    linalg.Vec
+	pinned, reported int64
+}
+
+// NewScratch returns a Scratch for integrating sys.
+func NewScratch(sys *circuit.System) *Scratch {
+	n := sys.N
+	sc := &Scratch{
+		sys:  sys,
+		st:   newStepper(sys),
+		x:    linalg.NewVec(n),
+		pred: linalg.NewVec(n),
+		prev: linalg.NewVec(n),
+	}
+	sc.pinned = int64(8 * (3*n + 4*n + 3*n*n + n*n)) // run+stepper vectors, stepper mats, LU
+	return sc
+}
+
+// countPinned reports not-yet-counted pinned bytes on m (once per scratch,
+// plus deltas when lazy sensitivity/Gear2 buffers appear).
+func (sc *Scratch) countPinned(m *diag.Metrics) {
+	if m == nil || sc.pinned == sc.reported {
+		return
+	}
+	m.Add(diag.ScratchBytesPinned, sc.pinned-sc.reported)
+	sc.reported = sc.pinned
+}
+
 // Run integrates the circuit ODE C·ẋ = −f(x,t) from x0 over [t0, t1].
 //
 // Run is safe to call concurrently on one shared System: every piece of
-// integration scratch lives in a per-call circuit.Workspace.
+// integration scratch lives in a per-call Scratch.
 func Run(sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
 	return RunCtx(context.Background(), sys, x0, t0, t1, opt)
 }
 
 // RunCtx is Run with cancellation: the integration checks ctx between steps
-// and returns ctx.Err() (with the partial trajectory) once canceled.
+// and returns ctx.Err() (with the partial trajectory) once canceled. It
+// integrates through a private Scratch; loops that re-run transients on one
+// System should hold a Scratch and call its Run method instead.
 func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
+	return NewScratch(sys).Run(ctx, x0, t0, t1, opt)
+}
+
+// Run is RunCtx executing inside sc's reusable buffers.
+func (sc *Scratch) Run(ctx context.Context, x0 linalg.Vec, t0, t1 float64, opt Options) (*Result, error) {
 	if opt.Step <= 0 {
 		return nil, errors.New("transient: Options.Step must be positive")
 	}
@@ -139,7 +219,7 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		if opt.Adaptive {
 			return nil, ErrGear2Adaptive
 		}
-		return runGear2(ctx, sys, x0, t0, t1, opt)
+		return sc.runGear2(ctx, x0, t0, t1, opt)
 	}
 	defer diag.SpanFrom(ctx, "transient").End()
 	if opt.Record <= 0 {
@@ -161,23 +241,30 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		opt.MaxStep = opt.Step * 100
 	}
 
+	sys := sc.sys
 	n := sys.N
 	dm := diag.FromContext(ctx)
-	st := newStepper(sys, opt, dm)
+	st := sc.st
+	st.bind(opt, dm)
+	sc.countPinned(dm)
 	res := &Result{}
-	x := x0.Clone()
+	arena := &vecArena{n: n} // owned by res; never reused across runs
+	x := sc.x
+	x.CopyFrom(x0)
 	t := t0
 	res.T = append(res.T, t)
-	res.X = append(res.X, x.Clone())
+	res.X = append(res.X, arena.clone(x))
 
 	var sens *linalg.Mat
 	if opt.Sensitivity {
-		sens = linalg.Eye(n)
+		sens = linalg.Eye(n) // caller-owned via res.Sens; propagated in place
 	}
 
 	h := opt.Step
 	sinceRecord := 0
-	prev := x.Clone() // for the AB2-style predictor
+	prev := sc.prev // for the AB2-style predictor
+	prev.CopyFrom(x)
+	pred := sc.pred
 	hPrev := 0.0
 
 	for t < t1-1e-15*math.Max(1, math.Abs(t1)) {
@@ -189,7 +276,7 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		}
 		hTaken := h
 		// Predictor: linear extrapolation once history exists.
-		pred := x.Clone()
+		pred.CopyFrom(x)
 		if hPrev > 0 {
 			r := h / hPrev
 			for i := 0; i < n; i++ {
@@ -235,11 +322,14 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		}
 
 		if opt.Sensitivity {
-			m, err := st.stepSensitivity(x, xNew, t, hTaken)
-			if err != nil {
+			if err := st.stepSensitivity(x, xNew, t, hTaken, sens); err != nil {
 				return res, err
 			}
-			sens = m.Mul(sens)
+			if !st.sensCounted && st.sj0 != nil {
+				st.sensCounted = true
+				sc.pinned += int64(8 * 5 * n * n) // 4 mats + sens LU factors
+				sc.countPinned(dm)
+			}
 		}
 
 		prev.CopyFrom(x)
@@ -251,7 +341,7 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 		sinceRecord++
 		if sinceRecord >= opt.Record || t >= t1 {
 			res.T = append(res.T, t)
-			res.X = append(res.X, x.Clone())
+			res.X = append(res.X, arena.clone(x))
 			sinceRecord = 0
 		}
 	}
@@ -261,15 +351,16 @@ func RunCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, t0, t1 floa
 	// accepted point — Final() and every PSS/xval consumer depend on it.
 	if sinceRecord > 0 {
 		res.T = append(res.T, t)
-		res.X = append(res.X, x.Clone())
+		res.X = append(res.X, arena.clone(x))
 	}
 	res.Sens = sens
 	return res, nil
 }
 
 // stepper solves one implicit θ-step with Newton. All circuit evaluations go
-// through a per-stepper circuit.Workspace, so steppers on one shared System
-// never contend.
+// through a per-stepper circuit.Workspace, and the Newton/LU/sensitivity
+// buffers are pinned here, so steppers on one shared System never contend
+// and the steady-state step is allocation-free.
 type stepper struct {
 	sys   *circuit.System
 	ws    *circuit.Workspace
@@ -280,29 +371,59 @@ type stepper struct {
 	jac   *linalg.Mat
 	resid linalg.Vec
 	sysJ  *linalg.Mat
+	dx    linalg.Vec
+	x1    linalg.Vec // the corrector iterate; step's return value aliases it
+	lu    linalg.LU
+	// Sensitivity propagation scratch (lazy: sensitivity runs only). sj0/sj1
+	// double as the propagator and product buffers once lhs/rhs are built.
+	sj0, sj1, slhs, srhs *linalg.Mat
+	slu                  linalg.LU
+	sensCounted          bool // sens buffers folded into pinned-bytes accounting
 }
 
-func newStepper(sys *circuit.System, opt Options, m *diag.Metrics) *stepper {
+func newStepper(sys *circuit.System) *stepper {
 	n := sys.N
-	ws := sys.NewWorkspace()
-	ws.SetMetrics(m)
 	return &stepper{
-		sys: sys, ws: ws, opt: opt, m: m,
+		sys:   sys,
+		ws:    sys.NewWorkspace(),
 		f0:    linalg.NewVec(n),
 		f1:    linalg.NewVec(n),
 		jac:   linalg.NewMat(n, n),
 		resid: linalg.NewVec(n),
 		sysJ:  linalg.NewMat(n, n),
+		dx:    linalg.NewVec(n),
+		x1:    linalg.NewVec(n),
 	}
 }
 
+// bind points the stepper at this run's options and metrics.
+func (s *stepper) bind(opt Options, m *diag.Metrics) {
+	s.opt = opt
+	s.m = m
+	s.ws.SetMetrics(m)
+}
+
+// ensureSens lazily allocates the four pinned sensitivity matrices.
+func (s *stepper) ensureSens() {
+	if s.sj0 != nil {
+		return
+	}
+	n := s.sys.N
+	s.sj0 = linalg.NewMat(n, n)
+	s.sj1 = linalg.NewMat(n, n)
+	s.slhs = linalg.NewMat(n, n)
+	s.srhs = linalg.NewMat(n, n)
+}
+
 // step solves C(x1−x0)/h + θ f(x1,t+h) + (1−θ) f(x0,t) = 0 for x1,
-// starting from the predictor.
+// starting from the predictor. The returned vector aliases the stepper's
+// iterate buffer; callers copy it before the next step.
 func (s *stepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, error) {
 	n := s.sys.N
 	th := s.opt.Method.theta()
 	s.ws.EvalF(x0, t, s.f0)
-	x1 := pred.Clone()
+	x1 := s.x1
+	x1.CopyFrom(pred)
 	c := s.sys.C
 
 	// Convergence is judged on the Newton update size in volts (SPICE-style
@@ -327,12 +448,15 @@ func (s *stepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, erro
 		for i := 0; i < n*n; i++ {
 			s.jac.Data[i] = c.Data[i]/h + th*s.sysJ.Data[i]
 		}
-		lu, err := linalg.Factorize(s.jac)
+		err := s.lu.FactorizeInto(s.jac)
 		s.m.Inc(diag.LUFactorizations)
+		if s.lu.ReusedBuffers() {
+			s.m.Inc(diag.LUFactorizationsReused)
+		}
 		if err != nil {
 			return nil, iter, fmt.Errorf("transient: singular iteration matrix: %w", err)
 		}
-		dx := lu.Solve(s.resid)
+		dx := s.lu.SolveInto(s.dx, s.resid)
 		s.m.Inc(diag.LUSolves)
 		s.m.Inc(diag.NewtonIterations)
 		// Simple step clamp: node voltages should not move more than ~2 V
@@ -351,28 +475,38 @@ func (s *stepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, erro
 	return nil, s.opt.MaxNewton, errors.New("transient: Newton corrector did not converge")
 }
 
-// stepSensitivity propagates the monodromy factor for the accepted step:
+// stepSensitivity propagates the monodromy factor for the accepted step,
+// updating sens in place:
 //
 //	S ← (C/h + θ·J1)⁻¹ · (C/h − (1−θ)·J0) · S
-func (s *stepper) stepSensitivity(x0, x1 linalg.Vec, t, h float64) (*linalg.Mat, error) {
+//
+// All intermediates live in four pinned n×n matrices and one pinned LU; the
+// arithmetic matches the historical allocate-per-step version bit for bit.
+func (s *stepper) stepSensitivity(x0, x1 linalg.Vec, t, h float64, sens *linalg.Mat) error {
 	n := s.sys.N
 	th := s.opt.Method.theta()
-	j0 := linalg.NewMat(n, n)
-	j1 := linalg.NewMat(n, n)
+	s.ensureSens()
+	j0, j1 := s.sj0, s.sj1
 	s.ws.EvalFJ(x0, t, s.f0, j0)
 	s.ws.EvalFJ(x1, t+h, s.f1, j1)
 	c := s.sys.C
-	lhs := linalg.NewMat(n, n)
-	rhs := linalg.NewMat(n, n)
+	lhs, rhs := s.slhs, s.srhs
 	for i := 0; i < n*n; i++ {
 		lhs.Data[i] = c.Data[i]/h + th*j1.Data[i]
 		rhs.Data[i] = c.Data[i]/h - (1-th)*j0.Data[i]
 	}
-	lu, err := linalg.Factorize(lhs)
+	err := s.slu.FactorizeInto(lhs)
 	s.m.Inc(diag.LUFactorizations)
+	if s.slu.ReusedBuffers() {
+		s.m.Inc(diag.LUFactorizationsReused)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("transient: singular sensitivity matrix: %w", err)
+		return fmt.Errorf("transient: singular sensitivity matrix: %w", err)
 	}
 	s.m.Add(diag.LUSolves, int64(n))
-	return lu.SolveMat(rhs), nil
+	// j0 and j1 are consumed; reuse them as the propagator and the product.
+	prop := s.slu.SolveMatInto(j0, rhs)
+	next := prop.MulInto(j1, sens)
+	sens.CopyFrom(next)
+	return nil
 }
