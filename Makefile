@@ -1,11 +1,21 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse lint-deprecated
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
-# suite under the race detector, and the cross-method conformance ledger.
-# CI and pre-commit both run this.
-check: fmt vet build race xval
+# suite under the race detector, the cross-method conformance ledger, and
+# the deprecated-API lint. CI and pre-commit both run this.
+check: fmt vet lint-deprecated build race xval
+
+# The pre-context wrappers in phlogon.go (FindPSS, ExtractPPV, RingPPV,
+# RunTransient) exist for external compatibility only. Nothing inside the
+# module — commands, internal packages, examples — may call them; root-level
+# tests are exempt because they deliberately pin the deprecated surface.
+lint-deprecated:
+	@out=$$(grep -rn --include='*.go' -E 'phlogon\.(FindPSS|ExtractPPV|RingPPV|RunTransient)\(' cmd internal examples 2>/dev/null); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated pre-context API used inside the module:"; echo "$$out"; exit 1; \
+	fi
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -69,6 +79,16 @@ bench-alloc:
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
 			-only '^Benchmark(EffSpiceTransientFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' \
 			-tol 1.0 -alloc-tol 0.05 -bytes-tol 0.25
+
+# Sparse-backend scaling gate: the coupled-array benchmarks (transient and
+# shooting at 16/64/256 rings, dense vs sparse) against their pinned
+# baselines. Absolute times are machine-bound, so the timing tolerance is
+# wide; the allocation columns are deterministic and gate for real. Re-pin
+# with `make bench-baseline` after intentional backend changes.
+bench-sparse:
+	$(GO) test -run '^$$' -bench '^BenchmarkSparseVsDense' -benchtime 1x . \
+		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
+			-only '^BenchmarkSparseVsDense' -tol 1.0 -alloc-tol 0.05 -bytes-tol 0.25
 
 # Engine memoization gate: the cold build→PSS→PPV pipeline and the warm
 # cache hit against their pinned baselines. The warm path is the one that

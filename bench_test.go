@@ -8,18 +8,22 @@ package phlogon_test
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math/cmplx"
 	"testing"
 
 	phlogon "repro"
 	"repro/internal/figs"
 	"repro/internal/gae"
+	"repro/internal/linalg"
 	"repro/internal/noise"
 	"repro/internal/phasemacro"
 	"repro/internal/phlogic"
 	"repro/internal/ppv"
 	"repro/internal/pss"
 	"repro/internal/ringosc"
+	"repro/internal/solver"
 	"repro/internal/transient"
 )
 
@@ -356,6 +360,76 @@ func BenchmarkAblationPPVHB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := hb.PPVHB(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sparse-vs-dense backend scaling: coupled ring-oscillator arrays of
+// 16/64/256 rings (48/192/768 free nodes) through the transient corrector
+// and the shooting inner loop. Both backends integrate the identical step
+// sequence (same method, same fixed step count), so time-per-op is a pure
+// linear-algebra comparison at matched accuracy. `make bench-sparse` pins
+// these into BENCH_baseline.json. ---
+
+func benchArray(b *testing.B, nRings int) (*ringosc.Array, linalg.Vec, float64) {
+	b.Helper()
+	arr, err := ringosc.BuildArray(nRings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return arr, arr.KickStart(), 1 / arr.EstimatedF0()
+}
+
+func BenchmarkSparseVsDenseTransient(b *testing.B) {
+	for _, nRings := range []int{16, 64, 256} {
+		for _, bk := range []linalg.Backend{linalg.BackendDense, linalg.BackendSparse} {
+			b.Run(fmt.Sprintf("N=%d/%s", nRings, bk), func(b *testing.B) {
+				arr, x0, T := benchArray(b, nRings)
+				sc := transient.NewScratch(arr.Sys)
+				opt := transient.Options{
+					Method: transient.Trap, Step: T / 64, Backend: bk,
+				}
+				ctx := context.Background()
+				// Warm up outside the timer: symbolic analysis, pattern
+				// capture and scratch growth are one-time per topology.
+				if _, err := sc.Run(ctx, x0, 0, T/64, opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Eight fixed Trap steps per op.
+					if _, err := sc.Run(ctx, x0, 0, T/8, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSparseVsDenseShoot(b *testing.B) {
+	for _, nRings := range []int{16, 64, 256} {
+		for _, bk := range []linalg.Backend{linalg.BackendDense, linalg.BackendSparse} {
+			b.Run(fmt.Sprintf("N=%d/%s", nRings, bk), func(b *testing.B) {
+				arr, x0, T := benchArray(b, nRings)
+				// One bordered-Newton outer iteration per op: coupled
+				// identical rings carry near-unit Floquet multipliers, so
+				// convergence is not the point here — the cost of one outer
+				// iteration (monodromy propagation + bordered solve) is.
+				opt := pss.Options{
+					GuessT: T, StepsPerPeriod: 8, MaxIter: 1,
+					SettleCycles: -1, Backend: bk,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, err := pss.ShootAutonomous(arr.Sys, x0, opt)
+					if err != nil && !errors.Is(err, solver.ErrNoConvergence) {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	phlogon "repro"
 	"repro/internal/gae"
 	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
 	"repro/internal/pss"
 	"repro/internal/ringosc"
 	"repro/internal/transient"
@@ -39,6 +40,17 @@ func TestErrSingularJacobian(t *testing.T) {
 	_, err := linalg.Factorize(linalg.NewMat(2, 2)) // the zero matrix
 	if !errors.Is(err, phlogon.ErrSingularJacobian) {
 		t.Fatalf("singular LU does not wrap ErrSingularJacobian: %v", err)
+	}
+}
+
+// The sparse backend must surface the same public sentinel as the dense one:
+// one taxonomy, two factorizations.
+func TestErrSingularJacobianSparse(t *testing.T) {
+	// 2×2 with exactly dependent rows.
+	m := sparse.NewCSC(sparse.PatternFromEntries(2, []int{0, 0, 1, 1}, []int{0, 1, 0, 1}))
+	m.Val[0], m.Val[1], m.Val[2], m.Val[3] = 1, 1, 2, 2
+	if _, err := sparse.Factorize(m); !errors.Is(err, phlogon.ErrSingularJacobian) {
+		t.Fatalf("singular sparse LU does not wrap ErrSingularJacobian: %v", err)
 	}
 }
 

@@ -19,8 +19,10 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
 )
 
 // NodeID identifies a circuit node. IDs ≥ 0 index free (unknown-voltage)
@@ -241,13 +243,19 @@ func (s *CapStamper) AddCap(a, b NodeID, cap float64) {
 }
 
 // EvalContext carries the operating point to Device.Eval and accumulates
-// KCL currents F (out of each node) and their Jacobian J = dF/dx.
+// KCL currents F (out of each node) and their Jacobian J = dF/dx. The
+// Jacobian lands in exactly one of three sinks: the dense J matrix (the
+// historical path, bit-identical), the sparse SJ values (the
+// linalg.BackendSparse stamp path), or a pattern recorder (position-only,
+// used once per topology to precompute the sparsity pattern).
 type EvalContext struct {
 	ckt          *Circuit
 	T            float64
 	X            linalg.Vec
 	F            linalg.Vec
 	J            *linalg.Mat
+	SJ           *sparse.CSC      // sparse Jacobian sink; nil on the dense path
+	rec          *patternRecorder // position recorder; nil outside pattern capture
 	WantJacobian bool
 	// GminScale scales the circuit Gmin (used by gmin continuation).
 	GminScale float64
@@ -273,9 +281,18 @@ func (e *EvalContext) AddCurrent(n NodeID, i float64) {
 
 // AddJac adds dI(out of n)/dV(m) to the Jacobian.
 func (e *EvalContext) AddJac(n, m NodeID, d float64) {
-	if e.WantJacobian && n.IsFree() && m.IsFree() {
-		e.J.Addf(int(n), int(m), d)
+	if !e.WantJacobian || !n.IsFree() || !m.IsFree() {
+		return
 	}
+	if e.rec != nil {
+		e.rec.add(int(n), int(m))
+		return
+	}
+	if e.SJ != nil {
+		e.SJ.Add(int(n), int(m), d)
+		return
+	}
+	e.J.Addf(int(n), int(m), d)
 }
 
 // System is the assembled ODE-form circuit: C·ẋ = -f(x, t), with the
@@ -295,6 +312,15 @@ type System struct {
 	CLU *linalg.LU
 
 	railCaps []railCap
+
+	// Sparse-backend artifacts, computed once on first use (sync.Once keeps
+	// the System immutable-in-effect and race-free): the structural Jacobian
+	// pattern (union of device stamps, C, and the diagonal), C's values on
+	// that pattern, and a sparse factorization of C. Small circuits that
+	// never leave the dense backend never pay for any of this.
+	sparseOnce    sync.Once
+	sparsePattern *sparse.Pattern
+	sparseC       *sparse.CSC
 }
 
 // Assemble builds the System: stamps capacitances (adding parasitics),
@@ -331,7 +357,7 @@ func (s *System) evalInto(ctx *EvalContext) {
 	for i := 0; i < s.N; i++ {
 		ctx.F[i] += g * ctx.X[i]
 		if ctx.WantJacobian {
-			ctx.J.Addf(i, i, g)
+			ctx.AddJac(NodeID(i), NodeID(i), g)
 		}
 	}
 	for _, rc := range s.railCaps {

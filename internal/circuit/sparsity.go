@@ -1,0 +1,88 @@
+package circuit
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
+)
+
+// patternRecorder collects the (row, col) positions every device stamp
+// touches. It is installed as the EvalContext's Jacobian sink for exactly
+// one probe evaluation per topology: the device models stamp their full
+// stencil unconditionally (operating-point dependence changes values, never
+// positions — the MOSFET's source/drain swap permutes within the same
+// {D,S}×{D,G,S} stencil), so a single probe captures the complete pattern.
+type patternRecorder struct {
+	rows, cols []int
+}
+
+func (r *patternRecorder) add(i, j int) {
+	r.rows = append(r.rows, i)
+	r.cols = append(r.cols, j)
+}
+
+// buildSparse computes the shared sparse artifacts: the structural pattern
+// of the circuit Jacobian df/dx UNIONED with the capacitance pattern and the
+// full diagonal, plus C's values laid out on that same pattern. One pattern
+// serves every sparse consumer — DC Newton (J + gmin diagonal), the
+// transient iteration matrix C/h + θ·J (needs pattern(C) ∪ pattern(J)), and
+// the sensitivity systems — so value arrays combine entrywise with no
+// index translation.
+func (s *System) buildSparse() {
+	rec := &patternRecorder{}
+	// Diagonal: Gmin and the C parasitics guarantee structural presence.
+	for i := 0; i < s.N; i++ {
+		rec.add(i, i)
+	}
+	// Capacitance pattern from the assembled dense C.
+	for i := 0; i < s.N; i++ {
+		for j := 0; j < s.N; j++ {
+			if s.C.At(i, j) != 0 {
+				rec.add(i, j)
+			}
+		}
+	}
+	// Device stamps: one probe evaluation with the recorder installed.
+	x := linalg.NewVec(s.N)
+	f := linalg.NewVec(s.N)
+	ctx := &EvalContext{ckt: s.Ckt, T: 0, X: x, F: f, rec: rec,
+		WantJacobian: true, GminScale: 1, SourceScale: 1}
+	s.evalInto(ctx)
+	s.sparsePattern = sparse.PatternFromEntries(s.N, rec.rows, rec.cols)
+	// C on the union pattern (zero where C has no entry).
+	s.sparseC = sparse.NewCSC(s.sparsePattern)
+	for j := 0; j < s.N; j++ {
+		for k := s.sparsePattern.ColPtr[j]; k < s.sparsePattern.ColPtr[j+1]; k++ {
+			s.sparseC.Val[k] = s.C.At(s.sparsePattern.Rows[k], j)
+		}
+	}
+}
+
+// SparsePattern returns the precomputed structural pattern of the circuit's
+// Jacobian (device stamps ∪ capacitance ∪ diagonal), computed once per
+// System and shared read-only by every sparse workspace, stepper and solver
+// scratch.
+func (s *System) SparsePattern() *sparse.Pattern {
+	s.sparseOnce.Do(s.buildSparse)
+	return s.sparsePattern
+}
+
+// SparseC returns the capacitance matrix laid out on SparsePattern. The
+// returned CSC is shared and read-only: steppers combine its values with
+// their private Jacobian values (C/h + θ·J runs index-aligned over Val).
+func (s *System) SparseC() *sparse.CSC {
+	s.sparseOnce.Do(s.buildSparse)
+	return s.sparseC
+}
+
+// ResolveBackend maps a (possibly Auto) backend request to dense or sparse
+// for this system. Auto never computes the sparsity pattern below the node
+// threshold, keeping small-circuit paths untouched.
+func (s *System) ResolveBackend(b linalg.Backend) linalg.Backend {
+	if b != linalg.BackendAuto {
+		return b
+	}
+	if s.N < linalg.SparseNodeThreshold {
+		return linalg.BackendDense
+	}
+	return b.Resolve(s.N, s.SparsePattern().NNZ())
+}

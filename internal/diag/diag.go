@@ -77,6 +77,17 @@ const (
 	// (Newton/LU/sensitivity buffers) pinned by solver and transient
 	// scratches, counted once when each scratch first runs under metrics.
 	ScratchBytesPinned
+	// SparseFactorizations counts sparse LU factorizations that ran the
+	// symbolic analysis (first factorization per topology/pattern).
+	SparseFactorizations
+	// SparseRefactors counts the subset of sparse factorizations that reused
+	// an existing symbolic factorization (KLU-style numeric refactor — the
+	// hot path).
+	SparseRefactors
+	// SparseFillIns accumulates the fill-in (factor nonzeros beyond the
+	// matrix pattern) reported by symbolic analyses, a direct measure of the
+	// ordering quality.
+	SparseFillIns
 
 	numCounters
 )
@@ -101,6 +112,9 @@ var counterNames = [numCounters]string{
 
 	LUFactorizationsReused: "lu_factorizations_reused",
 	ScratchBytesPinned:     "scratch_bytes_pinned",
+	SparseFactorizations:   "sparse_factorizations",
+	SparseRefactors:        "sparse_refactors",
+	SparseFillIns:          "sparse_fill_ins",
 }
 
 // String returns the stable snake_case name used in snapshots and JSON.

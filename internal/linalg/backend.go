@@ -1,0 +1,59 @@
+package linalg
+
+// Backend selects the linear-algebra implementation an analysis runs its
+// Newton/transient linear solves through. The zero value (BackendAuto) picks
+// per circuit: dense below a node-count threshold — keeping every existing
+// small-circuit path bit-identical — and sparse for the large, intrinsically
+// sparse oscillator-network topologies that dense O(n³) LU cannot reach.
+type Backend int
+
+const (
+	// BackendAuto selects dense or sparse from the system size and Jacobian
+	// density (see Resolve). This is the default.
+	BackendAuto Backend = iota
+	// BackendDense forces the dense LU path (internal/linalg.LU).
+	BackendDense
+	// BackendSparse forces the CSC + KLU-style factorization path
+	// (internal/linalg/sparse).
+	BackendSparse
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// SparseNodeThreshold is the free-node count at which BackendAuto starts
+// considering the sparse backend. Below it, dense LU factorizes in the
+// cache and the auto path must not even compute a sparsity pattern, so the
+// historical small-circuit benchmarks stay bit-identical and allocation-free.
+const SparseNodeThreshold = 64
+
+// SparseDensityMax is the largest Jacobian density (nnz/n²) for which
+// BackendAuto still selects sparse: beyond it the fill-in of a sparse
+// factorization stops paying for its indexing overhead.
+const SparseDensityMax = 0.25
+
+// Resolve maps an Auto backend to a concrete one for a system with n
+// unknowns and nnz structural Jacobian nonzeros. Explicit backends pass
+// through unchanged. Callers resolving Auto for n < SparseNodeThreshold may
+// pass nnz < 0 (pattern not computed): the answer is Dense regardless.
+func (b Backend) Resolve(n, nnz int) Backend {
+	if b != BackendAuto {
+		return b
+	}
+	if n < SparseNodeThreshold {
+		return BackendDense
+	}
+	if nnz >= 0 && float64(nnz) > SparseDensityMax*float64(n)*float64(n) {
+		return BackendDense
+	}
+	return BackendSparse
+}

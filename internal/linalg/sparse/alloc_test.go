@@ -1,0 +1,70 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestWarmRefactorSolveZeroAlloc pins the KLU-style contract: once the
+// symbolic factorization exists, value overwrite → refactor → solve runs
+// with zero allocations. This is the sparse mirror of the dense
+// FactorizeInto/SolveInto discipline gated since PR 5.
+func TestWarmRefactorSolveZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 60
+	a := randSparse(rng, n, 0.08)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewVec(n)
+	x := linalg.NewVec(n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		// Perturb values in place (same pattern), refactor, solve.
+		for k := range a.Val {
+			a.Val[k] *= 1.0000001
+		}
+		if err := f.FactorizeInto(a); err != nil {
+			t.Fatal(err)
+		}
+		f.SolveInto(x, b)
+	}); allocs != 0 {
+		t.Fatalf("warm refactor+solve allocated %v allocs/op, want 0", allocs)
+	}
+	if !f.ReusedSymbolic() {
+		t.Fatal("warm path did not reuse symbolic state")
+	}
+}
+
+// TestWarmSolveMatZeroAlloc: the multi-RHS solve must stay allocation-free
+// too (it runs once per accepted transient step under Sensitivity).
+func TestWarmSolveMatZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 24
+	a := randSparse(rng, n, 0.15)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := linalg.NewMat(n, n)
+	dst := linalg.NewMat(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		f.SolveMatInto(dst, b)
+	}); allocs != 0 {
+		t.Fatalf("warm SolveMatInto allocated %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		a.MulMatInto(dst, b)
+		a.MulVecInto(linalg.Vec(dst.Data[:n]), linalg.Vec(b.Data[:n]))
+	}); allocs != 0 {
+		t.Fatalf("warm MulMatInto/MulVecInto allocated %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,314 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// LU is a KLU-style sparse LU factorization with a hard split between the
+// symbolic phase (fill-reducing minimum-degree order + Gilbert–Peierls
+// reachability giving the exact fill pattern of L and U, computed ONCE per
+// Pattern and reused forever) and the numeric phase (Refactor: overwrite the
+// stored factor values for new matrix values on the same pattern, zero
+// allocations, no pattern work).
+//
+// Pivoting is static on the (permuted) diagonal — the standard
+// circuit-simulation choice: the transient iteration matrix C/h + θ·J and
+// the gmin-stabilized DC Jacobian are diagonally dominant enough that
+// reusing the pivot order is safe, and it is exactly what makes the
+// refactor-only hot path possible. A pivot that underflows the matrix scale
+// returns an error wrapping linalg.ErrSingular, same sentinel as the dense
+// factorization, so the public phlogon.ErrSingularJacobian taxonomy covers
+// both backends.
+//
+// Like the dense linalg.LU, one LU value's methods must not be called
+// concurrently (the scatter/solve work arrays are pinned inside), but any
+// number of goroutines may hold their own LU over one shared Pattern.
+type LU struct {
+	pat   *Pattern // analyzed pattern; identity-compared by FactorizeInto
+	n     int
+	perm  []int // perm[k] = original index of the k-th pivot
+	iperm []int
+	// L: strictly lower triangular, CSC in permuted coordinates.
+	lp []int
+	li []int
+	lx []float64
+	// U: strictly upper triangular, CSC in permuted coordinates; the row
+	// indices of each column are stored in the DFS topological order the
+	// symbolic phase discovered — Refactor replays updates in exactly this
+	// order, which is what makes the numeric phase pattern-blind.
+	up []int
+	ui []int
+	ux []float64
+	d  []float64 // pivots (diagonal of U)
+	// Pinned numeric scratch.
+	x []float64 // dense scatter accumulator
+	w []float64 // solve work
+	// Symbolic scratch (kept so re-analysis on a new pattern reuses it).
+	mark  []int
+	stack []int
+	pstk  []int
+	topo  []int
+
+	reused bool // last FactorizeInto was a refactor on the retained symbolic
+	fillin int  // structural fill: nnz(L)+nnz(U)+n − nnz(A)
+}
+
+// Factorize analyzes and factorizes a, returning a new LU.
+func Factorize(a *CSC) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorizeInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorizeInto (re)factorizes a. When a shares the Pattern of the previous
+// call, only the numeric refactor runs — zero allocations, the KLU hot path;
+// observe via ReusedSymbolic. A new pattern triggers the full symbolic
+// analysis (ordering + fill computation), which allocates.
+func (f *LU) FactorizeInto(a *CSC) error {
+	if f.pat != a.P {
+		f.analyze(a.P)
+		f.reused = false
+	} else {
+		f.reused = true
+	}
+	return f.refactor(a)
+}
+
+// ReusedSymbolic reports whether the most recent FactorizeInto skipped the
+// symbolic phase (numeric refactor on the retained pattern/ordering).
+func (f *LU) ReusedSymbolic() bool { return f.reused }
+
+// FillIn returns the number of structural fill entries the symbolic
+// factorization created beyond the matrix pattern itself.
+func (f *LU) FillIn() int { return f.fillin }
+
+// N returns the matrix dimension.
+func (f *LU) N() int { return f.n }
+
+// analyze runs the symbolic phase: minimum-degree ordering, then
+// Gilbert–Peierls reachability to compute the exact pattern of L and U and
+// the per-column topological update order.
+func (f *LU) analyze(p *Pattern) {
+	n := p.N
+	f.pat = p
+	f.n = n
+	f.perm = MinDegreeOrder(p)
+	if cap(f.iperm) < n {
+		f.iperm = make([]int, n)
+	}
+	f.iperm = f.iperm[:n]
+	for k, o := range f.perm {
+		f.iperm[o] = k
+	}
+	if cap(f.mark) < n {
+		f.mark = make([]int, n)
+		f.stack = make([]int, n)
+		f.pstk = make([]int, n)
+		f.topo = make([]int, n)
+		f.x = make([]float64, n)
+		f.w = make([]float64, n)
+		f.d = make([]float64, n)
+	}
+	f.mark = f.mark[:n]
+	f.stack, f.pstk, f.topo = f.stack[:n], f.pstk[:n], f.topo[:n]
+	f.x, f.w, f.d = f.x[:n], f.w[:n], f.d[:n]
+	for i := range f.mark {
+		f.mark[i] = -1
+	}
+	f.lp = append(f.lp[:0], 0)
+	f.up = append(f.up[:0], 0)
+	f.li, f.ui = f.li[:0], f.ui[:0]
+
+	for j := 0; j < n; j++ {
+		// DFS over the graph of already-computed L columns from the nonzero
+		// rows of permuted A(:,j); reverse postorder = topological order.
+		head := n
+		origCol := f.perm[j]
+		for k := p.ColPtr[origCol]; k < p.ColPtr[origCol+1]; k++ {
+			i := f.iperm[p.Rows[k]]
+			if f.mark[i] == j {
+				continue
+			}
+			// Iterative DFS from i.
+			depth := 0
+			f.stack[0] = i
+			f.mark[i] = j
+			if i < j {
+				f.pstk[0] = f.lp[i]
+			} else {
+				f.pstk[0] = -1 // no children: L column i not computed yet
+			}
+			for depth >= 0 {
+				v := f.stack[depth]
+				advanced := false
+				if f.pstk[depth] >= 0 {
+					end := f.lp[v+1]
+					for f.pstk[depth] < end {
+						r := f.li[f.pstk[depth]]
+						f.pstk[depth]++
+						if f.mark[r] != j {
+							f.mark[r] = j
+							depth++
+							f.stack[depth] = r
+							if r < j {
+								f.pstk[depth] = f.lp[r]
+							} else {
+								f.pstk[depth] = -1
+							}
+							advanced = true
+							break
+						}
+					}
+				}
+				if !advanced {
+					head--
+					f.topo[head] = v
+					depth--
+				}
+			}
+		}
+		// Partition the reach set: rows < j become U(:,j) (kept in topo
+		// order), rows > j become L(:,j); j itself is the pivot slot.
+		for t := head; t < n; t++ {
+			if v := f.topo[t]; v < j {
+				f.ui = append(f.ui, v)
+			}
+		}
+		f.up = append(f.up, len(f.ui))
+		for t := head; t < n; t++ {
+			if v := f.topo[t]; v > j {
+				f.li = append(f.li, v)
+			}
+		}
+		f.lp = append(f.lp, len(f.li))
+	}
+	if cap(f.lx) < len(f.li) {
+		f.lx = make([]float64, len(f.li))
+	}
+	f.lx = f.lx[:len(f.li)]
+	if cap(f.ux) < len(f.ui) {
+		f.ux = make([]float64, len(f.ui))
+	}
+	f.ux = f.ux[:len(f.ui)]
+	f.fillin = len(f.li) + len(f.ui) + n - p.NNZ()
+}
+
+// refactor overwrites the factor values for a's current values. Pure
+// numeric replay of the symbolic pattern: zero allocations.
+func (f *LU) refactor(a *CSC) error {
+	n, p := f.n, f.pat
+	scale := a.MaxAbs()
+	if scale == 0 {
+		if n == 0 {
+			return nil
+		}
+		return fmt.Errorf("sparse: %w (zero matrix)", linalg.ErrSingular)
+	}
+	tol := scale * 1e-300 // absolute floor, mirroring the dense factorization
+	x := f.x
+	for j := 0; j < n; j++ {
+		// Zero the scatter accumulator over this column's factor pattern,
+		// then scatter the permuted A column into it.
+		for t := f.up[j]; t < f.up[j+1]; t++ {
+			x[f.ui[t]] = 0
+		}
+		x[j] = 0
+		for t := f.lp[j]; t < f.lp[j+1]; t++ {
+			x[f.li[t]] = 0
+		}
+		origCol := f.perm[j]
+		for k := p.ColPtr[origCol]; k < p.ColPtr[origCol+1]; k++ {
+			x[f.iperm[p.Rows[k]]] += a.Val[k]
+		}
+		// Eliminate: process U rows in the stored topological order.
+		for t := f.up[j]; t < f.up[j+1]; t++ {
+			k := f.ui[t]
+			xk := x[k]
+			f.ux[t] = xk
+			if xk == 0 {
+				continue
+			}
+			for q := f.lp[k]; q < f.lp[k+1]; q++ {
+				x[f.li[q]] -= xk * f.lx[q]
+			}
+		}
+		piv := x[j]
+		if math.Abs(piv) <= tol || math.IsNaN(piv) {
+			return fmt.Errorf("sparse: %w (pivot %d, |pivot|=%.3g)", linalg.ErrSingular, j, math.Abs(piv))
+		}
+		f.d[j] = piv
+		for t := f.lp[j]; t < f.lp[j+1]; t++ {
+			f.lx[t] = x[f.li[t]] / piv
+		}
+	}
+	return nil
+}
+
+// SolveInto solves A·x = b into dst and returns dst. dst may alias b (the
+// solve runs in a pinned internal buffer); no allocation occurs.
+func (f *LU) SolveInto(dst, b linalg.Vec) linalg.Vec {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic("sparse: LU.SolveInto dimension mismatch")
+	}
+	w := f.w
+	for k := 0; k < n; k++ {
+		w[k] = b[f.perm[k]]
+	}
+	f.solvePermuted(w)
+	for k := 0; k < n; k++ {
+		dst[f.perm[k]] = w[k]
+	}
+	return dst
+}
+
+// solvePermuted runs L then U substitution on a right-hand side already in
+// permuted coordinates, in place.
+func (f *LU) solvePermuted(w []float64) {
+	n := f.n
+	for j := 0; j < n; j++ {
+		xj := w[j]
+		if xj == 0 {
+			continue
+		}
+		for q := f.lp[j]; q < f.lp[j+1]; q++ {
+			w[f.li[q]] -= xj * f.lx[q]
+		}
+	}
+	for j := n - 1; j >= 0; j-- {
+		xj := w[j] / f.d[j]
+		w[j] = xj
+		if xj == 0 {
+			continue
+		}
+		for t := f.up[j]; t < f.up[j+1]; t++ {
+			w[f.ui[t]] -= xj * f.ux[t]
+		}
+	}
+}
+
+// SolveMatInto solves A·X = B into dst, column by column through the pinned
+// work vector; dst may alias b. Used by the sparse sensitivity propagation,
+// where B is the (dense) monodromy right-hand side.
+func (f *LU) SolveMatInto(dst, b *linalg.Mat) *linalg.Mat {
+	n := f.n
+	if b.Rows != n || dst.Rows != n || dst.Cols != b.Cols {
+		panic("sparse: LU.SolveMatInto dimension mismatch")
+	}
+	w, cols := f.w, b.Cols
+	for c := 0; c < cols; c++ {
+		for k := 0; k < n; k++ {
+			w[k] = b.Data[f.perm[k]*cols+c]
+		}
+		f.solvePermuted(w)
+		for k := 0; k < n; k++ {
+			dst.Data[f.perm[k]*cols+c] = w[k]
+		}
+	}
+	return dst
+}

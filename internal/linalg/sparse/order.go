@@ -1,0 +1,64 @@
+package sparse
+
+// MinDegreeOrder computes a fill-reducing elimination order for the pattern
+// by Markowitz-style minimum degree on the symmetrized graph of A + Aᵀ: at
+// each step the lowest-degree uneliminated vertex is pivoted and its
+// neighbourhood turned into a clique (the fill its elimination would create).
+// Ties break toward the lowest index, so the order is deterministic.
+//
+// The returned perm satisfies perm[k] = original index of the k-th pivot.
+// This runs once per topology during symbolic analysis; it allocates freely
+// and is O(n·d²) in the clique updates plus an O(n²) min scan — trivial
+// against the factorizations it saves, even at thousands of nodes.
+func MinDegreeOrder(p *Pattern) []int {
+	n := p.N
+	// Symmetrized adjacency as per-vertex sets (self-loops dropped).
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{}, 8)
+	}
+	for j := 0; j < n; j++ {
+		for k := p.ColPtr[j]; k < p.ColPtr[j+1]; k++ {
+			i := p.Rows[k]
+			if i == j {
+				continue
+			}
+			adj[i][j] = struct{}{}
+			adj[j][i] = struct{}{}
+		}
+	}
+	perm := make([]int, 0, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	nbr := make([]int, 0, 64) // reused neighbour scratch
+	for len(perm) < n {
+		// Min-degree scan (lowest index wins ties).
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if alive[v] && len(adj[v]) < bestDeg {
+				best, bestDeg = v, len(adj[v])
+			}
+		}
+		v := best
+		alive[v] = false
+		perm = append(perm, v)
+		nbr = nbr[:0]
+		for u := range adj[v] {
+			nbr = append(nbr, u)
+		}
+		// Detach v and form the elimination clique among its neighbours.
+		for _, u := range nbr {
+			delete(adj[u], v)
+		}
+		for a := 0; a < len(nbr); a++ {
+			for b := a + 1; b < len(nbr); b++ {
+				adj[nbr[a]][nbr[b]] = struct{}{}
+				adj[nbr[b]][nbr[a]] = struct{}{}
+			}
+		}
+		adj[v] = nil
+	}
+	return perm
+}

@@ -40,6 +40,13 @@ type Options struct {
 	// SettleCycles integrates this many free-running cycles before shooting
 	// starts, to land near the limit cycle (default 20).
 	SettleCycles int
+	// Backend selects the linear-algebra backend for the inner transient
+	// integrations (corrector + monodromy propagation), where a shooting
+	// solve spends essentially all of its linear-algebra time. The zero
+	// value (Auto) picks sparse for large circuits. The bordered Newton
+	// update itself always runs dense: its Jacobian embeds the monodromy
+	// matrix M − I, which is structurally dense for any connected circuit.
+	Backend linalg.Backend
 }
 
 // Solution is a converged periodic steady state on a uniform grid.
@@ -142,6 +149,7 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 		sp := diag.SpanFrom(ctx, "pss.settle")
 		res, err := tsc.Run(ctx, x, 0, float64(opt.SettleCycles)*T, transient.Options{
 			Method: transient.Trap, Step: T / float64(opt.StepsPerPeriod),
+			Backend: opt.Backend,
 		})
 		sp.End()
 		if err != nil {
@@ -180,6 +188,7 @@ func ShootAutonomousCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec,
 			Method:      opt.Method,
 			Step:        T / float64(opt.StepsPerPeriod),
 			Sensitivity: true,
+			Backend:     opt.Backend,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pss: shooting transient failed: %w", err)
@@ -267,6 +276,7 @@ func ShootDrivenCtx(ctx context.Context, sys *circuit.System, x0 linalg.Vec, T f
 			Method:      opt.Method,
 			Step:        T / float64(opt.StepsPerPeriod),
 			Sensitivity: true,
+			Backend:     opt.Backend,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pss: driven shooting transient failed: %w", err)
@@ -310,6 +320,7 @@ func buildSolution(ctx context.Context, tsc *transient.Scratch, sys *circuit.Sys
 		Method:      opt.Method,
 		Step:        T / float64(k),
 		Sensitivity: true,
+		Backend:     opt.Backend,
 	})
 	if err != nil {
 		return nil, err

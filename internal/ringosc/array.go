@@ -1,0 +1,162 @@
+package ringosc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/linalg"
+)
+
+// ArrayTopology selects how the rings of an array are coupled.
+type ArrayTopology int
+
+const (
+	// Chain couples ring k to ring k+1 (a 1-D line), the paper's
+	// injection-locking chain arrangement.
+	Chain ArrayTopology = iota
+	// Grid couples rings on a near-square 2-D lattice (right and down
+	// neighbors), the oscillator-fabric arrangement of coupled-oscillator
+	// computing.
+	Grid
+)
+
+// ArrayConfig parameterizes a coupled ring-oscillator array.
+type ArrayConfig struct {
+	Rings    int           // number of rings (≥ 1)
+	Topology ArrayTopology // Chain (default) or Grid
+	// RCouple is the coupling resistance inserted between the stage-1
+	// outputs of neighboring rings (default 250 kΩ — weak coupling, so each
+	// ring stays near its free-running orbit). Negative disables coupling.
+	RCouple float64
+	// Ring is the per-ring configuration (zero value → DefaultConfig).
+	Ring Config
+}
+
+// Array is an assembled coupled-oscillator array.
+type Array struct {
+	Cfg ArrayConfig
+	Ckt *circuit.Circuit
+	Sys *circuit.System
+	// Stage[k][i] is the i-th stage output node of ring k.
+	Stage [][]circuit.NodeID
+	Vdd   circuit.NodeID
+}
+
+// BuildArray assembles a chain-coupled array of n default-configured rings.
+// BuildArray(1) is circuit-identical to Build(DefaultConfig()): same devices,
+// same order, same node numbering — the conformance test pins this, so array
+// results at n=1 are directly comparable to every single-ring figure.
+//
+// With the default 3-stage ring, the assembled system has 3·n free nodes —
+// the scaling vehicle for the sparse-vs-dense backend benchmarks.
+func BuildArray(n int) (*Array, error) {
+	return BuildArrayConfig(ArrayConfig{Rings: n})
+}
+
+// BuildArrayConfig assembles a coupled ring-oscillator array.
+func BuildArrayConfig(cfg ArrayConfig) (*Array, error) {
+	if cfg.Rings < 1 {
+		return nil, fmt.Errorf("ringosc: array needs at least 1 ring, got %d", cfg.Rings)
+	}
+	if cfg.Ring.Stages == 0 {
+		cfg.Ring = DefaultConfig()
+	}
+	if cfg.Ring.Stages%2 == 0 || cfg.Ring.Stages < 3 {
+		return nil, fmt.Errorf("ringosc: stages must be odd and ≥ 3, got %d", cfg.Ring.Stages)
+	}
+	if cfg.RCouple == 0 {
+		cfg.RCouple = 250e3
+	}
+	ckt := circuit.New()
+	vdd := ckt.AddDCRail("vdd", cfg.Ring.Vdd)
+	stage := make([][]circuit.NodeID, cfg.Rings)
+	for r := range stage {
+		stage[r] = make([]circuit.NodeID, cfg.Ring.Stages)
+		for i := range stage[r] {
+			// Ring 0 keeps the single-ring names so BuildArray(1) assembles
+			// the exact circuit Build does.
+			if r == 0 {
+				stage[r][i] = ckt.Node(fmt.Sprintf("n%d", i+1))
+			} else {
+				stage[r][i] = ckt.Node(fmt.Sprintf("r%d.n%d", r, i+1))
+			}
+		}
+		for i := range stage[r] {
+			in := stage[r][(i+cfg.Ring.Stages-1)%cfg.Ring.Stages]
+			out := stage[r][i]
+			suffix := fmt.Sprintf("%d", i+1)
+			if r > 0 {
+				suffix = fmt.Sprintf("%d.r%d", i+1, r)
+			}
+			ckt.Add(
+				&device.MOSFET{Name: "mn" + suffix, D: out, G: in, S: circuit.Ground,
+					Params: cfg.Ring.NMOS, Mult: cfg.Ring.NMOSMult},
+				&device.MOSFET{Name: "mp" + suffix, D: out, G: in, S: vdd,
+					Params: cfg.Ring.PMOS, PMOS: true},
+				&device.Capacitor{Name: "c" + suffix, A: out, B: circuit.Ground, C: cfg.Ring.CLoad},
+			)
+		}
+	}
+	if cfg.RCouple > 0 {
+		for _, e := range couplingEdges(cfg.Rings, cfg.Topology) {
+			ckt.Add(&device.Resistor{
+				Name: fmt.Sprintf("rc%d_%d", e[0], e[1]),
+				A:    stage[e[0]][0], B: stage[e[1]][0], R: cfg.RCouple,
+			})
+		}
+	}
+	sys, err := ckt.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Array{Cfg: cfg, Ckt: ckt, Sys: sys, Stage: stage, Vdd: vdd}, nil
+}
+
+// couplingEdges enumerates neighbor pairs for the topology.
+func couplingEdges(n int, topo ArrayTopology) [][2]int {
+	var edges [][2]int
+	switch topo {
+	case Grid:
+		// Near-square lattice, row-major; couple to the right and down.
+		w := int(math.Ceil(math.Sqrt(float64(n))))
+		for r := 0; r < n; r++ {
+			if (r+1)%w != 0 && r+1 < n {
+				edges = append(edges, [2]int{r, r + 1})
+			}
+			if r+w < n {
+				edges = append(edges, [2]int{r, r + w})
+			}
+		}
+	default: // Chain
+		for r := 0; r+1 < n; r++ {
+			edges = append(edges, [2]int{r, r + 1})
+		}
+	}
+	return edges
+}
+
+// KickStart returns an initial state that breaks every ring's mid-rail
+// symmetry, staggering the phase seed across rings so the coupled array
+// falls onto a traveling-wave-free locked state instead of a symmetric
+// equilibrium.
+func (a *Array) KickStart() linalg.Vec {
+	x := linalg.NewVec(a.Sys.N)
+	k := len(a.Stage[0])
+	for r, nodes := range a.Stage {
+		off := 2 * math.Pi * float64(r) / float64(len(a.Stage)) / 3
+		for i, nd := range nodes {
+			x[nd] = a.Cfg.Ring.Vdd/2 + 0.8*math.Sin(2*math.Pi*float64(i)/float64(k)+off)
+		}
+		x[nodes[0]] = a.Cfg.Ring.Vdd * 0.9
+	}
+	return x
+}
+
+// EstimatedF0 returns the single-ring analytic frequency estimate (weak
+// coupling leaves the array near the free-running frequency).
+func (a *Array) EstimatedF0() float64 {
+	r := &Ring{Cfg: a.Cfg.Ring}
+	return r.EstimatedF0()
+}

