@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse lint-deprecated
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse bench-serve lint-deprecated
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
 # suite under the race detector, the cross-method conformance ledger, and
@@ -98,3 +98,11 @@ bench-engine:
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineRingPPV(Cold|Warm)$$' -benchtime 1x -count 6 . \
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
 			-only '^BenchmarkEngineRingPPV' -tol 0.5
+
+# HTTP service load gate: boots the real phlogon-serve binary with a disk
+# store, completes 500+ concurrent mixed cold/warm requests with zero
+# errors and bounded memory, requires a 10x warm-over-cold median, and
+# proves warm state survives a process restart (first repeat served from
+# disk with zero Newton iterations).
+bench-serve:
+	PHLOGON_BENCH_SERVE=1 $(GO) test -run '^TestBenchServe$$' -v -timeout 900s ./cmd/phlogon-serve

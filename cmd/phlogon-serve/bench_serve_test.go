@@ -1,0 +1,178 @@
+package main_test
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+	"repro/internal/serve"
+)
+
+// TestBenchServe is the load harness behind `make bench-serve` (skipped
+// unless PHLOGON_BENCH_SERVE=1): it boots the real binary with a disk
+// store, measures cold solve latency, fires hundreds of concurrent mixed
+// cold/warm requests, and then proves the warm state survives a full
+// process restart by serving from disk without a single Newton iteration.
+func TestBenchServe(t *testing.T) {
+	if os.Getenv("PHLOGON_BENCH_SERVE") != "1" {
+		t.Skip("load harness; run via `make bench-serve` (PHLOGON_BENCH_SERVE=1)")
+	}
+	storeDir := t.TempDir()
+	bin := cmdtest.Build(t, "./cmd/phlogon-serve")
+	start := func() (*cmdtest.Proc, *serve.Client) {
+		p := cmdtest.Start(t, bin, "",
+			"-addr", "127.0.0.1:0", "-store", storeDir,
+			"-pss-steps", "1024", "-max-inflight", "4096")
+		addr := cmdtest.Addr(t, p.ExpectLine("listening on", 30*time.Second))
+		tr := &http.Transport{MaxIdleConns: 1024, MaxIdleConnsPerHost: 1024}
+		t.Cleanup(tr.CloseIdleConnections)
+		return p, &serve.Client{BaseURL: "http://" + addr, HTTPClient: &http.Client{Transport: tr}}
+	}
+	proc, c := start()
+	ctx := context.Background()
+
+	// The ring family under load: distinct load capacitances, so every spec
+	// is its own artifact.
+	const seeded = 16
+	ringAt := func(i int) serve.RingSpec {
+		return serve.RingSpec{CLoad: 4.7e-9 * (1 + 0.01*float64(i))}
+	}
+
+	// Phase 1 — cold baseline, measured without contention so the median is
+	// the solve cost itself, not scheduler queueing.
+	var coldLat []time.Duration
+	for i := 0; i < seeded; i++ {
+		t0 := time.Now()
+		resp, err := c.PSS(ctx, serve.PSSRequest{Ring: ringAt(i)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if !resp.Cold {
+			t.Fatalf("seed %d unexpectedly warm", i)
+		}
+		coldLat = append(coldLat, time.Since(t0))
+	}
+
+	// Phase 2 — the concurrent mixed load: 500 warm requests over the
+	// seeded family plus 20 fresh cold configs, all in flight at once.
+	const warmN, coldN = 500, 20
+	type outcome struct {
+		cold bool
+		err  error
+	}
+	results := make([]outcome, warmN+coldN)
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for i := 0; i < warmN+coldN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ring := ringAt(i % seeded)
+			if i >= warmN {
+				ring = ringAt(seeded + i - warmN) // beyond the seeded family: cold
+			}
+			resp, err := c.PSS(ctx, serve.PSSRequest{Ring: ring})
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			results[i] = outcome{cold: resp.Cold}
+		}(i)
+	}
+	wg.Wait()
+	loadWall := time.Since(loadStart)
+	gotWarm, gotCold := 0, 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d failed under load: %v", i, r.err)
+		}
+		if r.cold {
+			gotCold++
+		} else {
+			gotWarm++
+		}
+	}
+	if gotCold != coldN || gotWarm != warmN {
+		t.Fatalf("load classified as %d cold / %d warm, want %d / %d", gotCold, gotWarm, coldN, warmN)
+	}
+	t.Logf("load: %d requests (%d cold) in %v, zero errors", warmN+coldN, gotCold, loadWall)
+
+	// Bounded memory: after the burst, the heap holds the LRU-bounded cache
+	// plus transient request state — not 520 requests' worth of waveforms.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const heapBound = 1 << 28 // 256 MiB, far above steady state, far below a leak
+	if m.Mem.HeapAllocBytes > heapBound {
+		t.Fatalf("heap_alloc_bytes = %d after load, want < %d", m.Mem.HeapAllocBytes, heapBound)
+	}
+	if m.Server.RejectedSaturated != 0 {
+		t.Fatalf("%d requests were 503'd under load (limit too low for the harness)", m.Server.RejectedSaturated)
+	}
+	t.Logf("after load: heap %0.1f MiB, engine %d misses / %d hits+%d coalesced, %d disk writes",
+		float64(m.Mem.HeapAllocBytes)/(1<<20), m.Engine.Misses,
+		m.Engine.Hits, m.Engine.Coalesced, m.Engine.DiskWrites)
+
+	// Phase 3 — warm latency, measured like the cold baseline (sequential,
+	// uncontended), so the ratio compares request cost to request cost.
+	var warmLat []time.Duration
+	for i := 0; i < 100; i++ {
+		t0 := time.Now()
+		resp, err := c.PSS(ctx, serve.PSSRequest{Ring: ringAt(i % seeded)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cold {
+			t.Fatalf("probe %d recomputed a seeded config", i)
+		}
+		warmLat = append(warmLat, time.Since(t0))
+	}
+	coldMed, warmMed := median(coldLat), median(warmLat)
+	t.Logf("median latency: cold %v, warm %v (%.0fx)", coldMed, warmMed, float64(coldMed)/float64(warmMed))
+	if warmMed*10 > coldMed {
+		t.Fatalf("warm median %v not 10x better than cold median %v", warmMed, coldMed)
+	}
+
+	// Phase 4 — drain and restart on the same store: the first repeat must
+	// come from disk, with zero solver work.
+	proc.Signal(syscall.SIGTERM)
+	proc.ExpectLine("drained", 30*time.Second)
+	if res := proc.Wait(30 * time.Second); res.ExitCode != 0 {
+		t.Fatalf("first process exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+
+	_, c2 := start()
+	t0 := time.Now()
+	resp, err := c2.PSS(ctx, serve.PSSRequest{Ring: ringAt(0)})
+	if err != nil {
+		t.Fatalf("warm-restart request: %v", err)
+	}
+	restartLat := time.Since(t0)
+	m2, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Engine.DiskHits < 1 {
+		t.Fatalf("restarted process did not read the disk store: %+v", m2.Engine)
+	}
+	if iters := m2.Diag.Counters["newton_iterations"]; iters != 0 {
+		t.Fatalf("restarted process ran %d Newton iterations, want 0 (disk-served)", iters)
+	}
+	if resp.F0 <= 0 {
+		t.Fatalf("restarted response junk: %+v", resp)
+	}
+	t.Logf("warm restart: first repeat served from disk in %v (cold median was %v)", restartLat, coldMed)
+}
+
+func median(d []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

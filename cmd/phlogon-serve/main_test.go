@@ -1,0 +1,55 @@
+package main_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cmdtest"
+)
+
+// TestSmoke boots the server on an ephemeral port, checks /healthz, and
+// shuts it down with SIGTERM — the full lifecycle every deployment relies
+// on, without running any analysis.
+func TestSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-serve")
+	p := cmdtest.Start(t, bin, "", "-addr", "127.0.0.1:0")
+	line := p.ExpectLine("listening on", 30*time.Second)
+	addr := cmdtest.Addr(t, line)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d, body %s", resp.StatusCode, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body %q, want status ok (err %v)", body, err)
+	}
+
+	p.Signal(syscall.SIGTERM)
+	p.ExpectLine("drained", 30*time.Second)
+	res := p.Wait(30 * time.Second)
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}
+
+// TestBadStoreExit1 pins the failure mode for an unusable -store path.
+func TestBadStoreExit1(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-serve")
+	res := cmdtest.Run(t, bin, "", "-store", "/dev/null/not-a-dir")
+	if res.ExitCode != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+}

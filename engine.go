@@ -26,6 +26,12 @@ type EngineOptions = engine.Options
 // EngineStats is a point-in-time snapshot of an Engine's cache behaviour.
 type EngineStats = engine.Stats
 
+// DiskStore is the persistent tier of the engine's content-addressed cache:
+// artifact files named by the same SHA-256 fingerprints that key the
+// in-memory LRU, so a warm cache survives restarts and can be shared
+// between replicas (see EngineOptions.Disk).
+type DiskStore = engine.DiskStore
+
 // PSSOptions tunes the shooting solver (EngineOptions.PSS and the pss
 // package's entry points).
 type PSSOptions = pss.Options
@@ -42,3 +48,7 @@ type LockPoint = gae.LockPoint
 
 // NewEngine returns an empty memoizing analysis engine.
 func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// OpenDiskStore opens (creating if needed) a disk artifact store rooted at
+// dir, for use as an Engine's persistent cache tier.
+func OpenDiskStore(dir string) (*DiskStore, error) { return engine.OpenDiskStore(dir) }

@@ -1,0 +1,174 @@
+package cmdtest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Proc is a long-running CLI under test (a server, a watcher): started with
+// Start, observed line-by-line with ExpectLine, stopped with Signal/Wait.
+// Unlike Run, the process outlives the call so the test can interact with
+// it while it serves.
+type Proc struct {
+	t   testing.TB
+	cmd *exec.Cmd
+
+	mu     sync.Mutex
+	lines  []string // stdout+stderr, interleaved by arrival
+	stderr bytes.Buffer
+	grown  chan struct{} // closed and replaced whenever lines grows
+
+	waitOnce sync.Once
+	waitErr  error
+	done     chan struct{}
+}
+
+// Start launches bin with args in dir (module root when dir is "") and
+// begins capturing its output. The process is killed at test cleanup if the
+// test never Waited it down.
+func Start(t testing.TB, bin, dir string, args ...string) *Proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if dir == "" {
+		dir = moduleRoot(t)
+	}
+	cmd.Dir = dir
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Proc{t: t, cmd: cmd, grown: make(chan struct{}), done: make(chan struct{})}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("cmdtest: start %s: %v", bin, err)
+	}
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go p.scan(stdout, &readers, nil)
+	go p.scan(stderr, &readers, &p.stderr)
+	go func() {
+		readers.Wait()
+		p.waitOnce.Do(func() { p.waitErr = cmd.Wait() })
+		close(p.done)
+	}()
+	t.Cleanup(func() {
+		select {
+		case <-p.done:
+		default:
+			_ = cmd.Process.Kill()
+			<-p.done
+		}
+	})
+	return p
+}
+
+func (p *Proc) scan(r io.Reader, wg *sync.WaitGroup, tee *bytes.Buffer) {
+	defer wg.Done()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		p.mu.Lock()
+		p.lines = append(p.lines, sc.Text())
+		if tee != nil {
+			tee.WriteString(sc.Text())
+			tee.WriteByte('\n')
+		}
+		close(p.grown)
+		p.grown = make(chan struct{})
+		p.mu.Unlock()
+	}
+}
+
+// ExpectLine blocks until a not-yet-matched output line contains substr and
+// returns the whole line; it fails the test after timeout or process exit.
+// Successive calls consume the output in order, so two ExpectLine calls for
+// the same substring need two matching lines.
+func (p *Proc) ExpectLine(substr string, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.Now().Add(timeout)
+	scanned := 0
+	for {
+		p.mu.Lock()
+		for ; scanned < len(p.lines); scanned++ {
+			if strings.Contains(p.lines[scanned], substr) {
+				line := p.lines[scanned]
+				p.lines = p.lines[scanned+1:]
+				p.mu.Unlock()
+				return line
+			}
+		}
+		grown := p.grown
+		p.mu.Unlock()
+		select {
+		case <-grown:
+		case <-p.done:
+			// Drain whatever arrived between the last check and exit.
+			p.mu.Lock()
+			rest := p.lines[scanned:]
+			p.mu.Unlock()
+			for _, line := range rest {
+				if strings.Contains(line, substr) {
+					return line
+				}
+			}
+			p.t.Fatalf("cmdtest: process exited before printing %q\nstderr:\n%s", substr, p.stderr.String())
+			return ""
+		case <-time.After(time.Until(deadline)):
+			p.t.Fatalf("cmdtest: no line containing %q within %v", substr, timeout)
+			return ""
+		}
+	}
+}
+
+// Signal delivers sig to the process.
+func (p *Proc) Signal(sig os.Signal) {
+	p.t.Helper()
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		p.t.Fatalf("cmdtest: signal %v: %v", sig, err)
+	}
+}
+
+// Wait blocks until the process exits (or fails the test after timeout) and
+// returns its exit code with the captured stderr.
+func (p *Proc) Wait(timeout time.Duration) Result {
+	p.t.Helper()
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		p.t.Fatalf("cmdtest: process still running after %v", timeout)
+	}
+	res := Result{Stderr: p.stderr.String()}
+	if p.waitErr != nil {
+		var exitErr *exec.ExitError
+		if !errors.As(p.waitErr, &exitErr) {
+			p.t.Fatalf("cmdtest: wait: %v", p.waitErr)
+		}
+		res.ExitCode = exitErr.ExitCode()
+	}
+	return res
+}
+
+// Addr extracts "host:port" from a "listening on http://host:port" line.
+func Addr(t testing.TB, line string) string {
+	t.Helper()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("cmdtest: no http:// URL in %q", line)
+	}
+	addr := strings.TrimSpace(line[i+len("http://"):])
+	if addr == "" {
+		t.Fatalf("cmdtest: empty address in %q", line)
+	}
+	return addr
+}

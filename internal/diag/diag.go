@@ -88,6 +88,18 @@ const (
 	// matrix pattern) reported by symbolic analyses, a direct measure of the
 	// ordering quality.
 	SparseFillIns
+	// EngineDiskHits counts artifact computations short-circuited by a
+	// verified read from the engine's disk store (the persistent cache tier).
+	EngineDiskHits
+	// EngineDiskMisses counts disk-store lookups that found no artifact file
+	// (a cold key — the computation proceeds and writes the file).
+	EngineDiskMisses
+	// EngineDiskRejects counts disk artifacts rejected by the integrity or
+	// schema checks (truncated, corrupted, or stale format) — the engine
+	// recomputes and overwrites instead of serving them.
+	EngineDiskRejects
+	// EngineDiskWrites counts artifacts persisted to the disk store.
+	EngineDiskWrites
 
 	numCounters
 )
@@ -115,6 +127,10 @@ var counterNames = [numCounters]string{
 	SparseFactorizations:   "sparse_factorizations",
 	SparseRefactors:        "sparse_refactors",
 	SparseFillIns:          "sparse_fill_ins",
+	EngineDiskHits:         "engine_disk_hits",
+	EngineDiskMisses:       "engine_disk_misses",
+	EngineDiskRejects:      "engine_disk_rejects",
+	EngineDiskWrites:       "engine_disk_writes",
 }
 
 // String returns the stable snake_case name used in snapshots and JSON.

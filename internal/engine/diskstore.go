@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DiskStore is the persistent tier of the engine's content-addressed cache:
+// a directory of artifact files whose names are the cache keys — the SHA-256
+// fingerprints from Fingerprint — so a warm cache survives process restarts
+// and one directory can be shared between replicas (equal fingerprints ⇒
+// the same computation ⇒ the same bytes, no matter which process wrote
+// them).
+//
+// Integrity rules:
+//
+//   - Writes are atomic: the payload goes to a temp file in the same
+//     directory and is renamed into place, so a reader never observes a
+//     half-written artifact and concurrent writers of one key are safe (the
+//     last rename wins; both wrote identical content by the keying
+//     contract).
+//   - Every file carries a magic header, the payload length, and the
+//     payload's SHA-256. Get verifies all three and returns
+//     ErrCorruptArtifact on any mismatch — a truncated or bit-flipped file
+//     is rejected, never served, and the engine recomputes (and rewrites)
+//     the artifact.
+type DiskStore struct {
+	dir string
+}
+
+// ErrCorruptArtifact marks a disk artifact that failed its integrity check
+// (bad magic, truncation, or checksum mismatch). The engine treats it as a
+// miss and recomputes.
+var ErrCorruptArtifact = errors.New("engine: corrupt disk artifact")
+
+// diskMagic opens every artifact file. Bump the suffix when the container
+// format (not the payload schema — that has its own version tags) changes.
+var diskMagic = [8]byte{'P', 'H', 'L', 'O', 'A', 'R', 'T', '1'}
+
+// diskHeaderLen is magic + SHA-256 + uint64 payload length.
+const diskHeaderLen = 8 + sha256.Size + 8
+
+// OpenDiskStore opens (creating if needed) an artifact directory.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("engine: disk store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: open disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// PathFor maps a cache key of the form "<kind>/<hex fingerprint>" (e.g.
+// "pss/3f0a…") to its artifact file "<dir>/<kind>/<hex>.art". The mapping is
+// a pure function of the key, and the key is a pure function of the
+// configuration content (see Fingerprint), so the filename is stable across
+// processes, replicas, and struct-field reorderings.
+func (s *DiskStore) PathFor(key string) (string, error) {
+	kind, hexpart, ok := strings.Cut(key, "/")
+	if !ok || kind == "" || hexpart == "" {
+		return "", fmt.Errorf("engine: disk key %q is not <kind>/<fingerprint>", key)
+	}
+	for _, r := range kind {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+			return "", fmt.Errorf("engine: disk key kind %q must be [a-z0-9]+", kind)
+		}
+	}
+	for _, r := range hexpart {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return "", fmt.Errorf("engine: disk key fingerprint %q is not lowercase hex", hexpart)
+		}
+	}
+	return filepath.Join(s.dir, kind, hexpart+".art"), nil
+}
+
+// Get returns the verified payload stored under key. It reports
+// fs.ErrNotExist when the artifact was never written and ErrCorruptArtifact
+// when the file exists but fails verification.
+func (s *DiskStore) Get(key string) ([]byte, error) {
+	path, err := s.PathFor(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("engine: read disk artifact: %w", err)
+	}
+	if len(data) < diskHeaderLen {
+		return nil, fmt.Errorf("%w: %s: truncated header (%d bytes)", ErrCorruptArtifact, path, len(data))
+	}
+	if [8]byte(data[:8]) != diskMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorruptArtifact, path)
+	}
+	sum := data[8 : 8+sha256.Size]
+	want := binary.LittleEndian.Uint64(data[8+sha256.Size : diskHeaderLen])
+	payload := data[diskHeaderLen:]
+	if uint64(len(payload)) != want {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, header says %d",
+			ErrCorruptArtifact, path, len(payload), want)
+	}
+	if got := sha256.Sum256(payload); !bytesEqual(got[:], sum) {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorruptArtifact, path)
+	}
+	return payload, nil
+}
+
+// Put stores payload under key atomically: write-to-temp, fsync, rename.
+// Concurrent writers of the same key are safe — each writes a private temp
+// file and the renames serialize in the filesystem.
+func (s *DiskStore) Put(key string, payload []byte) error {
+	path, err := s.PathFor(key)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: disk store put: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, diskHeaderLen+len(payload))
+	buf = append(buf, diskMagic[:]...)
+	buf = append(buf, sum[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	tmp, err := os.CreateTemp(dir, ".tmp-*.art")
+	if err != nil {
+		return fmt.Errorf("engine: disk store put: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("engine: disk store put: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("engine: disk store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("engine: disk store put: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("engine: disk store put: %w", err)
+	}
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -32,6 +32,8 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"io/fs"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +64,15 @@ type Options struct {
 	// GuessT means "derive from the ring's analytic frequency estimate".
 	// These options are part of every cache key.
 	PSS pss.Options
+	// Disk, when non-nil, adds a persistent second cache tier below the
+	// in-memory LRU: artifacts computed by this engine are written to the
+	// store (atomically, content-checksummed), and a memory miss consults
+	// the store before computing. Because files are named by the same
+	// content fingerprints as the memory keys, a warm cache survives
+	// restarts and one directory can be shared between replicas. Disk I/O
+	// failures and corrupt files are never fatal — they degrade to a
+	// recompute and are counted in Stats/diag.
+	Disk *DiskStore
 }
 
 // Stats is a point-in-time snapshot of the engine's cache behaviour.
@@ -72,6 +83,12 @@ type Stats struct {
 	Evictions int64 // artifacts evicted by the LRU
 	Entries   int   // resident artifacts
 	Bytes     int64 // approximate resident bytes
+
+	// Disk-tier counters (all zero when the engine has no DiskStore).
+	DiskHits    int64 // computations short-circuited by a verified disk read
+	DiskMisses  int64 // disk lookups that found no artifact file
+	DiskRejects int64 // disk artifacts rejected as corrupt/stale (recomputed)
+	DiskWrites  int64 // artifacts persisted to the store
 }
 
 // Engine is a concurrency-safe memoizing analysis engine. The zero value is
@@ -80,13 +97,15 @@ type Stats struct {
 type Engine struct {
 	workers int
 	pssOpt  pss.Options
+	disk    *DiskStore
 	sem     chan struct{}
 
 	mu      sync.Mutex
 	cache   *lruCache
 	flights map[string]*flight
 
-	hits, misses, coalesced, evictions atomic.Int64
+	hits, misses, coalesced, evictions            atomic.Int64
+	diskHits, diskMisses, diskRejects, diskWrites atomic.Int64
 }
 
 // New returns an empty engine.
@@ -103,6 +122,7 @@ func New(opt Options) *Engine {
 	return &Engine{
 		workers: w,
 		pssOpt:  pssOpt,
+		disk:    opt.Disk,
 		sem:     make(chan struct{}, w),
 		cache:   newLRU(capacity),
 		flights: map[string]*flight{},
@@ -115,12 +135,16 @@ func (e *Engine) Stats() Stats {
 	entries, bytes := e.cache.len(), e.cache.bytes
 	e.mu.Unlock()
 	return Stats{
-		Hits:      e.hits.Load(),
-		Misses:    e.misses.Load(),
-		Coalesced: e.coalesced.Load(),
-		Evictions: e.evictions.Load(),
-		Entries:   entries,
-		Bytes:     bytes,
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Coalesced:   e.coalesced.Load(),
+		Evictions:   e.evictions.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+		DiskHits:    e.diskHits.Load(),
+		DiskMisses:  e.diskMisses.Load(),
+		DiskRejects: e.diskRejects.Load(),
+		DiskWrites:  e.diskWrites.Load(),
 	}
 }
 
@@ -150,6 +174,15 @@ func (e *Engine) RingPSS(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring
 		if err != nil {
 			return nil, 0, err
 		}
+		// Disk tier: a verified artifact file short-circuits the solve —
+		// only the (cheap) circuit build above runs. Rebuilding the ring
+		// instead of persisting it keeps the file purely numeric.
+		if payload, ok := e.diskLoad(cctx, key); ok {
+			if sol, err := decodeSolution(payload); err == nil {
+				return &pssArtifact{ring: r, sol: sol}, solutionBytes(sol), nil
+			}
+			e.diskReject(cctx)
+		}
 		opt := e.pssOpt
 		if opt.GuessT == 0 {
 			opt.GuessT = 1 / r.EstimatedF0()
@@ -158,6 +191,7 @@ func (e *Engine) RingPSS(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring
 		if err != nil {
 			return nil, 0, err
 		}
+		e.diskStore(cctx, key, encodeSolution(sol))
 		return &pssArtifact{ring: r, sol: sol}, solutionBytes(sol), nil
 	})
 	if err != nil {
@@ -178,10 +212,21 @@ func (e *Engine) RingPPV(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring
 		if err != nil {
 			return nil, 0, err
 		}
+		// Disk tier: the file stores only the PPV-specific arrays; the
+		// decoded PPV is reattached to the cached PSS solution, preserving
+		// the one-Solution-shared-by-both-entries structure of the memory
+		// tier.
+		if payload, ok := e.diskLoad(cctx, key); ok {
+			if p, err := decodePPV(payload, sol); err == nil {
+				return &ppvArtifact{ring: r, sol: sol, p: p}, ppvBytes(p), nil
+			}
+			e.diskReject(cctx)
+		}
 		p, err := ppv.FromSolutionCtx(cctx, r.Sys, sol, e.workers)
 		if err != nil {
 			return nil, 0, err
 		}
+		e.diskStore(cctx, key, encodePPV(p))
 		// The PPV references the PSS artifact's grid and solution; only the
 		// PPV-specific storage is charged to this entry.
 		return &ppvArtifact{ring: r, sol: sol, p: p}, ppvBytes(p), nil
@@ -239,6 +284,52 @@ func (e *Engine) GAESweepBatch(ctx context.Context, reqs []GAESweepRequest) ([]G
 		}
 		return GAESweepResult{F0: sol.F0, Points: pts}, nil
 	})
+}
+
+// --- disk tier plumbing ---
+
+// diskLoad fetches a verified payload for key from the disk tier. A missing
+// file counts as a disk miss; a corrupt one counts as a reject. Both return
+// ok=false, degrading to a recompute.
+func (e *Engine) diskLoad(ctx context.Context, key string) (payload []byte, ok bool) {
+	if e.disk == nil {
+		return nil, false
+	}
+	dm := diag.FromContext(ctx)
+	payload, err := e.disk.Get(key)
+	switch {
+	case err == nil:
+		e.diskHits.Add(1)
+		dm.Inc(diag.EngineDiskHits)
+		return payload, true
+	case errors.Is(err, fs.ErrNotExist):
+		e.diskMisses.Add(1)
+		dm.Inc(diag.EngineDiskMisses)
+	default:
+		e.diskRejects.Add(1)
+		dm.Inc(diag.EngineDiskRejects)
+	}
+	return nil, false
+}
+
+// diskReject records a payload that passed the container checksum but
+// failed the schema decode; the caller recomputes (and overwrites).
+func (e *Engine) diskReject(ctx context.Context) {
+	e.diskRejects.Add(1)
+	diag.FromContext(ctx).Inc(diag.EngineDiskRejects)
+}
+
+// diskStore persists a freshly computed artifact. Failures are deliberately
+// swallowed: the disk tier is an accelerator, never a correctness
+// dependency, and the artifact is already resident in memory.
+func (e *Engine) diskStore(ctx context.Context, key string, payload []byte) {
+	if e.disk == nil {
+		return
+	}
+	if err := e.disk.Put(key, payload); err == nil {
+		e.diskWrites.Add(1)
+		diag.FromContext(ctx).Inc(diag.EngineDiskWrites)
+	}
 }
 
 // --- artifact size accounting (approximate resident bytes) ---

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a typed client of a phlogon-serve instance. It retries 503
+// responses (saturation and drain refusals) honoring the server's
+// Retry-After hint, which is the contract backpressure is designed around:
+// the server never queues, the client paces.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call including the first (default 4;
+	// only 503s are retried — analysis failures are returned immediately).
+	MaxAttempts int
+	// RetryCap bounds one backoff sleep, whatever Retry-After says
+	// (default 2 s — keeps tests and load harnesses brisk).
+	RetryCap time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *Client) retryCap() time.Duration {
+	if c.RetryCap > 0 {
+		return c.RetryCap
+	}
+	return 2 * time.Second
+}
+
+// retryDelay extracts the server's pacing hint (integer seconds), clamped
+// to RetryCap; absent or malformed hints back off briefly.
+func (c *Client) retryDelay(resp *http.Response) time.Duration {
+	d := 100 * time.Millisecond
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec >= 0 {
+			d = time.Duration(sec) * time.Second
+		}
+	}
+	if cap := c.retryCap(); d > cap {
+		d = cap
+	}
+	return d
+}
+
+// post runs one JSON round trip with 503 retry; out may be nil to discard
+// the body.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("serve client: marshal request: %w", err)
+	}
+	resp, data, err := c.roundTrip(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return DecodeError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("serve client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// roundTrip issues the request, retrying 503s, and returns the final
+// response with its fully read body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve client: read response: %w", err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= c.attempts() {
+			return resp, data, nil
+		}
+		select {
+		case <-time.After(c.retryDelay(resp)):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// PSS requests a periodic steady state.
+func (c *Client) PSS(ctx context.Context, req PSSRequest) (*PSSResponse, error) {
+	var out PSSResponse
+	if err := c.post(ctx, "/v1/pss", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PPV requests a phase macromodel extraction.
+func (c *Client) PPV(ctx context.Context, req PPVRequest) (*PPVResponse, error) {
+	var out PPVResponse
+	if err := c.post(ctx, "/v1/ppv", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GAESweep requests a SYNC-amplitude locking sweep.
+func (c *Client) GAESweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	var out SweepResponse
+	if err := c.post(ctx, "/v1/gae/sweep", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Transient requests a buffered SPICE-level transient (req.Stream must be
+// false; use TransientStream otherwise).
+func (c *Client) Transient(ctx context.Context, req TransientRequest) (*TransientResponse, error) {
+	if req.Stream {
+		return nil, fmt.Errorf("serve client: use TransientStream for streaming requests")
+	}
+	var out TransientResponse
+	if err := c.post(ctx, "/v1/transient", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TransientStream requests a streaming transient and invokes row for every
+// NDJSON line as it arrives (samples, then a closing Done row). A non-nil
+// error from row aborts the stream.
+func (c *Client) TransientStream(ctx context.Context, req TransientRequest, row func(StreamRow) error) error {
+	req.Stream = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("serve client: marshal request: %w", err)
+	}
+	for attempt := 1; ; attempt++ {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/transient", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(httpReq)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.attempts() {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			_ = data
+			select {
+			case <-time.After(c.retryDelay(resp)):
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return DecodeError(resp.StatusCode, data)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			var r StreamRow
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				return fmt.Errorf("serve client: decode stream row: %w", err)
+			}
+			if r.Err != nil {
+				return &APIError{Code: r.Err.Code, Status: r.Err.Status, Message: r.Err.Message}
+			}
+			if err := row(r); err != nil {
+				return err
+			}
+		}
+		return sc.Err()
+	}
+}
+
+// Healthz probes the server; it returns nil on 200 and an *APIError (code
+// "draining") on 503.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, data, err := c.roundTripGet(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var body struct {
+			Status string `json:"status"`
+		}
+		code := CodeInternal
+		if json.Unmarshal(data, &body) == nil && body.Status == "draining" {
+			code = CodeDraining
+		}
+		return &APIError{Code: code, Status: resp.StatusCode, Message: string(data)}
+	}
+	return nil
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
+	resp, data, err := c.roundTripGet(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, DecodeError(resp.StatusCode, data)
+	}
+	var out MetricsResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("serve client: decode metrics: %w", err)
+	}
+	return &out, nil
+}
+
+// roundTripGet is a single-shot GET (no retry — probes report what they
+// see).
+func (c *Client) roundTripGet(ctx context.Context, path string) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}

@@ -1,0 +1,114 @@
+package serve_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestCoalescingOverHTTP is the concurrency witness at the service layer:
+// N identical concurrent PSS requests — arriving as separate HTTP calls —
+// trigger exactly one engine flight. The engine's own counters and the
+// server's aggregated per-request diag counters must both certify it (1
+// miss, N−1 coalesced joiners). Under -race this also certifies the whole
+// request path (admission, per-request metrics, merge into the aggregate)
+// is data-race free.
+func TestCoalescingOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold PSS solve skipped in -short")
+	}
+	srv, c := newTestServer(t, serve.Options{Engine: slowEngine()})
+	ctx := context.Background()
+
+	const callers = 6
+	resps := make([]*serve.PSSResponse, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.PSS(ctx, serve.PSSRequest{})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if resps[i].F0 != resps[0].F0 {
+			t.Fatalf("caller %d got f0 %g, caller 0 got %g", i, resps[i].F0, resps[0].F0)
+		}
+	}
+	cold := 0
+	for _, r := range resps {
+		if r.Cold {
+			cold++
+		}
+	}
+	if cold != 1 {
+		t.Errorf("%d requests reported cold, want exactly 1", cold)
+	}
+
+	st := srv.Engine().Stats()
+	if st.Misses != 1 {
+		t.Fatalf("engine misses = %d, want exactly 1 underlying computation", st.Misses)
+	}
+	if st.Coalesced != callers-1 {
+		t.Fatalf("engine coalesced = %d, want %d", st.Coalesced, callers-1)
+	}
+
+	// The same certificate through the public /metrics endpoint: the server
+	// merged every request's diag counters into its aggregate.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Diag.Counters["engine_misses"]; got != 1 {
+		t.Errorf("/metrics engine_misses = %d, want 1", got)
+	}
+	if got := m.Diag.Counters["engine_coalesced"]; got != callers-1 {
+		t.Errorf("/metrics engine_coalesced = %d, want %d", got, callers-1)
+	}
+	if m.Server.Requests != callers {
+		t.Errorf("/metrics requests = %d, want %d", m.Server.Requests, callers)
+	}
+}
+
+// TestPPVChainCoalescingOverHTTP: the nested chain (PPV with its inner PSS
+// stage) coalesces the same way — exactly two flights however many clients
+// ask.
+func TestPPVChainCoalescingOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold PPV chain skipped in -short")
+	}
+	srv, c := newTestServer(t, serve.Options{Engine: slowEngine()})
+	ctx := context.Background()
+
+	const callers = 4
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.PPV(ctx, serve.PPVRequest{})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	st := srv.Engine().Stats()
+	if st.Misses != 2 { // ppv chain + nested pss stage
+		t.Fatalf("engine misses = %d, want 2 (ppv + pss)", st.Misses)
+	}
+	if st.Coalesced != callers-1 {
+		t.Fatalf("engine coalesced = %d, want %d", st.Coalesced, callers-1)
+	}
+}

@@ -1,0 +1,160 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// pollInFlight waits until the server reports at least n admitted requests
+// in flight ( /metrics is outside the admission path, so polling it never
+// perturbs what it measures).
+func pollInFlight(t *testing.T, c *serve.Client, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Server.InFlight >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("server never reached %d in-flight requests", n)
+}
+
+// postRaw issues one non-retrying POST and returns status, body and the
+// Retry-After header (the typed client hides headers and retries 503s —
+// exactly what these tests must observe raw).
+func postRaw(t *testing.T, c *serve.Client, path, body string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data), resp.Header.Get("Retry-After")
+}
+
+// TestDrainLetsInFlightFinish is the lame-duck contract: after BeginDrain,
+// the request already running completes with 200 while new analysis
+// requests are refused with 503 code "draining", /healthz flips to 503,
+// and DrainWait returns once the straggler is done.
+func TestDrainLetsInFlightFinish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold PSS solve skipped in -short")
+	}
+	srv, c := newTestServer(t, serve.Options{Engine: slowEngine()})
+	ctx := context.Background()
+
+	type outcome struct {
+		resp *serve.PSSResponse
+		err  error
+	}
+	inflight := make(chan outcome, 1)
+	go func() {
+		r, err := c.PSS(ctx, serve.PSSRequest{})
+		inflight <- outcome{r, err}
+	}()
+	pollInFlight(t, c, 1)
+	srv.BeginDrain()
+
+	status, body, retryAfter := postRaw(t, c, "/v1/pss", `{}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain: status %d, want 503 (body %s)", status, body)
+	}
+	if !strings.Contains(body, serve.CodeDraining) {
+		t.Errorf("drain refusal body %q missing code %q", body, serve.CodeDraining)
+	}
+	if retryAfter == "" {
+		t.Error("drain refusal missing Retry-After header")
+	}
+	if err := c.Healthz(ctx); !errors.Is(err, serve.ErrDraining) {
+		t.Errorf("healthz during drain: err = %v, want ErrDraining", err)
+	}
+
+	got := <-inflight
+	if got.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", got.err)
+	}
+	if got.resp.F0 <= 0 {
+		t.Fatalf("in-flight request returned junk: %+v", got.resp)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.DrainWait(wctx); err != nil {
+		t.Fatalf("DrainWait after completion: %v", err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Server.RejectedDraining == 0 || !m.Server.Draining {
+		t.Errorf("drain not visible in metrics: %+v", m.Server)
+	}
+}
+
+// TestSaturationRefusesImmediately is the backpressure contract: with an
+// admission limit of 1 and that slot busy, the next request gets 503 +
+// Retry-After while the first is still running — refused, never queued.
+func TestSaturationRefusesImmediately(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold PSS solve skipped in -short")
+	}
+	_, c := newTestServer(t, serve.Options{Engine: slowEngine(), MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.PSS(ctx, serve.PSSRequest{})
+		done <- err
+	}()
+	pollInFlight(t, c, 1)
+
+	status, body, retryAfter := postRaw(t, c, "/v1/pss", `{}`)
+	select {
+	case err := <-done:
+		t.Fatalf("first request already finished (err %v) — refusal not proven immediate", err)
+	default:
+		// The slot-holder is still solving: the 503 cannot have waited for it.
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: status %d, want 503 (body %s)", status, body)
+	}
+	if !strings.Contains(body, serve.CodeSaturated) {
+		t.Errorf("saturation body %q missing code %q", body, serve.CodeSaturated)
+	}
+	if retryAfter != "2" {
+		t.Errorf("Retry-After = %q, want %q", retryAfter, "2")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slot-holding request: %v", err)
+	}
+
+	// With the slot free again, the retrying client paces through the 503
+	// (honoring the hint, clamped by its RetryCap) and succeeds warm.
+	r, err := c.PSS(ctx, serve.PSSRequest{})
+	if err != nil {
+		t.Fatalf("post-saturation request: %v", err)
+	}
+	if r.Cold {
+		t.Error("post-saturation repeat should ride the cache")
+	}
+}

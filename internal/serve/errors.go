@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/gae"
+	"repro/internal/linalg"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// Error codes of the JSON envelope. Each code is the wire name of one
+// branch of the library's sentinel error taxonomy (or of a service-level
+// condition), and DecodeError maps it back to the sentinel so errors.Is
+// holds across the HTTP boundary.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnsupported      = "unsupported"       // phlogon.ErrUnsupported → 400
+	CodeNoConvergence    = "no_convergence"    // phlogon.ErrNoConvergence → 422
+	CodeSingularJacobian = "singular_jacobian" // phlogon.ErrSingularJacobian → 422
+	CodeNoLock           = "no_lock"           // phlogon.ErrNoLock → 422
+	CodeCanceled         = "canceled"          // client went away → 499
+	CodeTimeout          = "timeout"           // request deadline → 504
+	CodeSaturated        = "saturated"         // admission refused → 503 + Retry-After
+	CodeDraining         = "draining"          // lame-duck shutdown → 503 + Retry-After
+	CodeInternal         = "internal"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for "the client
+// canceled; nobody will read this response".
+const StatusClientClosedRequest = 499
+
+// ErrorBody is the wire form of a failed request:
+//
+//	{"error": {"code": "no_convergence", "status": 422, "message": "..."}}
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// Envelope wraps every error response.
+type Envelope struct {
+	Err ErrorBody `json:"error"`
+}
+
+// Service-level sentinels, so clients can branch on backpressure vs. drain
+// with errors.Is just like on the analysis taxonomy.
+var (
+	// ErrSaturated: the server's admission limit is reached; retry after
+	// the hinted delay.
+	ErrSaturated = errors.New("serve: server saturated")
+	// ErrDraining: the server is shutting down and refuses new work.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// apiError is a fully resolved error: code, HTTP status, and message. It is
+// what validation produces directly and what every other error is
+// normalized into before writing the envelope.
+type apiError struct {
+	code   string
+	status int
+	msg    string
+	cause  error
+}
+
+func (e *apiError) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	return e.code
+}
+
+func (e *apiError) Unwrap() error { return e.cause }
+
+// classify normalizes any handler error into an apiError using the
+// sentinel taxonomy. Cancellation is tested before the numeric sentinels:
+// a solve aborted by a dead client often surfaces as a wrapped ctx error,
+// and "the caller hung up" must win over "Newton stalled".
+func classify(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{code: CodeTimeout, status: http.StatusGatewayTimeout, msg: err.Error(), cause: err}
+	case errors.Is(err, context.Canceled):
+		return &apiError{code: CodeCanceled, status: StatusClientClosedRequest, msg: err.Error(), cause: err}
+	case errors.Is(err, transient.ErrUnsupported):
+		return &apiError{code: CodeUnsupported, status: http.StatusBadRequest, msg: err.Error(), cause: err}
+	case errors.Is(err, solver.ErrNoConvergence):
+		return &apiError{code: CodeNoConvergence, status: http.StatusUnprocessableEntity, msg: err.Error(), cause: err}
+	case errors.Is(err, linalg.ErrSingular):
+		return &apiError{code: CodeSingularJacobian, status: http.StatusUnprocessableEntity, msg: err.Error(), cause: err}
+	case errors.Is(err, gae.ErrNoLock):
+		return &apiError{code: CodeNoLock, status: http.StatusUnprocessableEntity, msg: err.Error(), cause: err}
+	case errors.Is(err, ErrSaturated):
+		return &apiError{code: CodeSaturated, status: http.StatusServiceUnavailable, msg: err.Error(), cause: err}
+	case errors.Is(err, ErrDraining):
+		return &apiError{code: CodeDraining, status: http.StatusServiceUnavailable, msg: err.Error(), cause: err}
+	default:
+		return &apiError{code: CodeInternal, status: http.StatusInternalServerError, msg: err.Error(), cause: err}
+	}
+}
+
+// sentinelFor maps an envelope code back to the sentinel it encodes (nil
+// for codes with no library sentinel, e.g. bad_request/internal).
+func sentinelFor(code string) error {
+	switch code {
+	case CodeUnsupported:
+		return transient.ErrUnsupported
+	case CodeNoConvergence:
+		return solver.ErrNoConvergence
+	case CodeSingularJacobian:
+		return linalg.ErrSingular
+	case CodeNoLock:
+		return gae.ErrNoLock
+	case CodeCanceled:
+		return context.Canceled
+	case CodeTimeout:
+		return context.DeadlineExceeded
+	case CodeSaturated:
+		return ErrSaturated
+	case CodeDraining:
+		return ErrDraining
+	default:
+		return nil
+	}
+}
+
+// APIError is the client-side form of a server error envelope. Its Unwrap
+// re-attaches the sentinel named by Code, so
+//
+//	errors.Is(err, phlogon.ErrNoConvergence)
+//
+// holds for an error decoded from the wire exactly as it would for the
+// in-process call.
+type APIError struct {
+	Code    string
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %s (HTTP %d): %s", e.Code, e.Status, e.Message)
+}
+
+func (e *APIError) Unwrap() error { return sentinelFor(e.Code) }
+
+// DecodeError rebuilds the error from a non-2xx response body. A body that
+// is not a valid envelope still yields an *APIError carrying the status,
+// so callers always get something errors.As-able.
+func DecodeError(status int, body []byte) *APIError {
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Err.Code != "" {
+		return &APIError{Code: env.Err.Code, Status: status, Message: env.Err.Message}
+	}
+	return &APIError{Code: CodeInternal, Status: status, Message: string(body)}
+}
+
+// writeError renders the envelope. Status 503 additionally carries the
+// Retry-After hint.
+func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	if ae.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+	}
+	w.WriteHeader(ae.status)
+	json.NewEncoder(w).Encode(Envelope{Err: ErrorBody{Code: ae.code, Status: ae.status, Message: ae.msg}})
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/gae"
+	"repro/internal/linalg"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// TestClassifyTaxonomy is the status-mapping table: every sentinel of the
+// library's error taxonomy (arbitrarily wrapped, as real call chains wrap
+// them) lands on its documented code and HTTP status.
+func TestClassifyTaxonomy(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("pss: shooting: %w", err) }
+	cases := []struct {
+		name   string
+		err    error
+		code   string
+		status int
+	}{
+		{"unsupported", wrap(transient.ErrUnsupported), CodeUnsupported, http.StatusBadRequest},
+		{"gear2 adaptive wraps unsupported", transient.ErrGear2Adaptive, CodeUnsupported, http.StatusBadRequest},
+		{"no convergence", wrap(solver.ErrNoConvergence), CodeNoConvergence, http.StatusUnprocessableEntity},
+		{"singular jacobian", wrap(linalg.ErrSingular), CodeSingularJacobian, http.StatusUnprocessableEntity},
+		{"no lock", wrap(gae.ErrNoLock), CodeNoLock, http.StatusUnprocessableEntity},
+		{"canceled", wrap(context.Canceled), CodeCanceled, StatusClientClosedRequest},
+		{"deadline", wrap(context.DeadlineExceeded), CodeTimeout, http.StatusGatewayTimeout},
+		{"unknown", errors.New("surprise"), CodeInternal, http.StatusInternalServerError},
+		// A solve aborted mid-Newton wraps both the ctx error and a numeric
+		// sentinel; "the caller hung up" must win over "Newton stalled".
+		{"cancellation beats convergence",
+			fmt.Errorf("%w: %w", solver.ErrNoConvergence, context.Canceled),
+			CodeCanceled, StatusClientClosedRequest},
+		{"already classified", &apiError{code: CodeBadRequest, status: 400, msg: "x"},
+			CodeBadRequest, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ae := classify(tc.err)
+			if ae.code != tc.code || ae.status != tc.status {
+				t.Fatalf("classify(%v) = %s/%d, want %s/%d", tc.err, ae.code, ae.status, tc.code, tc.status)
+			}
+		})
+	}
+}
+
+// TestEnvelopeRoundTrip: code → envelope JSON → DecodeError → errors.Is
+// against the original sentinel, for every code that names one.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	sentinels := map[string]error{
+		CodeUnsupported:      transient.ErrUnsupported,
+		CodeNoConvergence:    solver.ErrNoConvergence,
+		CodeSingularJacobian: linalg.ErrSingular,
+		CodeNoLock:           gae.ErrNoLock,
+		CodeCanceled:         context.Canceled,
+		CodeTimeout:          context.DeadlineExceeded,
+		CodeSaturated:        ErrSaturated,
+		CodeDraining:         ErrDraining,
+	}
+	for code, sentinel := range sentinels {
+		ae := classify(fmt.Errorf("handler: %w", sentinel))
+		body, err := json.Marshal(Envelope{Err: ErrorBody{Code: ae.code, Status: ae.status, Message: ae.msg}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := DecodeError(ae.status, body)
+		if decoded.Code != code {
+			t.Errorf("%s: decoded code %s", code, decoded.Code)
+		}
+		if !errors.Is(decoded, sentinel) {
+			t.Errorf("%s: errors.Is lost through the envelope", code)
+		}
+	}
+	// A garbage body still yields a usable APIError.
+	garbage := DecodeError(http.StatusBadGateway, []byte("<html>nope</html>"))
+	if garbage.Code != CodeInternal || garbage.Status != http.StatusBadGateway {
+		t.Errorf("garbage body: %+v", garbage)
+	}
+}

@@ -1,0 +1,45 @@
+package serve_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/pss"
+	"repro/internal/serve"
+)
+
+// testOptions is the cheap-but-real engine configuration shared by the
+// serve tests: 256 steps/period converges on the paper's ring in a few
+// hundred milliseconds, so cold requests are affordable under -race.
+func testOptions(opt serve.Options) serve.Options {
+	if opt.Engine == nil {
+		opt.Engine = engine.New(engine.Options{
+			PSS: pss.Options{StepsPerPeriod: 256, SettleCycles: 10},
+		})
+	}
+	return opt
+}
+
+// slowEngine returns an engine whose cold PSS solve takes a few hundred
+// milliseconds — a wide-open window for the tests that must observe a
+// request mid-flight (coalescing, drain, saturation) without racing it.
+func slowEngine() *engine.Engine {
+	return engine.New(engine.Options{
+		PSS: pss.Options{StepsPerPeriod: 4096, SettleCycles: 60},
+	})
+}
+
+// newTestServer stands up a Server over httptest and returns a retrying
+// client pointed at it.
+func newTestServer(t testing.TB, opt serve.Options) (*serve.Server, *serve.Client) {
+	t.Helper()
+	srv, err := serve.New(testOptions(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &serve.Client{BaseURL: ts.URL, HTTPClient: ts.Client(), RetryCap: 100 * time.Millisecond}
+}

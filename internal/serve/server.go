@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/engine"
+)
+
+// Options configures a Server. The zero value of every field picks a
+// usable default; Engine is required.
+type Options struct {
+	// Engine executes and memoizes the analyses. Required.
+	Engine *engine.Engine
+	// RequestTimeout bounds each analysis request (default 120 s).
+	RequestTimeout time.Duration
+	// MaxInFlight is the admission limit: at most this many analysis
+	// requests run at once; excess requests get 503 + Retry-After instead
+	// of queueing. Default 8× the engine's compute-pool width — cache hits
+	// are cheap, so HTTP concurrency may healthily exceed solver
+	// concurrency. /healthz and /metrics are never admission-limited.
+	MaxInFlight int
+	// RetryAfter is the hint sent with 503 responses (default 1 s; values
+	// under a second round up to 1, the header's resolution).
+	RetryAfter time.Duration
+	// Metrics, when non-nil, aggregates per-request diag metrics across the
+	// server's lifetime (it is what /metrics snapshots). Default: a fresh
+	// diag.New().
+	Metrics *diag.Metrics
+}
+
+// Server is the HTTP face of one analysis engine. Construct with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	eng        *engine.Engine
+	metrics    *diag.Metrics
+	timeout    time.Duration
+	retryAfter time.Duration
+
+	tokens   chan struct{} // admission slots
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	start    time.Time
+
+	requests          atomic.Int64 // analysis requests admitted
+	inflightNow       atomic.Int64
+	rejectedSaturated atomic.Int64
+	rejectedDraining  atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// New builds a Server around an engine.
+func New(opt Options) (*Server, error) {
+	if opt.Engine == nil {
+		return nil, errors.New("serve: Options.Engine is required")
+	}
+	if opt.RequestTimeout <= 0 {
+		opt.RequestTimeout = 120 * time.Second
+	}
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 8 * opt.Engine.Workers()
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = diag.New()
+	}
+	s := &Server{
+		eng:        opt.Engine,
+		metrics:    opt.Metrics,
+		timeout:    opt.RequestTimeout,
+		retryAfter: opt.RetryAfter,
+		tokens:     make(chan struct{}, opt.MaxInFlight),
+		start:      time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("POST /v1/pss", s.endpoint("pss", s.handlePSS))
+	mux.Handle("POST /v1/ppv", s.endpoint("ppv", s.handlePPV))
+	mux.Handle("POST /v1/gae/sweep", s.endpoint("gae_sweep", s.handleSweep))
+	mux.Handle("POST /v1/transient", s.endpoint("transient", s.handleTransient))
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the server's engine (tests and the CLI snapshot it).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// BeginDrain flips the server into lame-duck mode: new analysis requests
+// (and /healthz) get 503 while in-flight requests run to completion.
+// Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainWait blocks until every in-flight analysis request has completed, or
+// until ctx expires. It does not itself flip drain mode — call BeginDrain
+// first so no new work arrives while waiting.
+func (s *Server) DrainWait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) retryAfterSeconds() int {
+	sec := int((s.retryAfter + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// handlerFunc is one analysis endpoint: it either writes a success response
+// itself or returns an error for the envelope writer. The context carries
+// the request deadline and a per-request diag.Metrics.
+type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request) error
+
+// endpoint wraps an analysis handler with the hardening layers: drain
+// refusal, admission control, in-flight accounting, the request deadline,
+// and per-request metrics that are folded into the server aggregate (so
+// /metrics sees every request, and a span named serve.<name> accumulates
+// each endpoint's wall time and request count).
+func (s *Server) endpoint(name string, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.rejectedDraining.Add(1)
+			s.writeError(w, &apiError{code: CodeDraining, status: http.StatusServiceUnavailable,
+				msg: "server is draining", cause: ErrDraining})
+			return
+		}
+		select {
+		case s.tokens <- struct{}{}:
+		default:
+			s.rejectedSaturated.Add(1)
+			s.writeError(w, &apiError{code: CodeSaturated, status: http.StatusServiceUnavailable,
+				msg: "server saturated: admission limit reached", cause: ErrSaturated})
+			return
+		}
+		s.inflight.Add(1)
+		s.inflightNow.Add(1)
+		s.requests.Add(1)
+		defer func() {
+			<-s.tokens
+			s.inflightNow.Add(-1)
+			s.inflight.Done()
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		dm := diag.New()
+		ctx = diag.WithMetrics(ctx, dm)
+		span := s.metrics.Span("serve." + name)
+		err := h(ctx, w, r)
+		span.End()
+		s.metrics.Merge(dm)
+		if err != nil {
+			ae := classify(err)
+			// The handler's own deadline counts as a server timeout; a dead
+			// client is not (nobody is reading — report 499 and move on).
+			if ae.code == CodeTimeout && r.Context().Err() != nil && ctx.Err() != context.DeadlineExceeded {
+				ae = &apiError{code: CodeCanceled, status: StatusClientClosedRequest, msg: ae.msg, cause: ae.cause}
+			}
+			s.writeError(w, ae)
+		}
+	})
+}
+
+// decodeJSON parses the request body strictly (unknown fields are 400s, so
+// a misspelled option fails loudly instead of silently running defaults).
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequestf("invalid request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// handleHealthz is the load-balancer probe: 200 while serving, 503 once
+// draining (so rotation stops before the listener closes).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// ServerStats is the service-level section of a /metrics snapshot.
+type ServerStats struct {
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	Requests          int64   `json:"requests"`
+	InFlight          int64   `json:"in_flight"`
+	RejectedSaturated int64   `json:"rejected_saturated"`
+	RejectedDraining  int64   `json:"rejected_draining"`
+	Draining          bool    `json:"draining"`
+	MaxInFlight       int     `json:"max_in_flight"`
+}
+
+// EngineStatsJSON mirrors engine.Stats with stable wire names.
+type EngineStatsJSON struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	DiskHits    int64 `json:"disk_hits"`
+	DiskMisses  int64 `json:"disk_misses"`
+	DiskRejects int64 `json:"disk_rejects"`
+	DiskWrites  int64 `json:"disk_writes"`
+}
+
+// MemStatsJSON is the bounded-memory witness of a /metrics snapshot.
+type MemStatsJSON struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+	Goroutines     int    `json:"goroutines"`
+}
+
+// MetricsResponse is the /metrics document: service counters, the engine's
+// cache behaviour (both tiers), the aggregated per-request diag snapshot
+// (counters + per-endpoint serve.* spans), and process memory.
+type MetricsResponse struct {
+	Server ServerStats     `json:"server"`
+	Engine EngineStatsJSON `json:"engine"`
+	Diag   diag.Snapshot   `json:"diag"`
+	Mem    MemStatsJSON    `json:"mem"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, MetricsResponse{
+		Server: ServerStats{
+			UptimeSeconds:     time.Since(s.start).Seconds(),
+			Requests:          s.requests.Load(),
+			InFlight:          s.inflightNow.Load(),
+			RejectedSaturated: s.rejectedSaturated.Load(),
+			RejectedDraining:  s.rejectedDraining.Load(),
+			Draining:          s.draining.Load(),
+			MaxInFlight:       cap(s.tokens),
+		},
+		Engine: EngineStatsJSON{
+			Hits: st.Hits, Misses: st.Misses, Coalesced: st.Coalesced,
+			Evictions: st.Evictions, Entries: st.Entries, Bytes: st.Bytes,
+			DiskHits: st.DiskHits, DiskMisses: st.DiskMisses,
+			DiskRejects: st.DiskRejects, DiskWrites: st.DiskWrites,
+		},
+		Diag: s.metrics.Snapshot(),
+		Mem: MemStatsJSON{
+			HeapAllocBytes: ms.HeapAlloc,
+			SysBytes:       ms.Sys,
+			NumGC:          ms.NumGC,
+			Goroutines:     runtime.NumGoroutine(),
+		},
+	})
+}
