@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse bench-serve lint-deprecated
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse bench-batch bench-serve lint-deprecated
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
 # suite under the race detector, the cross-method conformance ledger, and
@@ -98,6 +98,19 @@ bench-engine:
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineRingPPV(Cold|Warm)$$' -benchtime 1x -count 6 . \
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
 			-only '^BenchmarkEngineRingPPV' -tol 0.5
+
+# Batched-ensemble gate: the scalar and batched Monte-Carlo benchmarks (the
+# same 16 seeded corners through both pipelines) against their pinned
+# baselines, plus the headline claim — the batched path must stay at least
+# 5x faster than the scalar one. The ratio is taken within one run, so
+# machine speed cancels out of it; both checks read the same run's output.
+bench-batch:
+	$(GO) test -run '^$$' -bench '^BenchmarkVariationMC(Scalar|Batched)$$' -benchtime 1x -count 2 -benchmem . > bench-batch.tmp
+	$(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
+		-only '^BenchmarkVariationMC(Scalar|Batched)$$' -tol 1.0 -alloc-tol 0.05 -bytes-tol 0.25 < bench-batch.tmp
+	$(GO) run ./cmd/phlogon-benchdiff ratio \
+		-num BenchmarkVariationMCScalar -den BenchmarkVariationMCBatched -min 5 < bench-batch.tmp
+	rm -f bench-batch.tmp
 
 # HTTP service load gate: boots the real phlogon-serve binary with a disk
 # store, completes 500+ concurrent mixed cold/warm requests with zero

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ringosc"
 	"repro/internal/solver"
 	"repro/internal/transient"
+	"repro/internal/variation"
 )
 
 // shared context: PSS + PPV extraction happens once, figures re-run per
@@ -430,6 +431,41 @@ func BenchmarkSparseVsDenseShoot(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// --- Batched-ensemble Monte Carlo: the same 16 seeded process corners
+// through the scalar per-corner pipeline (one cold PSS→PPV→GAE chain per
+// corner) and through the SoA batched pipeline (one nominal solve, then all
+// corners warm-started in lockstep through circuit.Batch). Both run one
+// worker so the comparison is pure per-corner cost, not parallelism. `make
+// bench-batch` pins both into BENCH_baseline.json and holds the batched
+// path's ≥5x advantage via `phlogon-benchdiff ratio`. ---
+
+const benchMCSamples = 16
+
+func BenchmarkVariationMCScalar(b *testing.B) {
+	cfg := ringosc.DefaultConfig()
+	params := variation.StandardParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := variation.MonteCarloCtx(context.Background(), cfg, params, benchMCSamples, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVariationMCBatched(b *testing.B) {
+	cfg := ringosc.DefaultConfig()
+	params := variation.StandardParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := variation.MonteCarloBatchEng(context.Background(), nil, cfg, params, benchMCSamples,
+			variation.PseudoSampler{Seed: 1}, benchMCSamples, 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

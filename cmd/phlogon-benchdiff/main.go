@@ -38,6 +38,8 @@ func main() {
 		cmdParse(os.Args[2:])
 	case "compare":
 		cmdCompare(os.Args[2:])
+	case "ratio":
+		cmdRatio(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "phlogon-benchdiff: unknown subcommand %q\n", os.Args[1])
 		usage()
@@ -48,7 +50,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   phlogon-benchdiff parse   [-o file]                         < bench-output
-  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] [-bytes-tol x] [-only regexp] < bench-output`)
+  phlogon-benchdiff compare -baseline file [-tol x] [-alloc-tol x] [-bytes-tol x] [-only regexp] < bench-output
+  phlogon-benchdiff ratio   -num bench -den bench -min x      < bench-output`)
 }
 
 // df is package-level so fatal can flush profiles before exiting. benchdiff
@@ -158,6 +161,46 @@ func cmdCompare(args []string) {
 	fmt.Printf("%d benchmarks compared, %d regressed (tol %+.0f%% time, %+.0f%% allocs, %+.0f%% bytes)\n",
 		len(diffs), bad, *tol*100, *allocTol*100, *bytesTol*100)
 	if bad > 0 {
+		df.Stop()
+		os.Exit(1)
+	}
+}
+
+// cmdRatio gates a speedup claim: ns/op(num) / ns/op(den) must be at least
+// -min. Unlike compare's absolute baselines, a ratio of two benchmarks from
+// the same run is robust to machine speed — load slows both sides together —
+// which is what makes it suitable for CI assertions like "the batched
+// Monte-Carlo path stays ≥5x faster than the scalar one".
+func cmdRatio(args []string) {
+	fs := flag.NewFlagSet("ratio", flag.ExitOnError)
+	num := fs.String("num", "", "numerator benchmark name, the slow side (required)")
+	den := fs.String("den", "", "denominator benchmark name, the fast side (required)")
+	min := fs.Float64("min", 1.0, "minimum allowed ns/op(num) / ns/op(den)")
+	df = diag.AddFlags(fs)
+	startDiag(fs, args)
+	defer df.Stop()
+	if *num == "" || *den == "" {
+		fmt.Fprintln(os.Stderr, "phlogon-benchdiff: -num and -den are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	cur := readSet(os.Stdin)
+	lookup := func(name string) Result {
+		if r, ok := cur.Benchmarks[name]; ok {
+			return r
+		}
+		fatal(fmt.Errorf("benchmark %q not found on stdin (have %v)", name, sortedNames(cur, cur)))
+		panic("unreachable")
+	}
+	n, d := lookup(*num), lookup(*den)
+	if d.NsPerOp <= 0 {
+		fatal(fmt.Errorf("%s: non-positive ns/op %g", *den, d.NsPerOp))
+	}
+	ratio := n.NsPerOp / d.NsPerOp
+	fmt.Printf("%s / %s = %.2fx (min %.2fx)\n", *num, *den, ratio, *min)
+	if ratio < *min {
+		fmt.Printf("FAIL: speedup %.2fx below required %.2fx\n", ratio, *min)
 		df.Stop()
 		os.Exit(1)
 	}

@@ -7,7 +7,8 @@
 //
 //	phlogon-char noise [-sync 100u] [-d 5e-3] [-runs 6] [-2n1p] [-workers n]
 //	phlogon-char sens  [-2n1p] [-workers n]
-//	phlogon-char mc    [-n 25] [-seed 1] [-2n1p] [-workers n]
+//	phlogon-char mc    [-n 25] [-seed 1] [-sampler pseudo|sobol] [-batch] [-lanes 8] [-2n1p] [-workers n]
+//	phlogon-char yield [-n 25] [-seed 1] [-sampler pseudo|sobol] [-lanes 8] [-d 5e-3] [-ber 1e-2] [-2n1p] [-workers n]
 package main
 
 import (
@@ -40,6 +41,10 @@ func main() {
 	nMC := fs.Int("n", 25, "Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "Monte-Carlo / ensemble seed")
 	runs := fs.Int("runs", 6, "noise: stochastic ensemble members")
+	samplerName := fs.String("sampler", "pseudo", "mc/yield: corner sampler (pseudo|sobol)")
+	useBatch := fs.Bool("batch", false, "mc: evaluate corners through the batched PSS path")
+	lanes := fs.Int("lanes", variation.DefaultBatchLanes, "mc/yield: corners per batched PSS solve")
+	berTarget := fs.Float64("ber", 1e-2, "yield: acceptable BER per corner")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	df = diag.AddFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -105,12 +110,21 @@ func main() {
 		}
 	case "mc":
 		veng := variation.NewEngine(*workers)
-		samples, err := variation.MonteCarloEng(ctx, veng, cfg, variation.StandardParams(), *nMC, *seed, *workers)
+		params := variation.StandardParams()
+		smp := newSampler(*samplerName, len(params), *seed)
+		var samples []variation.Sample
+		var err error
+		if *useBatch {
+			samples, _, err = variation.MonteCarloBatchEng(ctx, veng, cfg, params, *nMC, smp, *lanes, *workers)
+		} else {
+			samples, err = variation.MonteCarloSampledEng(ctx, veng, cfg, params, *nMC, smp, *workers)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		st := variation.Summarize(samples)
-		fmt.Printf("%d Monte-Carlo samples (seed %d):\n", len(samples), *seed)
+		fmt.Printf("%d Monte-Carlo samples (seed %d, %s sampler%s):\n",
+			len(samples), *seed, smp.Name(), map[bool]string{true: ", batched", false: ""}[*useBatch])
 		fmt.Printf("  f0:         mean %.5g Hz, rel. std %.3g\n", st.MeanF0, st.RelStdF0)
 		fmt.Printf("  lock width: mean %.4g Hz, rel. std %.3g (SYNC 100 µA)\n", st.MeanLockWidth, st.RelStdLockWidth)
 		fmt.Printf("  |V2|:       mean %.4g,    rel. std %.3g\n", st.MeanV2, st.RelStdV2)
@@ -121,13 +135,60 @@ func main() {
 		worst, req := variation.WorstCaseDetuning(samples, nom.F0, nom.V2)
 		fmt.Printf("  worst-case |f0 − f1|: %.4g Hz → SYNC ≥ %.4g µA locks every sampled corner\n",
 			worst, req*1e6)
+	case "yield":
+		// Parametric BER yield: sample process corners, evaluate them through
+		// the batched PSS pipeline, then count Kramers hops of each corner's
+		// SHIL-locked latch under phase diffusion D. A corner passes when its
+		// hop-counting BER stays at or below the target.
+		veng := variation.NewEngine(*workers)
+		params := variation.StandardParams()
+		smp := newSampler(*samplerName, len(params), *seed)
+		_, corners, err := variation.MonteCarloBatchEng(ctx, veng, cfg, params, *nMC, smp, *lanes, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		opt := noise.BEROptions{TBit: 0.05, Bits: 20, Members: *runs, Dt: 1e-4, Seed: *seed, Workers: *workers}
+		bers := make([]float64, len(corners))
+		worst := 0.0
+		for i, cr := range corners {
+			res, err := noise.EstimateBER(ctx, cr.Model, *dStr, opt)
+			if err != nil {
+				fatal(err)
+			}
+			bers[i] = res.BER
+			if res.BER > worst {
+				worst = res.BER
+			}
+		}
+		y := noise.Yield(bers, *berTarget)
+		fmt.Printf("%d corners (seed %d, %s sampler), D = %g cycles²/s, %d bit-slots each:\n",
+			len(corners), *seed, smp.Name(), *dStr, opt.Members*opt.Bits)
+		fmt.Printf("  worst corner BER %.3g, target %.3g\n", worst, *berTarget)
+		fmt.Printf("  parametric yield: %.1f %% of corners meet the BER target\n", 100*y)
 	default:
 		usage()
 	}
 }
 
+// newSampler resolves the -sampler flag for the given parameter count.
+func newSampler(name string, nParams int, seed int64) variation.Sampler {
+	switch name {
+	case "pseudo":
+		return variation.PseudoSampler{Seed: seed}
+	case "sobol":
+		s, err := variation.NewSobolSampler(nParams, seed)
+		if err != nil {
+			fatal(err)
+		}
+		return s
+	default:
+		fatal(fmt.Errorf("unknown sampler %q (want pseudo or sobol)", name))
+		return nil
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: phlogon-char {noise|sens|mc} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: phlogon-char {noise|sens|mc|yield} [flags]")
 	os.Exit(2)
 }
 

@@ -100,6 +100,13 @@ const (
 	EngineDiskRejects
 	// EngineDiskWrites counts artifacts persisted to the disk store.
 	EngineDiskWrites
+	// BatchEvals counts batched circuit evaluations (one EvalFJBatch call
+	// over K lanes counts once; see BatchLaneEvals for the lane total).
+	BatchEvals
+	// BatchLaneEvals accumulates the active-lane count of every batched
+	// evaluation — the batched counterpart of CircuitEvals. The ratio
+	// BatchLaneEvals/BatchEvals is the realized batch occupancy.
+	BatchLaneEvals
 
 	numCounters
 )
@@ -131,6 +138,8 @@ var counterNames = [numCounters]string{
 	EngineDiskMisses:       "engine_disk_misses",
 	EngineDiskRejects:      "engine_disk_rejects",
 	EngineDiskWrites:       "engine_disk_writes",
+	BatchEvals:             "batch_evals",
+	BatchLaneEvals:         "batch_lane_evals",
 }
 
 // String returns the stable snake_case name used in snapshots and JSON.

@@ -128,6 +128,37 @@ func (m *Model) SweepPhaseErrorCtx(ctx context.Context, f1s []float64, refs []fl
 	})
 }
 
+// CornerBand is the locking band of one corner's model in an ensemble
+// sweep.
+type CornerBand struct {
+	F1Lo, F1Hi float64
+	Locks      bool
+}
+
+// LockingBands computes every model's locking band serially; see
+// LockingBandsCtx.
+func LockingBands(models []*Model) []CornerBand {
+	out, _ := LockingBandsCtx(context.Background(), models, 1)
+	return out
+}
+
+// LockingBandsCtx is the corner-ensemble analogue of the scalar sweeps
+// above: a Monte-Carlo batch drains the GAE stage of all its corner models
+// through one fan-out instead of per-corner calls, sharing the worker pool
+// and diagnostics span. Results are in model order and bit-identical at any
+// worker count. Nil models yield a zero CornerBand.
+func LockingBandsCtx(ctx context.Context, models []*Model, workers int) ([]CornerBand, error) {
+	defer diag.SpanFrom(ctx, "gae.corners").End()
+	return parallel.MapWorkerCtx(ctx, len(models), workers, func(wctx context.Context, _, i int) (CornerBand, error) {
+		if models[i] == nil {
+			return CornerBand{}, nil
+		}
+		diag.FromContext(wctx).Inc(diag.SweepPoints)
+		lo, hi := models[i].LockingBand()
+		return CornerBand{F1Lo: lo, F1Hi: hi, Locks: hi > lo}, nil
+	})
+}
+
 // Linspace returns n evenly spaced values over [lo, hi] inclusive.
 func Linspace(lo, hi float64, n int) []float64 {
 	if n == 1 {

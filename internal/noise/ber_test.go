@@ -1,0 +1,76 @@
+package noise_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gae"
+	"repro/internal/noise"
+)
+
+func TestEstimateBERZeroNoiseAndDeterminism(t *testing.T) {
+	p, cal := ringPPV(t)
+	locked := gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase})
+	ctx := context.Background()
+	opt := noise.BEROptions{TBit: 0.05, Bits: 10, Members: 4, Dt: 1e-4, Seed: 7}
+
+	quiet, err := noise.EstimateBER(ctx, locked, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Hops != 0 || quiet.BER != 0 {
+		t.Fatalf("noiseless latch reported %d hops (BER %g)", quiet.Hops, quiet.BER)
+	}
+	if quiet.Bits != opt.Members*opt.Bits {
+		t.Fatalf("observed %d bit-slots, want %d", quiet.Bits, opt.Members*opt.Bits)
+	}
+
+	a, err := noise.EstimateBER(ctx, locked, 30, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := noise.EstimateBER(ctx, locked, 30, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hops != b.Hops || a.BER != b.BER {
+		t.Fatalf("same seed gave different estimates: %+v vs %+v", a, b)
+	}
+	if a.Hops == 0 {
+		t.Fatal("strong noise produced no hops; the estimator is not counting")
+	}
+	if want := float64(a.Hops) / float64(a.Bits); a.BER != want {
+		t.Fatalf("BER %g inconsistent with hops/bits %g", a.BER, want)
+	}
+}
+
+func TestEstimateBERValidation(t *testing.T) {
+	p, cal := ringPPV(t)
+	locked := gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase})
+	bad := []noise.BEROptions{
+		{TBit: 0, Bits: 10, Members: 4, Dt: 1e-4},
+		{TBit: 0.05, Bits: 0, Members: 4, Dt: 1e-4},
+		{TBit: 0.05, Bits: 10, Members: 0, Dt: 1e-4},
+		{TBit: 0.05, Bits: 10, Members: 4, Dt: 0},
+	}
+	for i, opt := range bad {
+		if _, err := noise.EstimateBER(context.Background(), locked, 1, opt); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestYield(t *testing.T) {
+	if y := noise.Yield(nil, 1e-3); y != 0 {
+		t.Fatalf("empty yield = %g, want 0", y)
+	}
+	bers := []float64{0, 1e-3, 0.5}
+	if y := noise.Yield(bers, 1e-3); y != 2.0/3.0 {
+		t.Fatalf("yield = %g, want 2/3", y)
+	}
+	if y := noise.Yield(bers, 1); y != 1 {
+		t.Fatalf("yield = %g, want 1", y)
+	}
+}

@@ -107,23 +107,32 @@ func (r *StochasticResult) Var() float64 {
 
 // StochasticTransient integrates the GAE with additive phase diffusion D
 // (cycles²/s) by Euler–Maruyama: dΔφ = RHS·dt + √(D·dt)·ξ. The RNG is
-// seeded explicitly so runs are reproducible. dt is in seconds; hop
-// detection classifies Δφ into the nearest half-cycle basin.
+// seeded explicitly so runs are reproducible. dt is in seconds.
+//
+// The time grid is indexed by an integer step count, t = t0 + k·dt, never by
+// floating-point accumulation: a `t += dt` loop drifts by one ulp per step,
+// which for grids like [0, 0.7] at dt = 0.1 silently drops the final sample
+// and makes the member length depend on (t0, t1, dt) rounding. Hops counts
+// basin transitions along the recorded trajectory with hysteresis (see
+// CountHops): a transition registers only once Δφ penetrates within hopBand
+// of the new basin centre.
 func StochasticTransient(m *gae.Model, dphi0 float64, d float64, t0, t1, dt float64, seed int64) *StochasticResult {
 	rng := rand.New(rand.NewSource(seed))
 	res := &StochasticResult{}
 	x := dphi0
-	basin := nearestBasin(x)
 	sd := math.Sqrt(d * dt)
-	for t := t0; t <= t1; t += dt {
+	// steps = number of whole dt intervals in [t0, t1]; the relative guard
+	// keeps exact divisions (0.7/0.1, 1/0.1) from flooring one short.
+	steps := int(math.Floor((t1 - t0) / dt * (1 + 1e-12)))
+	hc := hopCounter{basin: nearestBasin(x)}
+	for k := 0; k <= steps; k++ {
+		t := t0 + float64(k)*dt
 		res.T = append(res.T, t)
 		res.Dphi = append(res.Dphi, x)
+		hc.observe(x)
 		x += m.RHS(x)*dt + sd*rng.NormFloat64()
-		if b := nearestBasin(x); b != basin {
-			res.Hops++
-			basin = b
-		}
 	}
+	res.Hops = hc.hops
 	return res
 }
 
@@ -145,6 +154,49 @@ func StochasticEnsemble(ctx context.Context, m *gae.Model, dphi0, d, t0, t1, dt 
 // centre (…, 0, ½, 1, …), so consecutive indices are distinct logic states.
 func nearestBasin(x float64) int {
 	return int(math.Round(x * 2))
+}
+
+// HopBand is the half-width, in cycles, of the inner capture band around a
+// basin centre. A trajectory only commits to a new basin — and counts a hop
+// — once it comes within HopBand of the new centre. Without this hysteresis
+// a trajectory dithering around the basin midpoint (±0.25 cycles) registers
+// a hop on every midpoint crossing, inflating Hops and any BER built on it.
+const HopBand = 0.15
+
+// hopCounter classifies a phase trajectory into half-cycle basins with
+// hysteresis and counts committed transitions.
+type hopCounter struct {
+	basin int
+	hops  int
+}
+
+// observe feeds the next trajectory sample. The current basin is retained
+// until the phase penetrates within HopBand of a different basin's centre.
+func (h *hopCounter) observe(x float64) {
+	nb := nearestBasin(x)
+	if nb == h.basin {
+		return
+	}
+	if math.Abs(x-0.5*float64(nb)) <= HopBand {
+		h.hops++
+		h.basin = nb
+	}
+}
+
+// CountHops counts committed basin transitions along a recorded phase
+// trajectory (cycles), using the same hysteresis rule as
+// StochasticTransient: starting from the basin nearest dphi[0], a hop
+// registers only when the phase enters the ±HopBand inner band of a new
+// basin. CountHops(res.Dphi) reproduces res.Hops exactly.
+func CountHops(dphi []float64) int {
+	if len(dphi) == 0 {
+		return 0
+	}
+	hc := hopCounter{basin: nearestBasin(dphi[0])}
+	for _, x := range dphi {
+		hc.observe(x)
+	}
+	return hc.hops
 }
 
 // LockStiffness returns λ = −f0·g′(Δφ*) at the model's stable lock nearest

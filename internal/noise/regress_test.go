@@ -1,0 +1,96 @@
+package noise_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gae"
+	"repro/internal/noise"
+	"repro/internal/ppv"
+)
+
+// driftFree returns a GAE model whose RHS is identically zero (f1 = f0, no
+// injections), so StochasticTransient reduces to a pure random walk — cheap
+// enough for grid/hop bookkeeping tests without a PSS fixture.
+func driftFree() *gae.Model {
+	return &gae.Model{P: &ppv.PPV{F0: 1e4}, F1: 1e4}
+}
+
+// Regression for the `for t := t0; t <= t1; t += dt` loop: floating-point
+// accumulation overshot t1 by one ulp on grids like [0, 0.7]/0.1 and
+// silently dropped the final sample, so the trajectory length depended on
+// (t0, t1, dt) rounding. The grid is now t = t0 + k·dt for integer k.
+func TestStochasticTransientGridPinned(t *testing.T) {
+	cases := []struct {
+		t0, t1, dt float64
+		want       int
+	}{
+		{0, 0.7, 0.1, 8},     // accumulation yields 0.7000000000000001 > 0.7 → 7 samples before the fix
+		{0, 1.0, 0.1, 11},    // and 0.9999999999999999 ≤ 1 twice → grid-dependent luck
+		{0.3, 0.5, 0.1, 3},   // nonzero t0: 0.3+0.1+0.1 = 0.5000000000000001 → 2 before the fix
+		{0, 0.05, 1e-4, 501}, // long fine grid: drift accumulates over 500 steps
+	}
+	m := driftFree()
+	for _, c := range cases {
+		r := noise.StochasticTransient(m, 0, 0, c.t0, c.t1, c.dt, 1)
+		if len(r.T) != c.want {
+			t.Errorf("grid [%g,%g]/%g: %d samples, want %d", c.t0, c.t1, c.dt, len(r.T), c.want)
+		}
+		for k, tk := range r.T {
+			if want := c.t0 + float64(k)*c.dt; tk != want {
+				t.Fatalf("grid [%g,%g]/%g: T[%d] = %v, want exactly %v", c.t0, c.t1, c.dt, k, tk, want)
+			}
+		}
+		if len(r.T) != len(r.Dphi) {
+			t.Fatalf("len(T) %d != len(Dphi) %d", len(r.T), len(r.Dphi))
+		}
+	}
+}
+
+// Regression for hysteresis-free hop counting: a trajectory dithering
+// around a basin midpoint (0.25 cycles) must count zero hops; only a
+// committed crossing into ±HopBand of the new centre counts.
+func TestCountHopsBoundaryHugging(t *testing.T) {
+	var hug []float64
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			hug = append(hug, 0.22)
+		} else {
+			hug = append(hug, 0.28) // nearest basin flips 0 ↔ 1 every sample
+		}
+	}
+	if got := noise.CountHops(hug); got != 0 {
+		t.Errorf("boundary-hugging trajectory counted %d hops, want 0", got)
+	}
+
+	committed := []float64{0, 0.1, 0.3, 0.45, 0.5, 0.48, 0.3, 0.1, 0.02}
+	if got := noise.CountHops(committed); got != 2 {
+		t.Errorf("committed round trip counted %d hops, want 2", got)
+	}
+
+	if got := noise.CountHops(nil); got != 0 {
+		t.Errorf("empty trajectory counted %d hops", got)
+	}
+}
+
+// StochasticTransient's online Hops must agree with recounting the recorded
+// trajectory, so BER estimators can post-process Dphi consistently.
+func TestStochasticTransientHopsMatchCountHops(t *testing.T) {
+	m := driftFree()
+	total := 0
+	for seed := int64(0); seed < 5; seed++ {
+		r := noise.StochasticTransient(m, 0, 5.0, 0, 1.0, 1e-3, seed)
+		if got := noise.CountHops(r.Dphi); got != r.Hops {
+			t.Fatalf("seed %d: CountHops %d != online Hops %d", seed, got, r.Hops)
+		}
+		total += r.Hops
+	}
+	if total == 0 {
+		t.Fatal("strong-noise random walk never hopped; hop counter inert")
+	}
+	// A diffusing walk still reaches |Δφ| ≫ 1 basin.
+	r := noise.StochasticTransient(m, 0, 5.0, 0, 1.0, 1e-3, 1)
+	if math.Abs(r.Dphi[len(r.Dphi)-1]) == 0 {
+		t.Fatal("walk did not move")
+	}
+}

@@ -1,0 +1,98 @@
+package ppv_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ppv"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+)
+
+// TestFromSolutionsBatchBitIdentical pins the batched PPV extractor to the
+// scalar one: on the same converged per-lane Solutions, every lane's PPV must
+// be bit-for-bit the scalar FromSolution result — same grid samples, same
+// Fourier coefficients, same normalization spread. Nil lanes pass through.
+func TestFromSolutionsBatchBitIdentical(t *testing.T) {
+	scales := []float64{0.94, 1.0, 1.07}
+	K := len(scales)
+	rings := make([]*ringosc.Ring, K)
+	systems := make([]*circuit.System, K)
+	x0s := make([][]float64, K)
+	guess := make([]float64, K)
+	for k, s := range scales {
+		cfg := ringosc.DefaultConfig()
+		cfg.CLoad *= s
+		r, err := ringosc.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[k] = r
+		systems[k] = r.Sys
+		x0s[k] = r.KickStart()
+		guess[k] = 1 / r.EstimatedF0()
+	}
+	b, err := circuit.NewBatch(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := b.N
+	x0 := make([]float64, K*n)
+	for k := range scales {
+		copy(x0[k*n:(k+1)*n], x0s[k])
+	}
+	sols, errs, err := pss.ShootAutonomousBatch(context.Background(), b, x0, pss.BatchShootOptions{
+		GuessT: guess, StepsPerPeriod: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, e := range errs {
+		if e != nil {
+			t.Fatalf("lane %d shooting: %v", k, e)
+		}
+	}
+
+	// Knock out the middle lane to exercise nil passthrough.
+	holed := append([]*pss.Solution(nil), sols...)
+	holed[1] = nil
+	got, gerrs, err := ppv.FromSolutionsBatch(context.Background(), b, holed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != nil || gerrs[1] != nil {
+		t.Fatalf("nil lane produced ppv=%v err=%v", got[1], gerrs[1])
+	}
+	for _, k := range []int{0, 2} {
+		if gerrs[k] != nil {
+			t.Fatalf("lane %d: %v", k, gerrs[k])
+		}
+		want, werr := ppv.FromSolution(systems[k], sols[k])
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		p := got[k]
+		if p.T0 != want.T0 || p.F0 != want.F0 || p.NormError != want.NormError {
+			t.Fatalf("lane %d header: got (T0=%v F0=%v normErr=%v), want (T0=%v F0=%v normErr=%v)",
+				k, p.T0, p.F0, p.NormError, want.T0, want.F0, want.NormError)
+		}
+		if len(p.VI) != len(want.VI) {
+			t.Fatalf("lane %d: %d VI samples, want %d", k, len(p.VI), len(want.VI))
+		}
+		for i := range p.VI {
+			for j := range p.VI[i] {
+				if p.VI[i][j] != want.VI[i][j] {
+					t.Fatalf("lane %d VI[%d][%d] = %v, want %v (bit-exact)", k, i, j, p.VI[i][j], want.VI[i][j])
+				}
+			}
+		}
+		for node := range p.NodeSeries {
+			for m := 0; m <= ppv.MaxHarmonics; m++ {
+				if p.NodeSeries[node].Coefficient(m) != want.NodeSeries[node].Coefficient(m) {
+					t.Fatalf("lane %d node %d harmonic %d differs", k, node, m)
+				}
+			}
+		}
+	}
+}

@@ -110,17 +110,29 @@ func FromSolutionCtx(ctx context.Context, sys *circuit.System, sol *pss.Solution
 	//      y_{i+1} = (I − h/2·A_{i+1})⁻¹ (I + h/2·A_i) y_i
 	//    implies
 	//      w_i = (I + h/2·A_i)ᵀ (I − h/2·A_{i+1})⁻ᵀ w_{i+1}.
+	// The recursion reuses one iteration matrix, LU and intermediate vector
+	// across all k steps (the factorization-heavy inner loop would otherwise
+	// allocate a fresh matrix and pivot set per grid point).
 	ws := make([]linalg.Vec, k+1)
 	ws[k] = w.Clone()
+	lhs := linalg.NewMat(n, n)
+	tmp := linalg.NewVec(n)
+	var lu linalg.LU
 	for i := k - 1; i >= 0; i-- {
-		lhs := linalg.Eye(n)
-		lhs.AddScaled(-h/2, as[i+1])
-		lu, err := linalg.Factorize(lhs)
-		dm.Inc(diag.LUFactorizations)
-		if err != nil {
-			return nil, fmt.Errorf("ppv: adjoint step %d singular: %w", i, err)
+		lhs.Zero()
+		for d := 0; d < n; d++ {
+			lhs.Set(d, d, 1)
 		}
-		tmp := lu.SolveT(ws[i+1])
+		lhs.AddScaled(-h/2, as[i+1])
+		ferr := lu.FactorizeInto(lhs)
+		dm.Inc(diag.LUFactorizations)
+		if lu.ReusedBuffers() {
+			dm.Inc(diag.LUFactorizationsReused)
+		}
+		if ferr != nil {
+			return nil, fmt.Errorf("ppv: adjoint step %d singular: %w", i, ferr)
+		}
+		lu.SolveTInto(tmp, ws[i+1])
 		dm.Inc(diag.LUSolves)
 		// w_i = (I + h/2 A_i)ᵀ tmp
 		wi := as[i].MulVecT(tmp)

@@ -1,0 +1,282 @@
+package pss
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/diag"
+	"repro/internal/linalg"
+	"repro/internal/solver"
+	"repro/internal/transient"
+)
+
+// This file implements batched autonomous shooting: K parameter corners of
+// one topology converge to their limit cycles together, with every settle
+// run and shooting iteration integrated as one lockstep transient.RunBatch
+// (the inner transients are where a shooting solve spends essentially all of
+// its time, so batching them batches the solve). Newton runs record their
+// trajectories, so the run that detects a lane's convergence doubles as that
+// lane's grid pass — one fewer sensitivity period per corner than the scalar
+// solve-then-regrid sequence, with bit-identical grid data. The
+// bordered Newton updates stay per-lane and dense — each lane has its own
+// period iterate T[k] and its own monodromy — and lanes drop out of the
+// batch as they converge or fail, so one slow corner never blocks the rest.
+//
+// The intended use is Monte-Carlo/corner ensembles warm-started from a
+// nominal solution: seed every lane with the nominal orbit's X0, scale the
+// per-lane period guesses by the corners' estimated frequency ratios, and a
+// few settle cycles replace the scalar path's cold twenty.
+
+// BatchShootOptions tunes a batched autonomous shooting solve.
+type BatchShootOptions struct {
+	// GuessT holds per-lane initial period guesses (required, length K).
+	GuessT []float64
+	// StepsPerPeriod, MaxIter, Tol, Method and Backend mean exactly what they
+	// mean in Options (defaults 512, 30, 1e-7 V).
+	StepsPerPeriod int
+	MaxIter        int
+	Tol            float64
+	Method         transient.Method
+	Backend        linalg.Backend
+	// SettleCycles integrates this many free-running cycles per lane before
+	// shooting (default 20, like the scalar path). Warm-started ensembles set
+	// a small count; a negative value skips the settle entirely.
+	SettleCycles int
+	// SettleStepsPerPeriod sets the settle integration's resolution (default:
+	// StepsPerPeriod). The settle only conditions the shooting iteration's
+	// initial state and period estimate — every lane still converges to the
+	// StepsPerPeriod discretization at Tol — so warm-started ensembles can
+	// settle on a coarser grid at no accuracy cost.
+	SettleStepsPerPeriod int
+}
+
+// ShootAutonomousBatch finds the limit cycle of every lane of b, starting
+// from the lane-major state x0 (warm starts replicate a nominal X0 across
+// lanes). It returns per-lane solutions and per-lane errors — sols[k] is nil
+// exactly when errs[k] is non-nil — and a non-nil error only for structural
+// misuse (wrong lengths, bad options) or context cancellation.
+func ShootAutonomousBatch(ctx context.Context, b *circuit.Batch, x0 []float64, opt BatchShootOptions) (sols []*Solution, errs []error, err error) {
+	K, n := b.K, b.N
+	if len(opt.GuessT) != K {
+		return nil, nil, fmt.Errorf("pss: BatchShootOptions.GuessT has %d lanes, batch has %d", len(opt.GuessT), K)
+	}
+	for k, g := range opt.GuessT {
+		if g <= 0 {
+			return nil, nil, fmt.Errorf("pss: BatchShootOptions.GuessT[%d] = %g must be positive", k, g)
+		}
+	}
+	if len(x0) != K*n {
+		return nil, nil, fmt.Errorf("pss: batched x0 has length %d, want %d", len(x0), K*n)
+	}
+	if opt.StepsPerPeriod == 0 {
+		opt.StepsPerPeriod = 512
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 30
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-7
+	}
+	if opt.SettleCycles == 0 {
+		opt.SettleCycles = 20
+	}
+	spp := opt.StepsPerPeriod
+	defer diag.SpanFrom(ctx, "pss.shoot.batch").End()
+	dm := diag.FromContext(ctx)
+	dm.Add(diag.NewtonSolves, int64(K))
+
+	tsc := transient.NewBatchScratch(b)
+	sols = make([]*Solution, K)
+	errs = make([]error, K)
+	x := append([]float64(nil), x0...)
+	T := append([]float64(nil), opt.GuessT...)
+	h := make([]float64, K)
+	active := make([]int, 0, K)
+	for k := 0; k < K; k++ {
+		active = append(active, k)
+	}
+	fail := func(k int, e error) { errs[k] = e }
+	prune := func(lanes []int) []int {
+		w := 0
+		for _, k := range lanes {
+			if errs[k] == nil {
+				lanes[w] = k
+				w++
+			}
+		}
+		return lanes[:w]
+	}
+
+	// Settle onto the limit cycles and refine the per-lane period guesses
+	// from each lane's recurrence.
+	if opt.SettleCycles > 0 {
+		sp := diag.SpanFrom(ctx, "pss.settle")
+		sspp := opt.SettleStepsPerPeriod
+		if sspp <= 0 {
+			sspp = spp
+		}
+		for _, k := range active {
+			h[k] = T[k] / float64(sspp)
+		}
+		res, rerr := tsc.Run(ctx, x, transient.BatchOptions{
+			Method: transient.Trap,
+			Steps:  opt.SettleCycles * sspp,
+			H:      h, Backend: opt.Backend,
+			Record: true, RecordNode: 0,
+			Active: active,
+		})
+		sp.End()
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("pss: batched settle failed: %w", rerr)
+		}
+		for _, k := range active {
+			if res.Err[k] != nil {
+				fail(k, fmt.Errorf("pss: settle transient failed: %w", res.Err[k]))
+				continue
+			}
+			copy(x[k*n:(k+1)*n], res.LaneX(k))
+			if Tref, err := estimatePeriodFromSeries(res.T[k], res.NodeV[k], T[k]); err == nil {
+				T[k] = Tref
+			}
+		}
+		active = prune(active)
+	}
+
+	// Per-lane phase anchors (largest |ẋ| component at the settle endpoint)
+	// and scalar workspaces for the border column ẋ(T).
+	wss := make([]*circuit.Workspace, K)
+	anchor := make([]int, K)
+	anchorVal := make([]float64, K)
+	fT := linalg.NewVec(n)
+	for _, k := range active {
+		wss[k] = b.Systems[k].NewWorkspace()
+		wss[k].SetMetrics(dm)
+		xd := wss[k].XDot(linalg.Vec(x[k*n:(k+1)*n]), 0)
+		anchor[k] = xd.MaxAbsIndex()
+		anchorVal[k] = x[k*n+anchor[k]]
+	}
+
+	// Bordered Newton, per lane over batched monodromy transients:
+	//   [ M − I   ẋ(T) ] [Δx]   [ −r ]
+	//   [ e_aᵀ      0  ] [ΔT] = [  0 ]
+	//
+	// Every Newton run records states: the run that *detects* a lane's
+	// convergence integrates one full period from the converged (x, T) with
+	// sensitivities — exactly the grid pass the scalar path re-runs after
+	// convergence — so its trajectory, monodromy and residual are the
+	// Solution's grid data and no separate grid pass is needed.
+	big := linalg.NewMat(n+1, n+1)
+	rhs := linalg.NewVec(n + 1)
+	dz := linalg.NewVec(n + 1)
+	r := linalg.NewVec(n)
+	var lu linalg.LU
+	lastRes := make([]float64, K)
+
+	for iter := 0; iter < opt.MaxIter && len(active) > 0; iter++ {
+		for _, k := range active {
+			h[k] = T[k] / float64(spp)
+		}
+		run, rerr := tsc.Run(ctx, x, transient.BatchOptions{
+			Method: opt.Method, Steps: spp, H: h,
+			Sensitivity: true, RecordStates: true, Backend: opt.Backend,
+			Active: active,
+		})
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("pss: batched shooting transient failed: %w", rerr)
+		}
+		for _, k := range active {
+			if run.Err[k] != nil {
+				fail(k, fmt.Errorf("pss: shooting transient failed: %w", run.Err[k]))
+				continue
+			}
+			base := k * n
+			xk := linalg.Vec(x[base : base+n])
+			xT := run.LaneX(k)
+			r.Sub(xT, xk)
+			lastRes[k] = r.NormInf()
+			if lastRes[k] <= opt.Tol {
+				if len(run.States[k]) != spp+1 {
+					fail(k, fmt.Errorf("pss: expected %d grid points, got %d", spp+1, len(run.States[k])))
+					continue
+				}
+				grid := make([]float64, spp+1)
+				for i := range grid {
+					grid[i] = T[k] * float64(i) / float64(spp)
+				}
+				mult, merr := linalg.Eigenvalues(run.Sens[k])
+				if merr != nil {
+					mult = nil // multipliers are advisory; don't fail the PSS
+				}
+				sols[k] = &Solution{
+					T0: T[k], F0: 1 / T[k],
+					X0:          append(linalg.Vec(nil), xk...),
+					Grid:        grid,
+					States:      run.States[k],
+					Monodromy:   run.Sens[k],
+					Multipliers: mult,
+					Residual:    lastRes[k],
+					Iterations:  iter,
+				}
+				fail(k, errConvergedSentinel) // removed from active below; cleared before return
+				continue
+			}
+			dm.Inc(diag.NewtonIterations)
+			m := run.Sens[k]
+			big.Zero()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					big.Set(i, j, m.At(i, j))
+				}
+				big.Addf(i, i, -1)
+			}
+			wss[k].XDotInto(fT, xT, T[k])
+			for i := 0; i < n; i++ {
+				big.Set(i, n, fT[i])
+			}
+			big.Set(n, anchor[k], 1)
+			for i := 0; i < n; i++ {
+				rhs[i] = -r[i]
+			}
+			rhs[n] = anchorVal[k] - xk[anchor[k]]
+			ferr := lu.FactorizeInto(big)
+			dm.Inc(diag.LUFactorizations)
+			if lu.ReusedBuffers() {
+				dm.Inc(diag.LUFactorizationsReused)
+			}
+			if ferr != nil {
+				fail(k, fmt.Errorf("pss: singular bordered Jacobian: %w", ferr))
+				continue
+			}
+			lu.SolveInto(dz, rhs)
+			dm.Inc(diag.LUSolves)
+			if dT := dz[n]; math.Abs(dT) > 0.2*T[k] {
+				dz.Scale(0.2 * T[k] / math.Abs(dT))
+			}
+			for i := 0; i < n; i++ {
+				xk[i] += dz[i]
+			}
+			T[k] += dz[n]
+			if T[k] <= 0 {
+				fail(k, errors.New("pss: period iterate became non-positive"))
+			}
+		}
+		active = prune(active)
+	}
+	for _, k := range active {
+		fail(k, fmt.Errorf("pss: shooting did not converge (residual %.3g V after %d iterations): %w", lastRes[k], opt.MaxIter, solver.ErrNoConvergence))
+	}
+	for k := range errs {
+		if errors.Is(errs[k], errConvergedSentinel) {
+			errs[k] = nil
+		}
+	}
+	return sols, errs, nil
+}
+
+// errConvergedSentinel temporarily marks converged lanes inside the shooting
+// loop's shared error array so prune drops them from the active set; it is
+// cleared before ShootAutonomousBatch returns and never escapes.
+var errConvergedSentinel = errors.New("pss: lane converged")

@@ -1,0 +1,190 @@
+package pss_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pss"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+)
+
+// cornerRingBatch builds K congruent corner rings plus their Ring handles.
+func cornerRingBatch(t testing.TB, k int) ([]*ringosc.Ring, *circuit.Batch) {
+	t.Helper()
+	rings := make([]*ringosc.Ring, k)
+	systems := make([]*circuit.System, k)
+	for i := 0; i < k; i++ {
+		cfg := ringosc.DefaultConfig()
+		d := float64(i) - float64(k)/2
+		cfg.NMOS.Beta *= 1 + 0.05*d
+		cfg.PMOS.VT0 *= 1 + 0.02*d
+		cfg.CLoad *= 1 + 0.06*d
+		r, err := ringosc.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[i] = r
+		systems[i] = r.Sys
+	}
+	b, err := circuit.NewBatch(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rings, b
+}
+
+// TestShootAutonomousBatchMatchesScalar converges K corners batched (cold
+// start, like the scalar path) and per-lane scalar, and compares periods,
+// orbits, and Floquet multipliers. Both converge the same periodicity
+// residual to Tol, so the solutions must agree far below a percent.
+func TestShootAutonomousBatchMatchesScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PSS convergence test")
+	}
+	const K = 3
+	const spp = 256
+	rings, b := cornerRingBatch(t, K)
+	n := b.N
+	x0 := make([]float64, K*n)
+	guess := make([]float64, K)
+	for k, r := range rings {
+		copy(x0[k*n:(k+1)*n], r.KickStart())
+		guess[k] = 1 / r.EstimatedF0()
+	}
+	opt := pss.BatchShootOptions{GuessT: guess, StepsPerPeriod: spp, SettleCycles: 10}
+	sols, errs, err := pss.ShootAutonomousBatch(context.Background(), b, x0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range rings {
+		if errs[k] != nil {
+			t.Fatalf("lane %d: %v", k, errs[k])
+		}
+		scalar, serr := pss.ShootAutonomous(r.Sys, r.KickStart(), pss.Options{
+			GuessT: guess[k], StepsPerPeriod: spp, SettleCycles: 10,
+		})
+		if serr != nil {
+			t.Fatalf("scalar lane %d: %v", k, serr)
+		}
+		bs := sols[k]
+		if rel := math.Abs(bs.F0-scalar.F0) / scalar.F0; rel > 1e-5 {
+			t.Errorf("lane %d F0: batch %g vs scalar %g (rel %g)", k, bs.F0, scalar.F0, rel)
+		}
+		if bs.Residual > 1e-6 {
+			t.Errorf("lane %d residual %g too large", k, bs.Residual)
+		}
+		if len(bs.Grid) != spp+1 || len(bs.States) != spp+1 {
+			t.Fatalf("lane %d grid has %d/%d points, want %d", k, len(bs.Grid), len(bs.States), spp+1)
+		}
+		// The orbits may differ in phase (different anchors are legal), so
+		// compare phase-free scalars: the node-0 waveform's min and max.
+		bmin, bmax := orbitRange(bs, 0)
+		smin, smax := orbitRange(scalar, 0)
+		if math.Abs(bmin-smin) > 1e-3 || math.Abs(bmax-smax) > 1e-3 {
+			t.Errorf("lane %d orbit range [%g,%g] vs scalar [%g,%g]", k, bmin, bmax, smin, smax)
+		}
+		// Floquet: the trivial multiplier pins near 1 on both paths.
+		_, _, bstable := bs.StabilityReport()
+		_, _, sstable := scalar.StabilityReport()
+		if bstable != sstable {
+			t.Errorf("lane %d stability disagrees: batch %v vs scalar %v", k, bstable, sstable)
+		}
+	}
+	// Distinct corners must produce distinct frequencies.
+	if sols[0].F0 == sols[K-1].F0 {
+		t.Error("corner lanes returned identical F0; lanes are not independent")
+	}
+}
+
+func orbitRange(s *pss.Solution, node int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, st := range s.States {
+		lo = math.Min(lo, st[node])
+		hi = math.Max(hi, st[node])
+	}
+	return lo, hi
+}
+
+// TestShootAutonomousBatchWarmStart seeds every corner from a nominal PSS
+// orbit with frequency-ratio-scaled period guesses and only a few settle
+// cycles — the Monte-Carlo fast path — and checks it converges to the same
+// periods as a cold batched solve.
+func TestShootAutonomousBatchWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PSS convergence test")
+	}
+	const K = 3
+	const spp = 256
+	rings, b := cornerRingBatch(t, K)
+	n := b.N
+
+	// Nominal solve (scalar, cold).
+	nomCfg := ringosc.DefaultConfig()
+	nom, err := ringosc.Build(nomCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomSol, err := pss.ShootAutonomous(nom.Sys, nom.KickStart(), pss.Options{
+		GuessT: 1 / nom.EstimatedF0(), StepsPerPeriod: spp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x0 := make([]float64, K*n)
+	guess := make([]float64, K)
+	for k, r := range rings {
+		copy(x0[k*n:(k+1)*n], nomSol.X0)
+		guess[k] = nomSol.T0 * nom.EstimatedF0() / r.EstimatedF0()
+	}
+	warm, errsW, err := pss.ShootAutonomousBatch(context.Background(), b, x0, pss.BatchShootOptions{
+		GuessT: guess, StepsPerPeriod: spp, SettleCycles: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := make([]float64, K)
+	for k, r := range rings {
+		copy(x0[k*n:(k+1)*n], r.KickStart())
+		guess[k] = 1 / r.EstimatedF0()
+	}
+	coldSols, errsC, err := pss.ShootAutonomousBatch(context.Background(), b, x0, pss.BatchShootOptions{
+		GuessT: guess, StepsPerPeriod: spp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < K; k++ {
+		if errsW[k] != nil {
+			t.Fatalf("warm lane %d: %v", k, errsW[k])
+		}
+		if errsC[k] != nil {
+			t.Fatalf("cold lane %d: %v", k, errsC[k])
+		}
+		cold[k] = coldSols[k].F0
+		if rel := math.Abs(warm[k].F0-cold[k]) / cold[k]; rel > 1e-5 {
+			t.Errorf("lane %d warm F0 %g vs cold %g (rel %g)", k, warm[k].F0, cold[k], rel)
+		}
+	}
+}
+
+// TestShootAutonomousBatchValidation covers structural misuse.
+func TestShootAutonomousBatchValidation(t *testing.T) {
+	_, b := cornerRingBatch(t, 2)
+	n := b.N
+	x0 := make([]float64, 2*n)
+	ctx := context.Background()
+	if _, _, err := pss.ShootAutonomousBatch(ctx, b, x0, pss.BatchShootOptions{GuessT: []float64{1e-5}}); err == nil {
+		t.Fatal("short GuessT accepted")
+	}
+	if _, _, err := pss.ShootAutonomousBatch(ctx, b, x0, pss.BatchShootOptions{GuessT: []float64{1e-5, -1}}); err == nil {
+		t.Fatal("negative GuessT accepted")
+	}
+	if _, _, err := pss.ShootAutonomousBatch(ctx, b, x0[:1], pss.BatchShootOptions{GuessT: []float64{1e-5, 1e-5}}); err == nil {
+		t.Fatal("short x0 accepted")
+	}
+	_ = transient.Trap
+}

@@ -352,7 +352,16 @@ func buildSolution(ctx context.Context, tsc *transient.Scratch, sys *circuit.Sys
 // of rising crossings of node 0 through its midpoint over the trailing half
 // of a settle run.
 func estimatePeriodFromRecurrence(res *transient.Result, guess float64) (float64, error) {
-	v := res.Node(0)
+	return estimatePeriodFromSeries(res.T, res.Node(0), guess)
+}
+
+// estimatePeriodFromSeries is the slice-level core of the recurrence
+// estimator, shared by the scalar path and the batched settle (which records
+// per-lane node waveforms rather than transient.Results).
+func estimatePeriodFromSeries(ts, v []float64, guess float64) (float64, error) {
+	if len(v) == 0 || len(ts) != len(v) {
+		return 0, errors.New("pss: no recurrence found")
+	}
 	lo, hi := v[0], v[0]
 	for _, x := range v {
 		lo = math.Min(lo, x)
@@ -360,14 +369,14 @@ func estimatePeriodFromRecurrence(res *transient.Result, guess float64) (float64
 	}
 	mid := (lo + hi) / 2
 	var crossings []float64
-	start := res.T[len(res.T)-1] / 2
+	start := ts[len(ts)-1] / 2
 	for i := 1; i < len(v); i++ {
-		if res.T[i] < start {
+		if ts[i] < start {
 			continue
 		}
 		if v[i-1] < mid && v[i] >= mid {
 			f := (mid - v[i-1]) / (v[i] - v[i-1])
-			crossings = append(crossings, res.T[i-1]+f*(res.T[i]-res.T[i-1]))
+			crossings = append(crossings, ts[i-1]+f*(ts[i]-ts[i-1]))
 		}
 	}
 	if len(crossings) < 2 {

@@ -1,0 +1,239 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/diag"
+	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
+)
+
+// This file implements batched DC operating points over a circuit.Batch: a
+// masked, damped Newton iteration drives K parameter corners through shared
+// structure-of-arrays evaluations (one EvalScaledBatch per iteration and per
+// line-search trial, instead of K scalar evaluations each). Lanes leave the
+// active set as they converge; lanes the plain-Newton stage cannot crack
+// fall back to the scalar continuation ladder (gmin stepping, then source
+// stepping) via DCOperatingPointBackendCtx, so the batched entry point is
+// exactly as robust as the scalar one.
+
+// DCOperatingPointBatch computes a DC solution for every lane of b at time t
+// (sources at t, capacitors open). x0 is the lane-major seed; nil starts all
+// lanes from zero. It returns the lane-major solution and per-lane errors
+// (errs[k] non-nil when neither the batched Newton nor the scalar
+// continuation ladder converged lane k; that lane's block is its last
+// iterate).
+func DCOperatingPointBatch(b *circuit.Batch, x0 []float64, t float64) ([]float64, []error) {
+	return DCOperatingPointBatchCtx(context.Background(), b, x0, t, linalg.BackendAuto)
+}
+
+// DCOperatingPointBatchCtx is DCOperatingPointBatch with cost diagnostics
+// carried by ctx and an explicit linear-algebra backend selection.
+func DCOperatingPointBatchCtx(ctx context.Context, b *circuit.Batch, x0 []float64, t float64, backend linalg.Backend) ([]float64, []error) {
+	defer diag.SpanFrom(ctx, "dcop.batch").End()
+	dm := diag.FromContext(ctx)
+	K, n := b.K, b.N
+	nnz := b.Pattern().NNZ()
+	opt := DefaultOptions()
+
+	x := make([]float64, K*n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	errs := make([]error, K)
+	bw := b.NewWorkspace()
+	bw.SetMetrics(dm)
+	dm.Add(diag.NewtonSolves, int64(K))
+
+	useSparse := b.Systems[0].ResolveBackend(backend) == linalg.BackendSparse
+	var jac *linalg.Mat
+	var lus []linalg.LU
+	var slus []sparse.LU
+	if useSparse {
+		slus = make([]sparse.LU, K)
+	} else {
+		jac = linalg.NewMat(n, n)
+		lus = make([]linalg.LU, K)
+	}
+	pat := b.Pattern()
+
+	xTry := make([]float64, K*n)
+	dxs := make([]float64, K*n)
+	res := make([]float64, K)
+	lambda := make([]float64, K)
+	dxv := linalg.NewVec(n)
+
+	active := make([]int, 0, K)
+	for k := 0; k < K; k++ {
+		active = append(active, k)
+	}
+	searching := make([]int, 0, K)
+	laneNormInf := func(v []float64) float64 {
+		m := 0.0
+		for _, e := range v {
+			if a := math.Abs(e); a > m {
+				m = a
+			}
+		}
+		return m
+	}
+
+	for iter := 0; iter < opt.MaxIter && len(active) > 0; iter++ {
+		bw.SetActive(active)
+		bw.EvalScaledBatch(x, t, true, 1, 1)
+		w := 0
+		for _, k := range active {
+			base := k * n
+			f := bw.LaneF(k)
+			res[k] = laneNormInf(f)
+			if iter == 0 {
+				bad := false
+				for i, v := range f {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						errs[k] = fmt.Errorf("%w: initial residual is not finite (f[%d] = %g)", ErrNoConvergence, i, v)
+						bad = true
+						break
+					}
+				}
+				if bad {
+					continue
+				}
+			}
+			if res[k] <= opt.AbsTol {
+				continue // converged; drop from the active set
+			}
+			// Factorize and solve this lane's Newton correction.
+			var serr error
+			var dx linalg.Vec
+			if useSparse {
+				serr = slus[k].FactorizeInto(bw.LaneJ(k))
+				if slus[k].ReusedSymbolic() {
+					dm.Inc(diag.SparseRefactors)
+				} else {
+					dm.Inc(diag.SparseFactorizations)
+					dm.Add(diag.SparseFillIns, int64(slus[k].FillIn()))
+				}
+				if serr == nil {
+					dx = slus[k].SolveInto(dxv, linalg.Vec(f))
+				}
+			} else {
+				jac.Zero()
+				jb := k * nnz
+				for j := 0; j < n; j++ {
+					for p := pat.ColPtr[j]; p < pat.ColPtr[j+1]; p++ {
+						jac.Data[pat.Rows[p]*n+j] = bw.JV[jb+p]
+					}
+				}
+				serr = lus[k].FactorizeInto(jac)
+				dm.Inc(diag.LUFactorizations)
+				if lus[k].ReusedBuffers() {
+					dm.Inc(diag.LUFactorizationsReused)
+				}
+				if serr == nil {
+					dx = lus[k].SolveInto(dxv, linalg.Vec(f))
+				}
+			}
+			if serr != nil {
+				errs[k] = fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, serr)
+				continue
+			}
+			dm.Inc(diag.LUSolves)
+			dx.Scale(-1)
+			if opt.MaxStep > 0 {
+				if mx := dx.NormInf(); mx > opt.MaxStep {
+					dx.Scale(opt.MaxStep / mx)
+				}
+			}
+			copy(dxs[base:base+n], dx)
+			lambda[k] = 1
+			active[w] = k
+			w++
+		}
+		active = active[:w]
+		if len(active) == 0 {
+			break
+		}
+
+		// Batched line search: every still-searching lane's trial state is
+		// evaluated in one residual-only batch call; lanes accept
+		// independently and halve their own λ otherwise.
+		searching = append(searching[:0], active...)
+		accepted := 0
+		for ls := 0; ls < 12 && len(searching) > 0; ls++ {
+			for _, k := range searching {
+				base := k * n
+				for i := 0; i < n; i++ {
+					xTry[base+i] = x[base+i] + lambda[k]*dxs[base+i]
+				}
+			}
+			bw.SetActive(searching)
+			bw.EvalScaledBatch(xTry, t, false, 1, 1)
+			w := 0
+			for _, k := range searching {
+				base := k * n
+				newRes := laneNormInf(bw.LaneF(k))
+				if newRes < res[k] || newRes <= opt.AbsTol {
+					copy(x[base:base+n], xTry[base:base+n])
+					res[k] = newRes
+					accepted++
+					continue
+				}
+				lambda[k] /= 2
+				dm.Inc(diag.NewtonBacktracks)
+				searching[w] = k
+				w++
+			}
+			searching = searching[:w]
+		}
+		// Residual would not decrease for the holdouts: accept the tiny step
+		// anyway (some strongly nonlinear corners pass through a ridge).
+		for _, k := range searching {
+			base := k * n
+			copy(x[base:base+n], xTry[base:base+n])
+		}
+		dm.Add(diag.NewtonIterations, int64(len(active)))
+
+		// Stagnation: a vanishing step with a near-tolerance residual.
+		w = 0
+		for _, k := range active {
+			base := k * n
+			if lambda[k]*laneNormInf(dxs[base:base+n]) <= opt.RelTol*(1+laneNormInf(x[base:base+n])) && res[k] <= 100*opt.AbsTol {
+				continue
+			}
+			active[w] = k
+			w++
+		}
+		active = active[:w]
+	}
+
+	// Scalar continuation-ladder fallback for whatever the batched plain
+	// Newton left behind (near-tolerance stragglers included: the ladder's
+	// first rung is plain Newton from the batched iterate, so it's cheap).
+	for _, k := range active {
+		if errs[k] != nil {
+			continue
+		}
+		if res[k] <= 10*opt.AbsTol {
+			continue // close enough for continuation purposes (solveCore's rule)
+		}
+		errs[k] = fmt.Errorf("%w (residual %.3g)", ErrNoConvergence, res[k])
+	}
+	for k := 0; k < K; k++ {
+		if errs[k] == nil {
+			continue
+		}
+		base := k * n
+		seed := append(linalg.Vec(nil), x[base:base+n]...)
+		xs, err := DCOperatingPointBackendCtx(ctx, b.Systems[k], seed, t, backend)
+		if err != nil {
+			errs[k] = fmt.Errorf("solver: batched DC lane %d: %w", k, err)
+			continue
+		}
+		copy(x[base:base+n], xs)
+		errs[k] = nil
+	}
+	return x, errs
+}

@@ -1,0 +1,102 @@
+package solver_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/solver"
+)
+
+// dcCornerSystems builds K congruent common-source stages with per-lane
+// parameter spreads — a circuit with a unique, well-defined DC solution.
+func dcCornerSystems(t testing.TB, k int) []*circuit.System {
+	t.Helper()
+	systems := make([]*circuit.System, k)
+	for i := 0; i < k; i++ {
+		scale := 1 + 0.15*float64(i)
+		c := circuit.New()
+		vdd := c.AddDCRail("vdd", 3)
+		a, bn := c.Node("a"), c.Node("b")
+		c.Add(
+			&device.Resistor{Name: "rl", A: vdd, B: a, R: 10e3 * scale},
+			&device.Resistor{Name: "rb", A: vdd, B: bn, R: 50e3},
+			&device.Resistor{Name: "rg", A: bn, B: circuit.Ground, R: 30e3 * scale},
+			&device.MOSFET{Name: "mn", D: a, G: bn, S: circuit.Ground, Params: device.ALD1106()},
+			&device.Capacitor{Name: "ca", A: a, B: circuit.Ground, C: 1e-9},
+		)
+		sys, err := c.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	return systems
+}
+
+// TestDCOperatingPointBatchMatchesScalar drives K corners through the
+// batched masked Newton and compares each lane with the scalar DC solve.
+func TestDCOperatingPointBatchMatchesScalar(t *testing.T) {
+	const K = 5
+	systems := dcCornerSystems(t, K)
+	b, err := circuit.NewBatch(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := b.N
+	x, errs := solver.DCOperatingPointBatch(b, nil, 0)
+	for k := 0; k < K; k++ {
+		if errs[k] != nil {
+			t.Fatalf("lane %d: %v", k, errs[k])
+		}
+		want, serr := solver.DCOperatingPoint(systems[k], nil, 0)
+		if serr != nil {
+			t.Fatalf("scalar lane %d: %v", k, serr)
+		}
+		for i := 0; i < n; i++ {
+			if d := math.Abs(x[k*n+i] - want[i]); d > 1e-7*(1+math.Abs(want[i])) {
+				t.Errorf("lane %d x[%d]: batch %v vs scalar %v", k, i, x[k*n+i], want[i])
+			}
+		}
+	}
+	// Distinct corners must land on distinct operating points.
+	if x[0] == x[(K-1)*n] {
+		t.Error("corner lanes returned identical DC node voltages")
+	}
+}
+
+// TestDCOperatingPointBatchSeeded checks the lane-major seed path converges
+// to the same solution as the unseeded one.
+func TestDCOperatingPointBatchSeeded(t *testing.T) {
+	const K = 3
+	systems := dcCornerSystems(t, K)
+	b, err := circuit.NewBatch(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := b.N
+	ref, errs := solver.DCOperatingPointBatchCtx(context.Background(), b, nil, 0, linalg.BackendAuto)
+	for k, e := range errs {
+		if e != nil {
+			t.Fatalf("lane %d: %v", k, e)
+		}
+	}
+	seed := make([]float64, K*n)
+	for i := range seed {
+		seed[i] = 1.2
+	}
+	got, errs := solver.DCOperatingPointBatchCtx(context.Background(), b, seed, 0, linalg.BackendAuto)
+	for k, e := range errs {
+		if e != nil {
+			t.Fatalf("seeded lane %d: %v", k, e)
+		}
+	}
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]); d > 1e-6 {
+			t.Errorf("seeded solve diverged at %d: %v vs %v", i, got[i], ref[i])
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package transient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/diag"
+	"repro/internal/linalg"
+	"repro/internal/linalg/sparse"
+)
+
+// This file implements lockstep batched transient integration over a
+// circuit.Batch: K parameter corners advance through the same number of
+// fixed θ-method steps, each with its own per-lane step size h[k] (and
+// therefore its own physical time axis), with every circuit evaluation
+// fanned across the batch in one EvalBatchAt call. The per-lane linear
+// algebra (corrector factorization, sensitivity propagation) mirrors the
+// scalar stepper/sparseStepper algorithms exactly, so a batched lane is
+// numerically equivalent to the scalar path — equivalent, not bit-identical:
+// the batched corrector reuses the accepted-point Jacobian evaluation as the
+// next step's J0/f0 (a bitwise-identical value the scalar path recomputes),
+// but Newton stops on per-lane schedules driven by batch-evaluated iterates.
+//
+// Lockstep has one behavioral difference from the scalar Run loop: there is
+// no step-halving retry on corrector failure (halving one lane's h would
+// desynchronize the common grid). A lane whose corrector fails is frozen at
+// its last accepted state and reported in BatchResult.Err; callers that need
+// robustness fall back to the scalar path for failed lanes.
+
+// BatchOptions configures a lockstep batched run. The zero value of the
+// recording fields records nothing.
+type BatchOptions struct {
+	Method Method    // BE or Trap (Gear2 is fixed-coefficient two-step; unsupported)
+	Steps  int       // common fixed step count (required)
+	H      []float64 // per-lane step size, length K (required, all > 0)
+	// T0 optionally gives per-lane start times (nil → all lanes start at 0).
+	T0          []float64
+	NewtonTol   float64 // corrector tolerance (default 1e-9, vntol-capped at 1e-6)
+	MaxNewton   int     // corrector iteration cap (default 40)
+	Sensitivity bool    // propagate per-lane monodromy dx(t)/dx(0)
+	// Record enables per-lane waveform recording of free node RecordNode at
+	// every step (plus the initial point).
+	Record     bool
+	RecordNode int
+	// RecordStates records the full per-lane state at every step (plus the
+	// initial point) — the batched equivalent of the scalar grid pass.
+	RecordStates bool
+	// Backend selects the per-lane linear-algebra backend, resolved exactly
+	// like the scalar path (lanes are congruent, so one choice fits all).
+	Backend linalg.Backend
+	// Active restricts the run to a lane subset (nil → all lanes). Inactive
+	// lanes' state blocks pass through untouched.
+	Active []int
+}
+
+// ErrBatchGear2 rejects Gear2 batched runs; it wraps ErrUnsupported.
+var ErrBatchGear2 = fmt.Errorf("%w: batched integration supports BE and Trap only", ErrUnsupported)
+
+// BatchResult holds the outcome of a batched run. Per-lane failures are
+// reported in Err (indexed by lane); the run itself only errors on misuse
+// or cancellation.
+type BatchResult struct {
+	K, N int
+	// X is the lane-major final state: converged lanes hold x(t0+Steps·h),
+	// failed lanes freeze at their last accepted state, inactive lanes pass
+	// the input through.
+	X []float64
+	// Sens[k] is lane k's monodromy dx(T)/dx(0) (Sensitivity runs; nil for
+	// failed or inactive lanes).
+	Sens []*linalg.Mat
+	// Err[k] is lane k's first failure, nil for lanes that completed.
+	Err []error
+	// Steps is the common accepted-step count; NewtonIters accumulates
+	// corrector iterations across all lanes (cost metric).
+	Steps, NewtonIters int
+	// T/NodeV are the per-lane recorded time axes and node waveforms
+	// (Record); States are per-lane full trajectories (RecordStates).
+	T      [][]float64
+	NodeV  [][]float64
+	States [][]linalg.Vec
+}
+
+// LaneX returns lane k's block of the final state.
+func (r *BatchResult) LaneX(k int) linalg.Vec {
+	return linalg.Vec(r.X[k*r.N : (k+1)*r.N])
+}
+
+// BatchScratch pins every reusable buffer a batched integration needs: the
+// batch evaluation workspace, the lane-major state/residual arrays, the
+// per-lane LU factorizations (dense or sparse, symbolic analysis retained
+// across steps and runs), and the accepted-point Jacobian cache that lets
+// consecutive sensitivity steps share one evaluation. NOT safe for
+// concurrent use — one BatchScratch per goroutine.
+type BatchScratch struct {
+	b         *circuit.Batch
+	bw        *circuit.BatchWorkspace
+	K, N, nnz int
+
+	// Lane-major per-run state.
+	x, x1, prev, f0 []float64
+	tl, tl1         []float64
+
+	// Accepted-point FJ cache (sensitivity runs): jcache/fcache hold the
+	// evaluation at the current (x, tl) for lanes with haveCache set, filled
+	// by the previous step's accepted-point evaluation.
+	jcache, fcache []float64
+	haveCache      []bool
+
+	// Per-lane dense solve scratch.
+	resid, dxv linalg.Vec
+	jac        *linalg.Mat
+	lus        []linalg.LU
+	// Dense sensitivity scratch (lazy).
+	lhs, rhs, prop, prod *linalg.Mat
+	slus                 []linalg.LU
+
+	// Per-lane sparse solve scratch (lazy).
+	sjac       *sparse.CSC
+	cdx        linalg.Vec
+	plus       []sparse.LU
+	slhs, srhs *sparse.CSC
+	stmp       *linalg.Mat
+	pslus      []sparse.LU
+
+	// Lane bookkeeping.
+	live, iterLanes, needEval []int
+
+	counted bool
+}
+
+// NewBatchScratch returns a scratch for batched integration over b.
+func NewBatchScratch(b *circuit.Batch) *BatchScratch {
+	k, n, nnz := b.K, b.N, b.Pattern().NNZ()
+	sc := &BatchScratch{
+		b: b, bw: b.NewWorkspace(),
+		K: k, N: n, nnz: nnz,
+		x: make([]float64, k*n), x1: make([]float64, k*n),
+		prev: make([]float64, k*n), f0: make([]float64, k*n),
+		tl: make([]float64, k), tl1: make([]float64, k),
+		jcache: make([]float64, k*nnz), fcache: make([]float64, k*n),
+		haveCache: make([]bool, k),
+		resid:     linalg.NewVec(n), dxv: linalg.NewVec(n),
+		jac:  linalg.NewMat(n, n),
+		lus:  make([]linalg.LU, k),
+		live: make([]int, 0, k), iterLanes: make([]int, 0, k),
+		needEval: make([]int, 0, k),
+	}
+	return sc
+}
+
+// ensureDenseSens lazily allocates the dense sensitivity scratch.
+func (sc *BatchScratch) ensureDenseSens() {
+	if sc.lhs != nil {
+		return
+	}
+	n := sc.N
+	sc.lhs = linalg.NewMat(n, n)
+	sc.rhs = linalg.NewMat(n, n)
+	sc.prop = linalg.NewMat(n, n)
+	sc.prod = linalg.NewMat(n, n)
+	sc.slus = make([]linalg.LU, sc.K)
+}
+
+// ensureSparse lazily allocates the sparse corrector scratch.
+func (sc *BatchScratch) ensureSparse() {
+	if sc.sjac != nil {
+		return
+	}
+	pat := sc.b.Pattern()
+	sc.sjac = sparse.NewCSC(pat)
+	sc.cdx = linalg.NewVec(sc.N)
+	sc.plus = make([]sparse.LU, sc.K)
+}
+
+// ensureSparseSens lazily allocates the sparse sensitivity scratch.
+func (sc *BatchScratch) ensureSparseSens() {
+	if sc.slhs != nil {
+		return
+	}
+	pat := sc.b.Pattern()
+	sc.slhs = sparse.NewCSC(pat)
+	sc.srhs = sparse.NewCSC(pat)
+	sc.stmp = linalg.NewMat(sc.N, sc.N)
+	sc.pslus = make([]sparse.LU, sc.K)
+}
+
+// RunBatch integrates all lanes of b from the lane-major state x0 through a
+// private scratch. Loops that re-run batched transients (batched shooting)
+// hold a BatchScratch and call its Run method instead.
+func RunBatch(ctx context.Context, b *circuit.Batch, x0 []float64, opt BatchOptions) (*BatchResult, error) {
+	return NewBatchScratch(b).Run(ctx, x0, opt)
+}
+
+// Run integrates the batch: every lane k advances opt.Steps fixed θ-steps of
+// size opt.H[k] from x0's lane block, starting at time opt.T0[k] (or 0).
+func (sc *BatchScratch) Run(ctx context.Context, x0 []float64, opt BatchOptions) (*BatchResult, error) {
+	K, n, nnz := sc.K, sc.N, sc.nnz
+	if opt.Method == Gear2 {
+		return nil, ErrBatchGear2
+	}
+	if opt.Steps <= 0 {
+		return nil, errors.New("transient: BatchOptions.Steps must be positive")
+	}
+	if len(opt.H) != K {
+		return nil, fmt.Errorf("transient: BatchOptions.H has %d lanes, batch has %d", len(opt.H), K)
+	}
+	for k, h := range opt.H {
+		if h <= 0 {
+			return nil, fmt.Errorf("transient: BatchOptions.H[%d] = %g must be positive", k, h)
+		}
+	}
+	if len(x0) != K*n {
+		return nil, fmt.Errorf("transient: batched x0 has length %d, want %d", len(x0), K*n)
+	}
+	if opt.T0 != nil && len(opt.T0) != K {
+		return nil, fmt.Errorf("transient: BatchOptions.T0 has %d lanes, batch has %d", len(opt.T0), K)
+	}
+	if opt.NewtonTol == 0 {
+		opt.NewtonTol = 1e-9
+	}
+	if opt.MaxNewton == 0 {
+		opt.MaxNewton = 40
+	}
+	vtol := opt.NewtonTol
+	if vtol > 1e-6 {
+		vtol = 1e-6
+	}
+	th := opt.Method.theta()
+	useSparse := sc.b.Systems[0].ResolveBackend(opt.Backend) == linalg.BackendSparse
+	if useSparse {
+		sc.ensureSparse()
+		if opt.Sensitivity {
+			sc.ensureSparseSens()
+		}
+	} else if opt.Sensitivity {
+		sc.ensureDenseSens()
+	}
+
+	defer diag.SpanFrom(ctx, "transient.batch").End()
+	dm := diag.FromContext(ctx)
+	sc.bw.SetMetrics(dm)
+	if !sc.counted && dm != nil {
+		dm.Add(diag.ScratchBytesPinned, int64(8*(6*K*n+2*K+2*K*nnz+2*n+n*n)))
+		sc.counted = true
+	}
+
+	res := &BatchResult{K: K, N: n, Err: make([]error, K)}
+	copy(sc.x, x0)
+	sc.live = sc.live[:0]
+	if opt.Active != nil {
+		for _, k := range opt.Active {
+			if k < 0 || k >= K {
+				return nil, fmt.Errorf("transient: BatchOptions.Active lane %d out of range [0,%d)", k, K)
+			}
+			sc.live = append(sc.live, k)
+		}
+	} else {
+		for k := 0; k < K; k++ {
+			sc.live = append(sc.live, k)
+		}
+	}
+	for k := range sc.haveCache {
+		sc.haveCache[k] = false
+	}
+	for k := 0; k < K; k++ {
+		sc.tl[k] = 0
+		if opt.T0 != nil {
+			sc.tl[k] = opt.T0[k]
+		}
+	}
+	if opt.Sensitivity {
+		res.Sens = make([]*linalg.Mat, K)
+		for _, k := range sc.live {
+			res.Sens[k] = linalg.Eye(n)
+		}
+	}
+	if opt.Record {
+		if opt.RecordNode < 0 || opt.RecordNode >= n {
+			return nil, fmt.Errorf("transient: BatchOptions.RecordNode %d out of range [0,%d)", opt.RecordNode, n)
+		}
+		res.T = make([][]float64, K)
+		res.NodeV = make([][]float64, K)
+	}
+	if opt.RecordStates {
+		if res.T == nil {
+			res.T = make([][]float64, K)
+		}
+		res.States = make([][]linalg.Vec, K)
+	}
+	record := func(k int) {
+		if res.T != nil {
+			res.T[k] = append(res.T[k], sc.tl[k])
+		}
+		if opt.Record {
+			res.NodeV[k] = append(res.NodeV[k], sc.x[k*n+opt.RecordNode])
+		}
+		if opt.RecordStates {
+			res.States[k] = append(res.States[k], append(linalg.Vec(nil), sc.x[k*n:(k+1)*n]...))
+		}
+	}
+	for _, k := range sc.live {
+		record(k)
+	}
+	fail := func(k int, err error) {
+		res.Err[k] = err
+		if res.Sens != nil {
+			res.Sens[k] = nil
+		}
+	}
+
+	for s := 0; s < opt.Steps && len(sc.live) > 0; s++ {
+		if err := ctx.Err(); err != nil {
+			res.X = append([]float64(nil), sc.x...)
+			return res, err
+		}
+		for _, k := range sc.live {
+			sc.tl1[k] = sc.tl[k] + opt.H[k]
+		}
+
+		// f0 = f(x, t) per lane. Sensitivity runs route it through the
+		// accepted-point FJ cache, which the first step fills here — the
+		// same evaluation then serves as J0 in the sensitivity propagation.
+		if opt.Sensitivity {
+			sc.needEval = sc.needEval[:0]
+			for _, k := range sc.live {
+				if !sc.haveCache[k] {
+					sc.needEval = append(sc.needEval, k)
+				}
+			}
+			if len(sc.needEval) > 0 {
+				sc.bw.SetActive(sc.needEval)
+				sc.bw.EvalBatchAt(sc.x, sc.tl, true)
+				for _, k := range sc.needEval {
+					copy(sc.jcache[k*nnz:(k+1)*nnz], sc.bw.JV[k*nnz:(k+1)*nnz])
+					copy(sc.fcache[k*n:(k+1)*n], sc.bw.F[k*n:(k+1)*n])
+					sc.haveCache[k] = true
+				}
+			}
+			for _, k := range sc.live {
+				copy(sc.f0[k*n:(k+1)*n], sc.fcache[k*n:(k+1)*n])
+			}
+		} else {
+			sc.bw.SetActive(sc.live)
+			sc.bw.EvalBatchAt(sc.x, sc.tl, false)
+			for _, k := range sc.live {
+				copy(sc.f0[k*n:(k+1)*n], sc.bw.F[k*n:(k+1)*n])
+			}
+		}
+
+		// Predictor: first step starts from x, later steps extrapolate
+		// linearly (fixed h, so the scalar h/hPrev ratio is 1).
+		for _, k := range sc.live {
+			base := k * n
+			if s == 0 {
+				copy(sc.x1[base:base+n], sc.x[base:base+n])
+			} else {
+				// Same FP expression as the scalar predictor with h/hPrev = 1.
+				for i := 0; i < n; i++ {
+					sc.x1[base+i] = sc.x[base+i] + (sc.x[base+i] - sc.prev[base+i])
+				}
+			}
+		}
+
+		// Masked Newton: all iterating lanes are evaluated in one batched
+		// call; each lane factorizes and updates independently and drops out
+		// of the active set as it converges.
+		sc.iterLanes = append(sc.iterLanes[:0], sc.live...)
+		for iter := 0; iter < opt.MaxNewton && len(sc.iterLanes) > 0; iter++ {
+			sc.bw.SetActive(sc.iterLanes)
+			sc.bw.EvalBatchAt(sc.x1, sc.tl1, true)
+			w := 0
+			for _, k := range sc.iterLanes {
+				done, err := sc.correctLane(k, th, opt.H[k], vtol, useSparse, dm)
+				res.NewtonIters++
+				dm.Inc(diag.NewtonIterations)
+				if err != nil {
+					fail(k, fmt.Errorf("transient: lane %d corrector failed at step %d: %w", k, s, err))
+					continue
+				}
+				if !done {
+					sc.iterLanes[w] = k
+					w++
+				}
+			}
+			sc.iterLanes = sc.iterLanes[:w]
+		}
+		for _, k := range sc.iterLanes {
+			if res.Err[k] == nil {
+				fail(k, fmt.Errorf("transient: lane %d Newton corrector did not converge at step %d", k, s))
+			}
+		}
+		// Prune failed lanes.
+		w := 0
+		for _, k := range sc.live {
+			if res.Err[k] == nil {
+				sc.live[w] = k
+				w++
+			}
+		}
+		sc.live = sc.live[:w]
+		if len(sc.live) == 0 {
+			break
+		}
+
+		if opt.Sensitivity {
+			// One evaluation at the accepted states serves as this step's J1
+			// and is cached as the next step's J0/f0 (same point, same time).
+			sc.bw.SetActive(sc.live)
+			sc.bw.EvalBatchAt(sc.x1, sc.tl1, true)
+			w := 0
+			for _, k := range sc.live {
+				var err error
+				if useSparse {
+					err = sc.sensLaneSparse(k, th, opt.H[k], res.Sens[k], dm)
+				} else {
+					err = sc.sensLaneDense(k, th, opt.H[k], res.Sens[k], dm)
+				}
+				if err != nil {
+					fail(k, fmt.Errorf("transient: lane %d sensitivity failed at step %d: %w", k, s, err))
+					continue
+				}
+				copy(sc.jcache[k*nnz:(k+1)*nnz], sc.bw.JV[k*nnz:(k+1)*nnz])
+				copy(sc.fcache[k*n:(k+1)*n], sc.bw.F[k*n:(k+1)*n])
+				sc.live[w] = k
+				w++
+			}
+			sc.live = sc.live[:w]
+		}
+
+		// Advance the surviving lanes.
+		for _, k := range sc.live {
+			base := k * n
+			copy(sc.prev[base:base+n], sc.x[base:base+n])
+			copy(sc.x[base:base+n], sc.x1[base:base+n])
+			sc.tl[k] = sc.tl1[k]
+			dm.Inc(diag.TransientSteps)
+			record(k)
+		}
+		res.Steps++
+	}
+	res.X = append([]float64(nil), sc.x...)
+	return res, nil
+}
+
+// correctLane assembles and solves one lane's Newton correction from the
+// batch workspace's current (x1, t+h) evaluation, updating the lane's x1
+// block in place. Returns done=true when the vntol convergence test passes.
+func (sc *BatchScratch) correctLane(k int, th, h, vtol float64, useSparse bool, dm *diag.Metrics) (bool, error) {
+	n := sc.N
+	base := k * n
+	jb := k * sc.nnz
+	f1 := sc.bw.F[base : base+n]
+	pat := sc.b.Pattern()
+
+	if useSparse {
+		cv := sc.b.CVals(k)
+		// cdx = C·(x1 − x0), on the shared pattern.
+		for i := 0; i < n; i++ {
+			sc.cdx[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			d := sc.x1[base+j] - sc.x[base+j]
+			for p := pat.ColPtr[j]; p < pat.ColPtr[j+1]; p++ {
+				sc.cdx[pat.Rows[p]] += cv[p] * d
+			}
+		}
+		for i := 0; i < n; i++ {
+			sc.resid[i] = sc.cdx[i]/h + th*f1[i] + (1-th)*sc.f0[base+i]
+		}
+		for i := range sc.sjac.Val {
+			sc.sjac.Val[i] = cv[i]/h + th*sc.bw.JV[jb+i]
+		}
+		if err := sparseFactor(dm, &sc.plus[k], sc.sjac); err != nil {
+			return false, fmt.Errorf("singular iteration matrix: %w", err)
+		}
+	} else {
+		c := sc.b.Systems[k].C
+		for i := 0; i < n; i++ {
+			acc := 0.0
+			row := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				acc += row[j] * (sc.x1[base+j] - sc.x[base+j])
+			}
+			sc.resid[i] = acc/h + th*f1[i] + (1-th)*sc.f0[base+i]
+		}
+		for i := range sc.jac.Data {
+			sc.jac.Data[i] = c.Data[i] / h
+		}
+		for j := 0; j < n; j++ {
+			for p := pat.ColPtr[j]; p < pat.ColPtr[j+1]; p++ {
+				sc.jac.Data[pat.Rows[p]*n+j] += th * sc.bw.JV[jb+p]
+			}
+		}
+		err := sc.lus[k].FactorizeInto(sc.jac)
+		dm.Inc(diag.LUFactorizations)
+		if sc.lus[k].ReusedBuffers() {
+			dm.Inc(diag.LUFactorizationsReused)
+		}
+		if err != nil {
+			return false, fmt.Errorf("singular iteration matrix: %w", err)
+		}
+	}
+
+	var dx linalg.Vec
+	if useSparse {
+		dx = sc.plus[k].SolveInto(sc.dxv, sc.resid)
+	} else {
+		dx = sc.lus[k].SolveInto(sc.dxv, sc.resid)
+	}
+	dm.Inc(diag.LUSolves)
+	if m := dx.NormInf(); m > 2 {
+		dx.Scale(2 / m)
+	}
+	x1 := linalg.Vec(sc.x1[base : base+n])
+	for i := 0; i < n; i++ {
+		x1[i] -= dx[i]
+	}
+	return dx.NormInf() <= vtol*(1+x1.NormInf()), nil
+}
+
+// sensLaneDense propagates lane k's monodromy through the accepted step:
+//
+//	S ← (C/h + θ·J1)⁻¹ · (C/h − (1−θ)·J0) · S
+//
+// with J1 read from the workspace's accepted-point evaluation and J0 from
+// the cache (the previous step's accepted-point evaluation).
+func (sc *BatchScratch) sensLaneDense(k int, th, h float64, sens *linalg.Mat, dm *diag.Metrics) error {
+	n := sc.N
+	jb := k * sc.nnz
+	pat := sc.b.Pattern()
+	c := sc.b.Systems[k].C
+	for i := range sc.lhs.Data {
+		sc.lhs.Data[i] = c.Data[i] / h
+		sc.rhs.Data[i] = c.Data[i] / h
+	}
+	for j := 0; j < n; j++ {
+		for p := pat.ColPtr[j]; p < pat.ColPtr[j+1]; p++ {
+			di := pat.Rows[p]*n + j
+			sc.lhs.Data[di] += th * sc.bw.JV[jb+p]
+			sc.rhs.Data[di] -= (1 - th) * sc.jcache[jb+p]
+		}
+	}
+	err := sc.slus[k].FactorizeInto(sc.lhs)
+	dm.Inc(diag.LUFactorizations)
+	if sc.slus[k].ReusedBuffers() {
+		dm.Inc(diag.LUFactorizationsReused)
+	}
+	if err != nil {
+		return fmt.Errorf("singular sensitivity matrix: %w", err)
+	}
+	dm.Add(diag.LUSolves, int64(n))
+	prop := sc.slus[k].SolveMatInto(sc.prop, sc.rhs)
+	next := prop.MulInto(sc.prod, sens)
+	sens.CopyFrom(next)
+	return nil
+}
+
+// sensLaneSparse is sensLaneDense on the sparse backend: the lhs/rhs value
+// arrays combine entrywise on the shared pattern and the n columns back-solve
+// against the lane's retained symbolic factorization.
+func (sc *BatchScratch) sensLaneSparse(k int, th, h float64, sens *linalg.Mat, dm *diag.Metrics) error {
+	jb := k * sc.nnz
+	cv := sc.b.CVals(k)
+	for i := range sc.slhs.Val {
+		sc.slhs.Val[i] = cv[i]/h + th*sc.bw.JV[jb+i]
+		sc.srhs.Val[i] = cv[i]/h - (1-th)*sc.jcache[jb+i]
+	}
+	if err := sparseFactor(dm, &sc.pslus[k], sc.slhs); err != nil {
+		return fmt.Errorf("singular sensitivity matrix: %w", err)
+	}
+	dm.Add(diag.LUSolves, int64(sc.N))
+	sc.srhs.MulMatInto(sc.stmp, sens)
+	sc.pslus[k].SolveMatInto(sens, sc.stmp)
+	return nil
+}

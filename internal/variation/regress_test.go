@@ -1,0 +1,60 @@
+package variation
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Regression: Summarize divided the squared deviations by n (population
+// variance), biasing every reported spread low. The estimator is Bessel's
+// n−1 sample variance.
+func TestSummarizeBesselCorrection(t *testing.T) {
+	mk := func(v float64) Sample {
+		return Sample{Metrics: Metrics{F0: v, LockWidth: v, V2: v}}
+	}
+	// F0 = 1, 2, 3: mean 2, sample variance (1+0+1)/2 = 1 → RelStd = 0.5.
+	st := Summarize([]Sample{mk(1), mk(2), mk(3)})
+	if math.Abs(st.MeanF0-2) > 1e-15 {
+		t.Fatalf("MeanF0 = %g, want 2", st.MeanF0)
+	}
+	if math.Abs(st.RelStdF0-0.5) > 1e-12 {
+		t.Errorf("RelStdF0 = %g, want 0.5 (population formula gives %g)",
+			st.RelStdF0, math.Sqrt(2.0/3)/2)
+	}
+	if math.Abs(st.RelStdLockWidth-0.5) > 1e-12 || math.Abs(st.RelStdV2-0.5) > 1e-12 {
+		t.Errorf("LockWidth/V2 spreads %g, %g, want 0.5", st.RelStdLockWidth, st.RelStdV2)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	st := Summarize([]Sample{{Metrics: Metrics{F0: 7, LockWidth: 3, V2: 2}}})
+	if st.MeanF0 != 7 || st.MeanLockWidth != 3 || st.MeanV2 != 2 {
+		t.Fatalf("single-sample means wrong: %+v", st)
+	}
+	if st.RelStdF0 != 0 || st.RelStdLockWidth != 0 || st.RelStdV2 != 0 {
+		t.Errorf("single-sample spread must be 0, got %+v", st)
+	}
+}
+
+// Regression: SensitivitiesEng divided corner differences by the nominal
+// metrics unguarded, so a non-locking nominal (LockWidth == 0) produced
+// NaN/Inf sensitivities silently. The guard names the zero metric and wraps
+// ErrDegenerateNominal.
+func TestSensitivitiesDegenerateNominalGuard(t *testing.T) {
+	err := checkNominal(Metrics{F0: 9.6e3, V1: 1, V2: 0.5, LockWidth: 0})
+	if err == nil {
+		t.Fatal("zero LockWidth nominal accepted")
+	}
+	if !errors.Is(err, ErrDegenerateNominal) {
+		t.Errorf("error %v does not wrap ErrDegenerateNominal", err)
+	}
+	if !strings.Contains(err.Error(), "LockWidth") {
+		t.Errorf("error %q does not name the zero metric", err)
+	}
+
+	if err := checkNominal(Metrics{F0: 9.6e3, V1: 1, V2: 0.5, LockWidth: 120}); err != nil {
+		t.Errorf("sound nominal rejected: %v", err)
+	}
+}

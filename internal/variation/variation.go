@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/diag"
 	"repro/internal/engine"
@@ -93,39 +92,62 @@ func EvaluateCtx(ctx context.Context, cfg ringosc.Config) (Metrics, error) {
 // sensitivity run, or identical Monte-Carlo re-runs — coalesce into one
 // computation. A nil engine computes directly.
 func EvaluateEng(ctx context.Context, eng *engine.Engine, cfg ringosc.Config) (Metrics, error) {
+	cr, err := evaluateCornerEng(ctx, eng, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return cr.Metrics, nil
+}
+
+// evaluateCornerEng runs the scalar pipeline and keeps the full model chain
+// (PPV and GAE model) alongside the scalar metrics.
+func evaluateCornerEng(ctx context.Context, eng *engine.Engine, cfg ringosc.Config) (CornerResult, error) {
 	var sol *pss.Solution
 	var p *ppv.PPV
 	var err error
 	if eng != nil {
 		_, sol, p, err = eng.RingPPV(ctx, cfg)
 		if err != nil {
-			return Metrics{}, err
+			return CornerResult{}, err
 		}
 	} else {
 		var r *ringosc.Ring
 		r, err = ringosc.Build(cfg)
 		if err != nil {
-			return Metrics{}, err
+			return CornerResult{}, err
 		}
 		sol, err = pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
 			GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 512,
 		})
 		if err != nil {
-			return Metrics{}, err
+			return CornerResult{}, err
 		}
 		p, err = ppv.FromSolution(r.Sys, sol)
 		if err != nil {
-			return Metrics{}, err
+			return CornerResult{}, err
 		}
 	}
-	m := gae.NewModel(p, sol.F0, gae.Injection{Node: 0, Amp: 100e-6, Harmonic: 2})
+	return cornerFromPPV(sol, p), nil
+}
+
+// stdSYNC is the standard SYNC injection every corner metric is quoted at.
+func stdSYNC() gae.Injection { return gae.Injection{Node: 0, Amp: 100e-6, Harmonic: 2} }
+
+// cornerFromPPV derives the per-corner metrics and SHIL model from a solved
+// PSS orbit and its PPV, with the package's standard SYNC injection.
+func cornerFromPPV(sol *pss.Solution, p *ppv.PPV) CornerResult {
+	m := gae.NewModel(p, sol.F0, stdSYNC())
 	lo, hi := m.LockingBand()
-	return Metrics{
-		F0:        sol.F0,
-		V1:        p.NodeSeries[0].Magnitude(1),
-		V2:        p.NodeSeries[0].Magnitude(2),
-		LockWidth: hi - lo,
-	}, nil
+	return CornerResult{
+		Metrics: Metrics{
+			F0:        sol.F0,
+			V1:        p.NodeSeries[0].Magnitude(1),
+			V2:        p.NodeSeries[0].Magnitude(2),
+			LockWidth: hi - lo,
+		},
+		PPV:   p,
+		Model: m,
+	}
 }
 
 // Sensitivity is the central-difference derivative of each metric with
@@ -158,6 +180,9 @@ func SensitivitiesEng(ctx context.Context, eng *engine.Engine, base ringosc.Conf
 	nom, err := EvaluateEng(ctx, eng, base)
 	if err != nil {
 		return nil, fmt.Errorf("variation: nominal evaluation: %w", err)
+	}
+	if err := checkNominal(nom); err != nil {
+		return nil, fmt.Errorf("variation: %w", err)
 	}
 	// Corner 2i is param i at +1σ, corner 2i+1 at −1σ.
 	corners, err := parallel.MapWorkerCtx(ctx, 2*len(params), workers, func(wctx context.Context, _, i int) (Metrics, error) {
@@ -194,6 +219,32 @@ func SensitivitiesEng(ctx context.Context, eng *engine.Engine, base ringosc.Conf
 	return out, nil
 }
 
+// ErrDegenerateNominal reports that a nominal metric used as the
+// denominator of a relative sensitivity is zero — typically a non-locking
+// nominal design (LockWidth == 0). Sensitivities are relative changes, so a
+// zero nominal would silently propagate NaN/Inf into every downstream
+// margin calculation.
+var ErrDegenerateNominal = fmt.Errorf("variation: degenerate nominal metric")
+
+// checkNominal returns a wrapped ErrDegenerateNominal naming the first zero
+// nominal metric, or nil if all relative-sensitivity denominators are sound.
+func checkNominal(nom Metrics) error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"F0", nom.F0},
+		{"V1", nom.V1},
+		{"V2", nom.V2},
+		{"LockWidth", nom.LockWidth},
+	} {
+		if c.v == 0 {
+			return fmt.Errorf("nominal %s is zero, relative sensitivities are undefined: %w", c.name, ErrDegenerateNominal)
+		}
+	}
+	return nil
+}
+
 // Sample is one Monte-Carlo draw.
 type Sample struct {
 	Deltas  []float64 // per-parameter draws, in σ units
@@ -217,26 +268,27 @@ func MonteCarloCtx(ctx context.Context, base ringosc.Config, params []Param, n i
 
 // MonteCarloEng is MonteCarloCtx with the sample pipelines resolved through
 // a memoizing engine (nil: compute directly); re-running the same seed
-// against a warm engine is then nearly free.
+// against a warm engine is then nearly free. The corners are those of
+// PseudoSampler{Seed: seed} — bit-identical to this function's historical
+// inline draws.
 func MonteCarloEng(ctx context.Context, eng *engine.Engine, base ringosc.Config, params []Param, n int, seed int64, workers int) ([]Sample, error) {
+	return MonteCarloSampledEng(ctx, eng, base, params, n, PseudoSampler{Seed: seed}, workers)
+}
+
+// MonteCarloSampledEng is MonteCarloEng with the corner draws delegated to
+// an arbitrary Sampler (pseudo-random, scrambled Sobol, ...). Sample i's
+// corner is smp.Draw(i), so the run remains bit-identical at any worker
+// count.
+func MonteCarloSampledEng(ctx context.Context, eng *engine.Engine, base ringosc.Config, params []Param, n int, smp Sampler, workers int) ([]Sample, error) {
 	return parallel.MapWorkerCtx(ctx, n, workers, func(wctx context.Context, _, i int) (Sample, error) {
 		diag.FromContext(wctx).Inc(diag.SweepPoints)
-		ctx := wctx
-		rng := rand.New(rand.NewSource(parallel.SubSeed(seed, i)))
 		cfg := base
 		deltas := make([]float64, len(params))
+		smp.Draw(i, deltas)
 		for j, prm := range params {
-			d := rng.NormFloat64()
-			if d > 3 {
-				d = 3
-			}
-			if d < -3 {
-				d = -3
-			}
-			deltas[j] = d
-			prm.Apply(&cfg, d)
+			prm.Apply(&cfg, deltas[j])
 		}
-		m, err := EvaluateEng(ctx, eng, cfg)
+		m, err := EvaluateEng(wctx, eng, cfg)
 		if err != nil {
 			return Sample{}, fmt.Errorf("variation: sample %d: %w", i, err)
 		}
@@ -251,7 +303,11 @@ type Stats struct {
 	MeanV2, RelStdV2               float64
 }
 
-// Summarize computes Monte-Carlo statistics.
+// Summarize computes Monte-Carlo statistics. The spreads are sample
+// standard deviations (Bessel's n−1 correction): the samples estimate an
+// underlying process distribution, and the population formula is biased low
+// — materially so at the small n typical of full-pipeline Monte Carlo. With
+// a single sample the spread is reported as 0.
 func Summarize(samples []Sample) Stats {
 	if len(samples) == 0 {
 		return Stats{}
@@ -266,7 +322,11 @@ func Summarize(samples []Sample) Stats {
 			d := get(s.Metrics) - mean
 			v += d * d
 		}
-		v /= float64(len(samples))
+		if len(samples) > 1 {
+			v /= float64(len(samples) - 1)
+		} else {
+			v = 0
+		}
 		if mean != 0 {
 			rel = math.Sqrt(v) / math.Abs(mean)
 		}
