@@ -9,10 +9,15 @@ check: fmt vet lint-deprecated build race xval
 
 # The pre-context wrappers in phlogon.go (FindPSS, ExtractPPV, RingPPV,
 # RunTransient) exist for external compatibility only. Nothing inside the
-# module — commands, internal packages, examples — may call them; root-level
-# tests are exempt because they deliberately pin the deprecated surface.
+# module — commands, internal packages, examples, or the facade itself — may
+# call them; root-level tests are exempt because they deliberately pin the
+# deprecated surface. The second grep catches unqualified calls in the root
+# package (definition lines excluded; calls through other receivers such as
+# Engine.RingPPV are not deprecated and do not match).
 lint-deprecated:
-	@out=$$(grep -rn --include='*.go' -E 'phlogon\.(FindPSS|ExtractPPV|RingPPV|RunTransient)\(' cmd internal examples 2>/dev/null); \
+	@out=$$(grep -rn --include='*.go' -E 'phlogon\.(FindPSS|ExtractPPV|RingPPV|RunTransient)\(' cmd internal examples 2>/dev/null; \
+	grep -n -E '(^|[^.A-Za-z0-9_])(FindPSS|ExtractPPV|RingPPV|RunTransient)\(' *.go 2>/dev/null \
+		| grep -v -E '^[^:]*_test\.go:' | grep -v -E '^[^:]*:[0-9]+:func '); \
 	if [ -n "$$out" ]; then \
 		echo "deprecated pre-context API used inside the module:"; echo "$$out"; exit 1; \
 	fi

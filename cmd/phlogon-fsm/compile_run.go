@@ -1,0 +1,260 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/diag"
+	"repro/internal/engine"
+	"repro/internal/netlist"
+	"repro/internal/phlogic"
+	"repro/internal/ringosc"
+)
+
+// cmdCompile emits or validates a netlist-IR document: generators for the
+// library datapaths (-adder, -shiftreg) or a validating round trip of an
+// existing document (-in). Output is normalized, indented IR JSON.
+func cmdCompile(args []string) {
+	fs := flag.NewFlagSet("phlogon-fsm compile", flag.ExitOnError)
+	adder := fs.Int("adder", 0, "emit an N-bit ripple-carry adder netlist")
+	shiftreg := fs.Int("shiftreg", 0, "emit an N-stage shift-register netlist")
+	in := fs.String("in", "", "validate and normalize an existing IR document (\"-\" for stdin)")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	sources := 0
+	for _, set := range []bool{*adder > 0, *shiftreg > 0, *in != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fatal(fmt.Errorf("compile: exactly one of -adder, -shiftreg, -in required"))
+	}
+
+	var n *phlogic.Netlist
+	switch {
+	case *adder > 0:
+		n = phlogic.RippleCarryAdder(*adder)
+	case *shiftreg > 0:
+		n = phlogic.ShiftRegister(*shiftreg)
+	default:
+		data, err := readInput(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if n, err = phlogic.ParseNetlistJSON(data); err != nil {
+			fatal(err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		fatal(err)
+	}
+	data, err := n.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// cmdRun compiles an IR document onto the phase-macromodel substrate and
+// runs it — one settled word for combinational netlists (-word), a clocked
+// bit-stream run for sequential ones (-streams) — printing each decoded
+// output next to the golden Boolean result.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("phlogon-fsm run", flag.ExitOnError)
+	in := fs.String("in", "", "netlist IR document (\"-\" for stdin)")
+	word := fs.String("word", "", "input word: one 0/1 per netlist input, declaration order")
+	streams := fs.String("streams", "", "comma-separated LSB-first bit streams, one per input")
+	syncAmp := fs.String("sync", "100u", "SYNC amplitude per latch")
+	clk := fs.Float64("clk", 100, "reference cycles per clock period")
+	settle := fs.Float64("settle", 0, "settle cycles for -word runs (0: default)")
+	iosc := fs.Bool("iosc", false, "route inputs through an input oscillator array (-word only)")
+	df = diag.AddFlags(fs)
+	fs.Parse(args)
+
+	ctx, err := df.Start(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer df.Stop()
+	if *in == "" {
+		fatal(fmt.Errorf("run: -in required"))
+	}
+	if (*word == "") == (*streams == "") {
+		fatal(fmt.Errorf("run: exactly one of -word or -streams required"))
+	}
+	data, err := readInput(*in)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := phlogic.ParseNetlistJSON(data)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := n.Compile()
+	if err != nil {
+		fatal(err)
+	}
+	sv, err := netlist.ParseValue(*syncAmp)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := engine.New(engine.Options{})
+	_, _, p, err := eng.RingPPV(ctx, ringosc.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	m, err := phlogic.CompileMacro(n, p, p.F0, phlogic.MacroConfig{
+		SyncAmp: sv, ClockCycles: *clk, SettleCycles: *settle,
+		InputOscillators: *iosc,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("phase-logic run: %s: %d inputs, %d outputs, %d oscillator latches, f0 = %.5g Hz\n\n",
+		n.Name, len(n.Inputs), len(n.Outputs), m.NumLatches(), p.F0)
+
+	if *word != "" {
+		runWord(m, prog, n, *word)
+		return
+	}
+	runStreams(m, prog, n, *streams)
+}
+
+func runWord(m *phlogic.MacroMachine, prog *phlogic.Program, n *phlogic.Netlist, wordStr string) {
+	if len(prog.Latches) > 0 {
+		fatal(fmt.Errorf("run: %q is sequential (%d latches); use -streams", n.Name, len(prog.Latches)))
+	}
+	w, err := parseBits(wordStr)
+	if err != nil {
+		fatal(err)
+	}
+	if len(w) != len(n.Inputs) {
+		fatal(fmt.Errorf("run: -word has %d bits for %d inputs", len(w), len(n.Inputs)))
+	}
+	truth, _, err := prog.EvalBool(w, nil)
+	if err != nil {
+		fatal(err)
+	}
+	bits, _, err := m.RunWord(w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-10s %8s %8s | %s\n", "output", "decoded", "boolean", "ok")
+	allOK := true
+	for i, name := range n.Outputs {
+		ok := bits[i] == truth[i]
+		allOK = allOK && ok
+		fmt.Printf("%-10s %8s %8s | %v\n", name, b01(bits[i]), b01(truth[i]), ok)
+	}
+	finish(allOK)
+}
+
+func runStreams(m *phlogic.MacroMachine, prog *phlogic.Program, n *phlogic.Netlist, streamsStr string) {
+	parts := strings.Split(streamsStr, ",")
+	if len(parts) != len(n.Inputs) {
+		fatal(fmt.Errorf("run: -streams has %d streams for %d inputs", len(parts), len(n.Inputs)))
+	}
+	sts := make([][]bool, len(parts))
+	nBits := 0
+	for i, pstr := range parts {
+		st, err := parseBits(pstr)
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			nBits = len(st)
+		} else if len(st) != nBits {
+			fatal(fmt.Errorf("run: streams differ in length"))
+		}
+		sts[i] = st
+	}
+	// Golden trace: step the Boolean machine period by period. A latch-q
+	// output is decoded after the slave captures, so its golden value at
+	// period k is the *next* state; combinational outputs read the held one.
+	qPos := map[int]int{}
+	for s, l := range prog.Latches {
+		qPos[l.Q] = s
+	}
+	golden := make([][]bool, len(n.Outputs))
+	for i := range golden {
+		golden[i] = make([]bool, nBits)
+	}
+	state := make([]bool, prog.NumState())
+	for k := 0; k < nBits; k++ {
+		ink := make([]bool, len(sts))
+		for i := range sts {
+			ink[i] = sts[i][k]
+		}
+		outs, next, err := prog.EvalBool(ink, state)
+		if err != nil {
+			fatal(err)
+		}
+		for i, net := range prog.Outputs {
+			if s, isQ := qPos[net]; isQ {
+				golden[i][k] = next[s]
+			} else {
+				golden[i][k] = outs[i]
+			}
+		}
+		state = next
+	}
+
+	out, _, err := m.RunStreams(sts, nBits)
+	if err != nil {
+		fatal(err)
+	}
+	w := nBits
+	if w < len("decoded") {
+		w = len("decoded")
+	}
+	fmt.Printf("%-10s %*s %*s | %s\n", "output", w, "decoded", w, "boolean", "ok")
+	allOK := true
+	for i, name := range n.Outputs {
+		ok := true
+		for k := range out[i] {
+			ok = ok && out[i][k] == golden[i][k]
+		}
+		allOK = allOK && ok
+		fmt.Printf("%-10s %*s %*s | %v\n", name, w, bitString(out[i]), w, bitString(golden[i]), ok)
+	}
+	finish(allOK)
+}
+
+func finish(allOK bool) {
+	fmt.Printf("\nresult: %s\n", map[bool]string{true: "CORRECT", false: "MISMATCH"}[allOK])
+	if !allOK {
+		df.Stop()
+		os.Exit(1)
+	}
+}
+
+// bitString renders an LSB-first bit slice in stream order (LSB leftmost,
+// matching the -streams input format).
+func bitString(v []bool) string {
+	var sb strings.Builder
+	for _, b := range v {
+		sb.WriteByte(map[bool]byte{true: '1', false: '0'}[b])
+	}
+	return sb.String()
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

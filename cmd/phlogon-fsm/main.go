@@ -1,12 +1,20 @@
-// Command phlogon-fsm simulates the paper's phase-logic serial adder
-// (Fig. 15) on PPV phase macromodels and prints the decoded outputs next to
-// the golden Boolean result.
+// Command phlogon-fsm simulates phase-logic FSMs and datapaths on PPV
+// phase macromodels.
 //
-// Usage:
+// With no subcommand it runs the paper's serial adder (Fig. 15) and prints
+// the decoded outputs next to the golden Boolean result:
 //
 //	phlogon-fsm -a 101 -b 101 [-sync 100u] [-clk 100] [-ascii]
 //
-// Bit strings are LSB-first.
+// Two subcommands drive the netlist-IR compiler instead:
+//
+//	phlogon-fsm compile -adder 8 > adder8.json     # emit IR documents
+//	phlogon-fsm compile -in design.json            # validate + normalize
+//	phlogon-fsm run -in adder8.json -word 10110100 # compile & run a word
+//	phlogon-fsm run -in shift4.json -streams 101101
+//
+// Bit strings are LSB-first; -word and -streams list one entry per netlist
+// input, in declaration order.
 package main
 
 import (
@@ -25,6 +33,20 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "compile":
+			cmdCompile(os.Args[2:])
+			return
+		case "run":
+			cmdRun(os.Args[2:])
+			return
+		}
+	}
+	serialAdderMain()
+}
+
+func serialAdderMain() {
 	aStr := flag.String("a", "101", "input stream a, LSB first")
 	bStr := flag.String("b", "101", "input stream b, LSB first")
 	syncAmp := flag.String("sync", "100u", "SYNC amplitude per latch")

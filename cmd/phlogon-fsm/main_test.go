@@ -1,6 +1,9 @@
 package main_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/cmdtest"
@@ -22,4 +25,79 @@ func TestOneBitAdd(t *testing.T) {
 	}
 	cmdtest.MustContain(t, res.Stdout,
 		"serial adder on phase macromodels", "result: CORRECT")
+}
+
+// TestCompileSubcommand: the generator emits a valid IR document and the
+// validating round trip (-in) reproduces it byte for byte.
+func TestCompileSubcommand(t *testing.T) {
+	bin := cmdtest.Build(t, "./cmd/phlogon-fsm")
+	res := cmdtest.Run(t, bin, "", "compile", "-adder", "4")
+	if res.ExitCode != 0 {
+		t.Fatalf("exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+	cmdtest.MustContain(t, res.Stdout, `"name": "adder4"`, `"cout"`, `"kind": "maj"`)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "adder4.json")
+	if err := os.WriteFile(path, []byte(res.Stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := cmdtest.Run(t, bin, "", "compile", "-in", path)
+	if again.ExitCode != 0 {
+		t.Fatalf("round trip exit %d\nstderr: %s", again.ExitCode, again.Stderr)
+	}
+	if again.Stdout != res.Stdout {
+		t.Error("compile -in did not reproduce the generated document")
+	}
+
+	// A structurally invalid document must be refused with a diagnostic.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","outputs":["ghost"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	refused := cmdtest.Run(t, bin, "", "compile", "-in", bad)
+	if refused.ExitCode == 0 {
+		t.Error("invalid netlist accepted")
+	}
+	cmdtest.MustContain(t, refused.Stderr, "invalid netlist")
+}
+
+// TestRunSubcommand compiles generated IR to the macromodel substrate and
+// checks the decoded outputs agree with the Boolean evaluator end to end.
+func TestRunSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold PPV chain skipped in -short")
+	}
+	bin := cmdtest.Build(t, "./cmd/phlogon-fsm")
+	dir := t.TempDir()
+
+	adder := filepath.Join(dir, "adder2.json")
+	res := cmdtest.Run(t, bin, "", "compile", "-adder", "2", "-o", adder)
+	if res.ExitCode != 0 {
+		t.Fatalf("compile exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+	run := cmdtest.Run(t, bin, "", "run", "-in", adder, "-word", "1110")
+	if run.ExitCode != 0 {
+		t.Fatalf("run exit %d\nstdout: %s\nstderr: %s", run.ExitCode, run.Stdout, run.Stderr)
+	}
+	cmdtest.MustContain(t, run.Stdout, "phase-logic run: adder2", "result: CORRECT")
+
+	sr := filepath.Join(dir, "sr2.json")
+	if res := cmdtest.Run(t, bin, "", "compile", "-shiftreg", "2", "-o", sr); res.ExitCode != 0 {
+		t.Fatalf("compile exit %d\nstderr: %s", res.ExitCode, res.Stderr)
+	}
+	stream := cmdtest.Run(t, bin, "", "run", "-in", sr, "-streams", "1011")
+	if stream.ExitCode != 0 {
+		t.Fatalf("run exit %d\nstdout: %s\nstderr: %s", stream.ExitCode, stream.Stdout, stream.Stderr)
+	}
+	cmdtest.MustContain(t, stream.Stdout, "phase-logic run: shiftreg2", "result: CORRECT")
+	// q0 reproduces the input stream, q1 its one-period delay.
+	for _, line := range strings.Split(stream.Stdout, "\n") {
+		if strings.HasPrefix(line, "q0") && !strings.Contains(line, "1011") {
+			t.Errorf("q0 row: %q", line)
+		}
+		if strings.HasPrefix(line, "q1") && !strings.Contains(line, "0101") {
+			t.Errorf("q1 row: %q", line)
+		}
+	}
 }

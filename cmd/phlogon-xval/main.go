@@ -31,7 +31,7 @@ func main() {
 }
 
 func run() int {
-	families := flag.String("families", "", "comma-separated family filter (pss,ppv,gae,fsm); empty = all")
+	families := flag.String("families", "", "comma-separated family filter (pss,ppv,gae,fsm,logic); empty = all")
 	fast := flag.Bool("fast", false, "skip the slow SPICE-level cases")
 	workers := flag.Int("workers", 0, "case fan-out bound (0 = NumCPU)")
 	jsonOut := flag.String("json", "", "write the machine-readable report to this file ('-' = stdout)")

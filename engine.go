@@ -16,6 +16,11 @@ import (
 //
 // One Engine should outlive many analyses; every designer flow that touches
 // the same oscillator family then pays for one extraction.
+//
+// Beyond the ring-specific RingPSS/RingPPV helpers, an Engine memoizes any
+// phlogon.Oscillator through its generic PSS and PPV methods — the cache
+// key folds in the oscillator's kind tag and configuration, so distinct
+// substrates never collide and equal configurations share one artifact.
 type Engine = engine.Engine
 
 // EngineOptions configures NewEngine. The zero value is a good default:

@@ -3,6 +3,7 @@ package phlogon
 import (
 	"repro/internal/gae"
 	"repro/internal/linalg"
+	"repro/internal/phlogic"
 	"repro/internal/solver"
 	"repro/internal/transient"
 )
@@ -32,4 +33,14 @@ var (
 	// ErrUnsupported: the requested option combination is not implemented
 	// (e.g. Gear2 with adaptive stepping).
 	ErrUnsupported = transient.ErrUnsupported
+
+	// ErrInvalidNetlist: a phase-logic IR document is structurally invalid
+	// (unknown gate kind, undriven or multiply-driven net, malformed
+	// weights, combinational cycle).
+	ErrInvalidNetlist = phlogic.ErrInvalidNetlist
+
+	// ErrUndecodable: a compiled phase-logic network's output could not be
+	// read back into a logic level (signal too small or too close to the
+	// quadrature decision boundary).
+	ErrUndecodable = phlogic.ErrUndecodable
 )

@@ -41,6 +41,15 @@ var examplePrograms = []struct {
 		"sum     = 11000 (= 24)",
 		"phase-logic adder computed 13 + 11 = 24 correctly",
 	}},
+	{"rippleadder", []string{
+		"8-bit ripple-carry adder compiled from netlist IR",
+		"255 +   1 = 256",
+		"all sums decoded correctly",
+	}},
+	{"shiftregister", []string{
+		"4-stage shift register compiled from netlist IR",
+		"every stage reproduces the input delayed by one more clock period",
+	}},
 	{"noiseimmunity", []string{
 		"thermal phase diffusion c =",
 		"stronger SYNC ⇒ stiffer lock ⇒ exponentially fewer bit errors",

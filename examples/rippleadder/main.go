@@ -1,0 +1,66 @@
+// Ripple-carry adder from netlist IR: build the 8-bit adder as a MAJ-gate
+// netlist, compile it onto the PPV phase-macromodel substrate — one
+// oscillator latch per readout plus a free-running reference, with the
+// majority gates evaluated as phasor algebra — and add numbers whose carry
+// ripples through all eight slices. Every decoded bit is checked against
+// the Boolean evaluation of the same IR.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	phlogon "repro"
+)
+
+func main() {
+	_, _, p, err := phlogon.RingPPVCtx(context.Background(), phlogon.DefaultRingConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const bits = 8
+	n := phlogon.RippleCarryAdderNetlist(bits)
+	m, err := phlogon.CompileMacro(n, p, p.F0, phlogon.MacroConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8-bit ripple-carry adder compiled from netlist IR: %d MAJ gates, %d oscillator latches\n\n",
+		len(n.Ops), m.NumLatches())
+
+	// 255+1 propagates a carry through every slice; 170+85 alternates.
+	pairs := [][2]int{{255, 1}, {170, 85}, {137, 200}}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		word := make([]bool, 2*bits)
+		for i := 0; i < bits; i++ {
+			word[2*i] = a&(1<<i) != 0
+			word[2*i+1] = b&(1<<i) != 0
+		}
+		out, _, err := m.RunWord(word)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := 0
+		for i := 0; i < bits; i++ {
+			if out[i] {
+				sum |= 1 << i
+			}
+		}
+		if out[bits] { // cout
+			sum |= 1 << bits
+		}
+		status := "ok"
+		if sum != a+b {
+			status = "WRONG"
+		}
+		fmt.Printf("  %3d + %3d = %3d (decoded from oscillator phases) %s\n", a, b, sum, status)
+		if sum != a+b {
+			log.Fatalf("adder returned %d, want %d", sum, a+b)
+		}
+	}
+
+	fmt.Printf("\nall sums decoded correctly: the carry chain survives %d majority stages\n", bits)
+	fmt.Println("(logic 1 ⇔ Δφ = 0, logic 0 ⇔ Δφ = ½ cycle against the reference oscillator)")
+}

@@ -225,7 +225,7 @@ func TestDiskSchemaReject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := "pss/" + Fingerprint(cfg, seed.pssOpt)
+	key := seed.pssKey("ring", cfg)
 	if err := ds.Put(key, []byte("not a pss artifact")); err != nil {
 		t.Fatal(err)
 	}

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/circuit"
 	"repro/internal/diag"
 	"repro/internal/gae"
 	"repro/internal/linalg"
@@ -45,6 +46,31 @@ import (
 	"repro/internal/pss"
 	"repro/internal/ringosc"
 )
+
+// Oscillator is the engine's substrate abstraction: anything that can be
+// assembled into an autonomous ODE system with a limit cycle may flow
+// through the PSS/PPV cache — the paper's square-law ring, the D latch, a
+// compiler-emitted logic block, or a future non-MOSFET backend.
+//
+// OscillatorKey names the artifact: a short lowercase kind tag plus the full
+// build configuration. Both are folded into the content-addressed cache key,
+// so two oscillator kinds with coincidentally equal configs never collide,
+// and two instances of one kind with equal configs share one artifact.
+type Oscillator interface {
+	// System returns the assembled ODE system (immutable by the repository's
+	// concurrency contract).
+	System() *circuit.System
+	// InitialState returns a state off the unstable equilibria, from which
+	// transient settling falls onto the oscillation limit cycle.
+	InitialState() []float64
+	// EstimatedF0 returns an analytic frequency estimate used to size the
+	// shooting solver's initial period guess.
+	EstimatedF0() float64
+	// OscillatorKey returns the cache identity: kind is a short lowercase
+	// tag ("ring", "dlatch", ...), cfg the full configuration value
+	// (fingerprinted by content; see Fingerprint for the supported kinds).
+	OscillatorKey() (kind string, cfg any)
+}
 
 // DefaultCapacityBytes bounds the artifact cache when Options.CapacityBytes
 // is zero: 256 MiB holds hundreds of ring-latch chains (one 1024-step,
@@ -151,54 +177,134 @@ func (e *Engine) Stats() Stats {
 // Workers reports the engine's resolved compute-pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// pssArtifact is a cached ring + its converged periodic steady state.
+// pssArtifact is a cached oscillator + its converged periodic steady state.
 type pssArtifact struct {
-	ring *ringosc.Ring
-	sol  *pss.Solution
+	osc Oscillator
+	sol *pss.Solution
 }
 
 // ppvArtifact additionally carries the extracted phase macromodel.
 type ppvArtifact struct {
-	ring *ringosc.Ring
-	sol  *pss.Solution
-	p    *ppv.PPV
+	osc Oscillator
+	sol *pss.Solution
+	p   *ppv.PPV
 }
 
-// RingPSS builds the ring for cfg and computes its periodic steady state by
-// shooting, memoized under the content hash of (cfg, the engine's PSS
-// options).
-func (e *Engine) RingPSS(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, error) {
-	key := "pss/" + Fingerprint(cfg, e.pssOpt)
+// pssKey/ppvKey derive the cache keys: the content hash of (oscillator
+// kind, oscillator config, the engine's PSS options). The kind tag is part
+// of the hash — never a path segment — so keys keep the two-part
+// <stage>/<hex> shape the DiskStore requires.
+func (e *Engine) pssKey(kind string, cfg any) string {
+	return "pss/" + Fingerprint(kind, cfg, e.pssOpt)
+}
+
+func (e *Engine) ppvKey(kind string, cfg any) string {
+	return "ppv/" + Fingerprint(kind, cfg, e.pssOpt)
+}
+
+// pssArtifactFor is the shared PSS pipeline: memoized under key, building
+// the oscillator lazily inside the flight (a warm hit never constructs a
+// circuit — it stays a fingerprint plus a map lookup).
+func (e *Engine) pssArtifactFor(ctx context.Context, key string, build func() (Oscillator, error)) (*pssArtifact, error) {
 	v, err := e.do(ctx, key, func(cctx context.Context) (any, int64, error) {
-		r, err := ringosc.Build(cfg)
+		osc, err := build()
 		if err != nil {
 			return nil, 0, err
 		}
 		// Disk tier: a verified artifact file short-circuits the solve —
-		// only the (cheap) circuit build above runs. Rebuilding the ring
-		// instead of persisting it keeps the file purely numeric.
+		// only the (cheap) circuit build above runs. Rebuilding the
+		// oscillator instead of persisting it keeps the file purely numeric.
 		if payload, ok := e.diskLoad(cctx, key); ok {
 			if sol, err := decodeSolution(payload); err == nil {
-				return &pssArtifact{ring: r, sol: sol}, solutionBytes(sol), nil
+				return &pssArtifact{osc: osc, sol: sol}, solutionBytes(sol), nil
 			}
 			e.diskReject(cctx)
 		}
 		opt := e.pssOpt
 		if opt.GuessT == 0 {
-			opt.GuessT = 1 / r.EstimatedF0()
+			opt.GuessT = 1 / osc.EstimatedF0()
 		}
-		sol, err := pss.ShootAutonomousCtx(cctx, r.Sys, r.KickStart(), opt)
+		sol, err := pss.ShootAutonomousCtx(cctx, osc.System(), osc.InitialState(), opt)
 		if err != nil {
 			return nil, 0, err
 		}
 		e.diskStore(cctx, key, encodeSolution(sol))
-		return &pssArtifact{ring: r, sol: sol}, solutionBytes(sol), nil
+		return &pssArtifact{osc: osc, sol: sol}, solutionBytes(sol), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pssArtifact), nil
+}
+
+// ppvArtifactFor nests the PSS stage (itself cached) and extracts the PPV.
+func (e *Engine) ppvArtifactFor(ctx context.Context, pssKey, ppvKey string, build func() (Oscillator, error)) (*ppvArtifact, error) {
+	v, err := e.do(ctx, ppvKey, func(cctx context.Context) (any, int64, error) {
+		pa, err := e.pssArtifactFor(cctx, pssKey, build)
+		if err != nil {
+			return nil, 0, err
+		}
+		osc, sol := pa.osc, pa.sol
+		// Disk tier: the file stores only the PPV-specific arrays; the
+		// decoded PPV is reattached to the cached PSS solution, preserving
+		// the one-Solution-shared-by-both-entries structure of the memory
+		// tier.
+		if payload, ok := e.diskLoad(cctx, ppvKey); ok {
+			if p, err := decodePPV(payload, sol); err == nil {
+				return &ppvArtifact{osc: osc, sol: sol, p: p}, ppvBytes(p), nil
+			}
+			e.diskReject(cctx)
+		}
+		p, err := ppv.FromSolutionCtx(cctx, osc.System(), sol, e.workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		e.diskStore(cctx, ppvKey, encodePPV(p))
+		// The PPV references the PSS artifact's grid and solution; only the
+		// PPV-specific storage is charged to this entry.
+		return &ppvArtifact{osc: osc, sol: sol, p: p}, ppvBytes(p), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ppvArtifact), nil
+}
+
+// PSS computes (or recalls) the periodic steady state of any Oscillator,
+// memoized under the content hash of (its OscillatorKey, the engine's PSS
+// options). The artifact cache retains the oscillator instance alongside
+// the solution; a later identical-key request returns the cached solution
+// regardless of which instance asked.
+func (e *Engine) PSS(ctx context.Context, osc Oscillator) (*pss.Solution, error) {
+	kind, cfg := osc.OscillatorKey()
+	a, err := e.pssArtifactFor(ctx, e.pssKey(kind, cfg), func() (Oscillator, error) { return osc, nil })
+	if err != nil {
+		return nil, err
+	}
+	return a.sol, nil
+}
+
+// PPV is the memoized pipeline PSS (shooting) → PPV (time-domain adjoint)
+// for any Oscillator; the PSS stage is itself cached and shared with PSS
+// requests for the same key.
+func (e *Engine) PPV(ctx context.Context, osc Oscillator) (*pss.Solution, *ppv.PPV, error) {
+	kind, cfg := osc.OscillatorKey()
+	a, err := e.ppvArtifactFor(ctx, e.pssKey(kind, cfg), e.ppvKey(kind, cfg), func() (Oscillator, error) { return osc, nil })
 	if err != nil {
 		return nil, nil, err
 	}
-	a := v.(*pssArtifact)
-	return a.ring, a.sol, nil
+	return a.sol, a.p, nil
+}
+
+// RingPSS builds the ring for cfg and computes its periodic steady state by
+// shooting, memoized like PSS (a ring built here and a *ringosc.Ring passed
+// to PSS share one artifact when their configs match).
+func (e *Engine) RingPSS(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, error) {
+	a, err := e.pssArtifactFor(ctx, e.pssKey("ring", cfg), func() (Oscillator, error) { return ringosc.Build(cfg) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.osc.(*ringosc.Ring), a.sol, nil
 }
 
 // RingPPV is the memoized one-call pipeline: build → PSS (shooting) → PPV
@@ -206,36 +312,11 @@ func (e *Engine) RingPSS(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring
 // reuses an existing steady state and vice versa. Repeated calls with an
 // identical cfg return the same shared artifact at near-zero cost.
 func (e *Engine) RingPPV(ctx context.Context, cfg ringosc.Config) (*ringosc.Ring, *pss.Solution, *ppv.PPV, error) {
-	key := "ppv/" + Fingerprint(cfg, e.pssOpt)
-	v, err := e.do(ctx, key, func(cctx context.Context) (any, int64, error) {
-		r, sol, err := e.RingPSS(cctx, cfg)
-		if err != nil {
-			return nil, 0, err
-		}
-		// Disk tier: the file stores only the PPV-specific arrays; the
-		// decoded PPV is reattached to the cached PSS solution, preserving
-		// the one-Solution-shared-by-both-entries structure of the memory
-		// tier.
-		if payload, ok := e.diskLoad(cctx, key); ok {
-			if p, err := decodePPV(payload, sol); err == nil {
-				return &ppvArtifact{ring: r, sol: sol, p: p}, ppvBytes(p), nil
-			}
-			e.diskReject(cctx)
-		}
-		p, err := ppv.FromSolutionCtx(cctx, r.Sys, sol, e.workers)
-		if err != nil {
-			return nil, 0, err
-		}
-		e.diskStore(cctx, key, encodePPV(p))
-		// The PPV references the PSS artifact's grid and solution; only the
-		// PPV-specific storage is charged to this entry.
-		return &ppvArtifact{ring: r, sol: sol, p: p}, ppvBytes(p), nil
-	})
+	a, err := e.ppvArtifactFor(ctx, e.pssKey("ring", cfg), e.ppvKey("ring", cfg), func() (Oscillator, error) { return ringosc.Build(cfg) })
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	a := v.(*ppvArtifact)
-	return a.ring, a.sol, a.p, nil
+	return a.osc.(*ringosc.Ring), a.sol, a.p, nil
 }
 
 // GAESweepRequest asks for a SYNC-amplitude locking sweep (the Fig. 7

@@ -107,6 +107,62 @@ func TestRingPPVWarmHit(t *testing.T) {
 	}
 }
 
+// TestGenericOscillatorSharesRingArtifacts: the generic PSS/PPV entry
+// points and the ring-specific helpers are two doors into one cache — a
+// *ringosc.Ring passed as a plain Oscillator resolves to the same shared
+// artifacts as the cfg-keyed RingPSS/RingPPV, and a latch (a different
+// oscillator kind) gets its own key even though its ring core config is
+// identical.
+func TestGenericOscillatorSharesRingArtifacts(t *testing.T) {
+	e := testEngine(Options{})
+	dm := diag.New()
+	ctx := diag.WithMetrics(context.Background(), dm)
+	cfg := ringosc.DefaultConfig()
+
+	r, sol1, err := e.RingPSS(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := e.PSS(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol1 != sol2 {
+		t.Fatal("generic PSS(ring) did not ride the RingPSS artifact")
+	}
+	if got := dm.Get(diag.EngineMisses); got != 1 {
+		t.Fatalf("misses = %d, want 1 (the generic call must be a pure hit)", got)
+	}
+
+	// A second ring instance with an equal config shares the artifact too
+	// (content addressing, not pointer identity).
+	r2, err := ringosc.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol3, p3, err := e.PPV(ctx, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol3 != sol1 {
+		t.Fatal("PPV chain recomputed the shared PSS stage")
+	}
+	_, _, p4, err := e.RingPPV(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p4 {
+		t.Fatal("RingPPV did not ride the generic PPV artifact")
+	}
+
+	// A different oscillator kind must not collide with the ring's key even
+	// though its embedded ring config is byte-identical.
+	kind, _ := r.OscillatorKey()
+	if lk := e.pssKey(kind, cfg); lk == e.pssKey("dlatch", cfg) {
+		t.Fatal("oscillator kind is not part of the cache key")
+	}
+}
+
 // TestEngineWarmSpeedup pins the headline claim: a warm-cache RingPPV is at
 // least 50x faster than the cold computation. The real ratio is orders of
 // magnitude larger (a map lookup vs. a full shooting solve), so the factor

@@ -124,6 +124,30 @@ func (r *Result) Bit(i, s int) bool {
 	return d < 0.25 || d > 0.75
 }
 
+// PhaseAt returns latch i's phase at time t by linear interpolation of the
+// recorded trajectory (clamping outside the simulated range).
+func (r *Result) PhaseAt(i int, t float64) float64 {
+	n := len(r.T)
+	if t <= r.T[0] {
+		return r.Dphi[i][0]
+	}
+	if t >= r.T[n-1] {
+		return r.Dphi[i][n-1]
+	}
+	// Binary search for the step straddling t.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (t - r.T[lo]) / (r.T[hi] - r.T[lo])
+	return r.Dphi[i][lo] + f*(r.Dphi[i][hi]-r.Dphi[i][lo])
+}
+
 // FinalBits decodes all latches at the last step.
 func (r *Result) FinalBits() []bool {
 	out := make([]bool, len(r.Dphi))

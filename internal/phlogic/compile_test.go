@@ -1,0 +1,222 @@
+package phlogic_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/phlogic"
+)
+
+// adderWord interleaves two integers into the a0,b0,a1,b1,… input order of
+// RippleCarryAdder.
+func adderWord(bits, a, b int) []bool {
+	w := make([]bool, 2*bits)
+	for i := 0; i < bits; i++ {
+		w[2*i] = a&(1<<i) != 0
+		w[2*i+1] = b&(1<<i) != 0
+	}
+	return w
+}
+
+func wordInt(bits []bool) int {
+	v := 0
+	for i, b := range bits {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// TestMacroAdder4 runs the compiled 4-bit ripple-carry adder on the phase
+// macromodel substrate for a handful of randomized words, decoding through
+// the pairwise detectors against the reference latch.
+func TestMacroAdder4(t *testing.T) {
+	p := ringPPV(t)
+	m, err := phlogic.CompileMacro(phlogic.RippleCarryAdder(4), p, p.F0, phlogic.MacroConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 4; trial++ {
+		a, b := rng.Intn(16), rng.Intn(16)
+		got, _, err := m.RunWord(adderWord(4, a, b))
+		if err != nil {
+			t.Fatalf("%d+%d: %v", a, b, err)
+		}
+		if w := wordInt(got); w != a+b {
+			t.Fatalf("macro adder4: %d+%d = %d, want %d", a, b, w, a+b)
+		}
+	}
+}
+
+// TestMacroAdder8 is the flagship acceptance scenario: the 8-bit adder
+// compiled from IR produces correct decoded sums for randomized words.
+func TestMacroAdder8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-bit macro adder skipped in -short")
+	}
+	p := ringPPV(t)
+	m, err := phlogic.CompileMacro(phlogic.RippleCarryAdder(8), p, p.F0, phlogic.MacroConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 8-bit carry chain is the deep-path stress case; worst-case
+	// propagation (e.g. 255 + 1) plus random words.
+	rng := rand.New(rand.NewSource(88))
+	pairs := [][2]int{{255, 1}, {170, 85}}
+	for trial := 0; trial < 3; trial++ {
+		pairs = append(pairs, [2]int{rng.Intn(256), rng.Intn(256)})
+	}
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		got, _, err := m.RunWord(adderWord(8, a, b))
+		if err != nil {
+			t.Fatalf("%d+%d: %v", a, b, err)
+		}
+		if w := wordInt(got); w != a+b {
+			t.Fatalf("macro adder8: %d+%d = %d, want %d", a, b, w, a+b)
+		}
+	}
+}
+
+// TestMacroShiftRegister clocks the compiled 4-stage shift register and
+// checks the full shifted history at every period.
+func TestMacroShiftRegister(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shift register skipped in -short")
+	}
+	p := ringPPV(t)
+	m, err := phlogic.CompileMacro(phlogic.ShiftRegister(4), p, p.F0, phlogic.MacroConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []bool{true, false, true, true, false, true}
+	out, _, err := m.RunStreams([][]bool{stream}, len(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After period k the slave of stage j holds the bit presented k−j
+	// periods earlier (false before anything reached it).
+	for k := range stream {
+		for j := 0; j < 4; j++ {
+			want := false
+			if k-j >= 0 {
+				want = stream[k-j]
+			}
+			if out[j][k] != want {
+				t.Fatalf("period %d: q%d = %v, want %v", k, j, out[j][k], want)
+			}
+		}
+	}
+}
+
+// TestMacroInputOscillatorArray runs the adder with the wobblchip-style
+// input stage: each input bit encoded by its own oscillator latch pulled
+// through a switchable coupling link, the gates reading the oscillators.
+func TestMacroInputOscillatorArray(t *testing.T) {
+	p := ringPPV(t)
+	m, err := phlogic.CompileMacro(phlogic.RippleCarryAdder(2), p, p.F0, phlogic.MacroConfig{
+		InputOscillators: true,
+		// Input oscillators start at the logic-0 phase and must first lock
+		// to their word bits; give the pipeline a little longer.
+		SettleCycles: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 ref + 4 input oscillators + 3 readout latches.
+	if got := m.NumLatches(); got != 8 {
+		t.Fatalf("NumLatches = %d, want 8", got)
+	}
+	for _, pr := range [][2]int{{3, 1}, {2, 3}} {
+		a, b := pr[0], pr[1]
+		got, _, err := m.RunWord(adderWord(2, a, b))
+		if err != nil {
+			t.Fatalf("%d+%d: %v", a, b, err)
+		}
+		if w := wordInt(got); w != a+b {
+			t.Fatalf("input-array adder2: %d+%d = %d, want %d", a, b, w, a+b)
+		}
+	}
+}
+
+// TestMacroTruthTableProperty compiles random combinational truth tables
+// (up to 3 inputs here — the phase-domain run is the expensive part) to
+// MAJ/NOT networks and checks the macromodel-decoded outputs against the
+// direct Boolean evaluation on every input word.
+func TestMacroTruthTableProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("truth-table property test skipped in -short")
+	}
+	p := ringPPV(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		nIn := 2 + rng.Intn(2)
+		table := make([][]bool, 1<<nIn)
+		for r := range table {
+			table[r] = []bool{rng.Intn(2) == 1}
+		}
+		var inputs []string
+		for i := 0; i < nIn; i++ {
+			inputs = append(inputs, fmt.Sprintf("x%d", i))
+		}
+		n, err := phlogic.SynthesizeTruthTable("tt", inputs, []string{"y"}, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := phlogic.CompileMacro(n, p, p.F0, phlogic.MacroConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := range table {
+			word := make([]bool, nIn)
+			for j := range word {
+				word[j] = row&(1<<j) != 0
+			}
+			got, _, err := m.RunWord(word)
+			if err != nil {
+				t.Fatalf("trial %d row %d: %v", trial, row, err)
+			}
+			if got[0] != table[row][0] {
+				t.Fatalf("trial %d row %d: macro = %v, table = %v (%d ops)",
+					trial, row, got[0], table[row][0], len(n.Ops))
+			}
+		}
+	}
+}
+
+// TestMacroMachineConcurrentRuns: one compiled machine, many concurrent
+// RunWord calls — per-run Systems and Scratches must make evaluations
+// isolation-safe (this is the -race guard for the per-worker scratch).
+func TestMacroMachineConcurrentRuns(t *testing.T) {
+	p := ringPPV(t)
+	m, err := phlogic.CompileMacro(phlogic.RippleCarryAdder(2), p, p.F0, phlogic.MacroConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a, b := g%4, (g/2)%4
+			got, _, err := m.RunWord(adderWord(2, a, b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if w := wordInt(got); w != a+b {
+				errs <- fmt.Errorf("goroutine %d: %d+%d = %d", g, a, b, w)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

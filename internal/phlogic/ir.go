@@ -1,0 +1,303 @@
+package phlogic
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file is the netlist IR of the phase-logic compiler: a small
+// combinational/FSM description — majority and NOT gates over named nets,
+// plus phase-encoded master–slave D latches — that the compiler lowers to
+// (a) a phase-macromodel network (compile.go) and (b) a transistor-level
+// circuit built from ring-oscillator latches (lower_circuit.go).
+//
+// Conventions:
+//
+//   - Nets are named by non-empty strings. The names "1" and "0" are
+//     reserved constant nets carrying the corresponding logic level (used
+//     by the SOP synthesizer as bias inputs).
+//   - Each non-input net is driven by exactly one op.
+//   - "latch" ops are sequential boundaries: a latch's q net is valid one
+//     clock period after its d net, and q nets act as sources for the
+//     combinational ordering (a combinational cycle through gates alone is
+//     rejected; a cycle through a latch is an FSM).
+
+// Sentinel errors of the phase-logic compiler.
+var (
+	// ErrInvalidNetlist reports a structurally invalid IR document: unknown
+	// gate kinds, undriven or multiply-driven nets, malformed weights, or a
+	// combinational cycle.
+	ErrInvalidNetlist = errors.New("phlogic: invalid netlist")
+	// ErrUndecodable reports that a compiled network's output phasor or
+	// phase could not be read back into a logic level (too small, or too
+	// close to quadrature / the decision boundary).
+	ErrUndecodable = errors.New("phlogic: output not decodable")
+)
+
+// OpKind names an IR operation.
+type OpKind string
+
+// The IR's operation kinds.
+const (
+	// OpMaj is the weighted majority gate: sign of Σ wᵢ·xᵢ with inputs as
+	// ±1. Unit weights by default; with the bias tricks in
+	// SynthesizeTruthTable it also expresses AND/OR of any arity.
+	OpMaj OpKind = "maj"
+	// OpNot is logical inversion (a 180° phase shift).
+	OpNot OpKind = "not"
+	// OpLatch is a phase-encoded master–slave D flip-flop: q follows d one
+	// clock period later (master transparent while CLK is high, slave while
+	// CLK is low).
+	OpLatch OpKind = "latch"
+)
+
+// Op is one IR operation driving the net Out from the nets In.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// Name labels the op in diagnostics and lowered-device names; defaults
+	// to the output net name.
+	Name string   `json:"name,omitempty"`
+	Out  string   `json:"out"`
+	In   []string `json:"in"`
+	// Weights applies to OpMaj only; nil means all-ones.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// Netlist is an IR document: a named block with declared input and output
+// nets and a list of ops.
+type Netlist struct {
+	Name    string   `json:"name"`
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+	Ops     []Op     `json:"ops"`
+}
+
+// Reserved constant net names.
+const (
+	ConstOne  = "1"
+	ConstZero = "0"
+)
+
+// Maj appends a unit-weight majority gate.
+func (n *Netlist) Maj(out string, in ...string) *Netlist {
+	n.Ops = append(n.Ops, Op{Kind: OpMaj, Out: out, In: in})
+	return n
+}
+
+// MajW appends a weighted majority gate.
+func (n *Netlist) MajW(out string, in []string, weights []float64) *Netlist {
+	n.Ops = append(n.Ops, Op{Kind: OpMaj, Out: out, In: in, Weights: weights})
+	return n
+}
+
+// Not appends an inverter.
+func (n *Netlist) Not(out, in string) *Netlist {
+	n.Ops = append(n.Ops, Op{Kind: OpNot, Out: out, In: []string{in}})
+	return n
+}
+
+// DLatch appends a master–slave D flip-flop with output net q and data
+// input d.
+func (n *Netlist) DLatch(q, d string) *Netlist {
+	n.Ops = append(n.Ops, Op{Kind: OpLatch, Out: q, In: []string{d}})
+	return n
+}
+
+// invalidf wraps ErrInvalidNetlist with a formatted detail message.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidNetlist, fmt.Sprintf(format, args...))
+}
+
+// ParseNetlistJSON decodes a strict JSON IR document (unknown fields are
+// rejected) and validates it.
+func ParseNetlistJSON(data []byte) (*Netlist, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var n Netlist
+	if err := dec.Decode(&n); err != nil {
+		return nil, invalidf("bad JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, invalidf("trailing data after netlist document")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// JSON encodes the netlist as an indented IR document.
+func (n *Netlist) JSON() ([]byte, error) {
+	return json.MarshalIndent(n, "", "  ")
+}
+
+// Validate checks the structural rules of the IR (see the package comment of
+// this file) and returns an error wrapping ErrInvalidNetlist on violation.
+func (n *Netlist) Validate() error {
+	_, err := n.Compile()
+	return err
+}
+
+// RippleCarryAdder builds the IR of an N-bit ripple-carry adder: inputs
+// a0..a{N−1} and b0..b{N−1} (LSB first), outputs s0..s{N−1} and cout. Each
+// bit slice is the paper's majority-logic full adder:
+//
+//	c{i+1} = MAJ(aᵢ, bᵢ, cᵢ)
+//	sᵢ     = MAJ(aᵢ, bᵢ, cᵢ, c{i+1}; weights 1, 1, 1, −2)
+//
+// with c0 the constant-0 net.
+func RippleCarryAdder(bits int) *Netlist {
+	n := &Netlist{Name: fmt.Sprintf("adder%d", bits)}
+	carry := ConstZero
+	for i := 0; i < bits; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		n.Inputs = append(n.Inputs, a, b)
+		next := fmt.Sprintf("c%d", i+1)
+		if i == bits-1 {
+			next = "cout"
+		}
+		n.Maj(next, a, b, carry)
+		n.MajW(fmt.Sprintf("s%d", i), []string{a, b, carry, next}, []float64{1, 1, 1, -2})
+		n.Outputs = append(n.Outputs, fmt.Sprintf("s%d", i))
+		carry = next
+	}
+	n.Outputs = append(n.Outputs, "cout")
+	return n
+}
+
+// ShiftRegister builds the IR of an N-stage serial-in shift register: input
+// d, outputs q0..q{N−1}, with q0 latching d and each later stage latching
+// its predecessor. After k clock periods qⱼ holds the d bit presented k−j
+// periods earlier.
+func ShiftRegister(stages int) *Netlist {
+	n := &Netlist{Name: fmt.Sprintf("shiftreg%d", stages), Inputs: []string{"d"}}
+	prev := "d"
+	for i := 0; i < stages; i++ {
+		q := fmt.Sprintf("q%d", i)
+		n.DLatch(q, prev)
+		n.Outputs = append(n.Outputs, q)
+		prev = q
+	}
+	return n
+}
+
+// SynthesizeTruthTable compiles an arbitrary combinational truth table into
+// a two-level MAJ/NOT network (sum of products on majority gates). For each
+// output, each minterm becomes an AND-k gate — MAJ over the k literals plus
+// the constant-1 net with weight −(k−1), which fires only when every
+// literal is true — and the minterms are OR-ed by a MAJ with a constant-1
+// bias of +(m−1). Inverted literals go through shared NOT gates. All
+// weighted sums are odd, so the gates never see an exact tie.
+//
+// table[i] lists, for input word i (bit j of i = value of inputs[j]), the
+// values of the outputs. len(table) must be 1<<len(inputs).
+func SynthesizeTruthTable(name string, inputs, outputs []string, table [][]bool) (*Netlist, error) {
+	if len(table) != 1<<len(inputs) {
+		return nil, invalidf("truth table has %d rows for %d inputs", len(table), len(inputs))
+	}
+	for i, row := range table {
+		if len(row) != len(outputs) {
+			return nil, invalidf("truth table row %d has %d values for %d outputs", i, len(row), len(outputs))
+		}
+	}
+	n := &Netlist{
+		Name:    name,
+		Inputs:  append([]string(nil), inputs...),
+		Outputs: append([]string(nil), outputs...),
+	}
+	// Shared inverted literals, created on demand.
+	notted := map[string]string{}
+	literal := func(in string, val bool) string {
+		if val {
+			return in
+		}
+		neg, ok := notted[in]
+		if !ok {
+			neg = "n_" + in
+			n.Not(neg, in)
+			notted[in] = neg
+		}
+		return neg
+	}
+	for oi, out := range outputs {
+		var minterms []int
+		for row := range table {
+			if table[row][oi] {
+				minterms = append(minterms, row)
+			}
+		}
+		// Degenerate constants: wire the output directly to a const net via
+		// a buffer MAJ (outputs must be op-driven nets, not the consts).
+		switch len(minterms) {
+		case 0:
+			n.Maj(out, ConstZero)
+			continue
+		case len(table):
+			n.Maj(out, ConstOne)
+			continue
+		}
+		// If more than half the rows are minterms, synthesize the
+		// complement and invert — keeps the OR fan-in small.
+		complement := len(minterms) > len(table)/2
+		if complement {
+			var inv []int
+			set := map[int]bool{}
+			for _, m := range minterms {
+				set[m] = true
+			}
+			for row := range table {
+				if !set[row] {
+					inv = append(inv, row)
+				}
+			}
+			minterms = inv
+		}
+		var termNets []string
+		for ti, row := range minterms {
+			ins := make([]string, 0, len(inputs)+1)
+			w := make([]float64, 0, len(inputs)+1)
+			for j, in := range inputs {
+				ins = append(ins, literal(in, row&(1<<j) != 0))
+				w = append(w, 1)
+			}
+			term := fmt.Sprintf("t_%s_%d", out, ti)
+			if len(inputs) == 1 {
+				// AND of one literal is the literal; buffer it so the term
+				// net is op-driven.
+				n.Maj(term, ins[0])
+			} else {
+				// AND-k: bias −(k−1) so the sum is positive only when all k
+				// literals are +1. Sum parity: k − (k−1) = 1, always odd.
+				ins = append(ins, ConstOne)
+				w = append(w, -float64(len(inputs)-1))
+				n.MajW(term, ins, w)
+			}
+			termNets = append(termNets, term)
+		}
+		orOut := out
+		if complement {
+			orOut = "or_" + out
+		}
+		if len(termNets) == 1 {
+			n.Maj(orOut, termNets[0])
+		} else {
+			// OR-m: bias +(m−1) makes any single true term win.
+			ins := append(append([]string(nil), termNets...), ConstOne)
+			w := make([]float64, len(termNets)+1)
+			for i := range termNets {
+				w[i] = 1
+			}
+			w[len(termNets)] = float64(len(termNets) - 1)
+			n.MajW(orOut, ins, w)
+		}
+		if complement {
+			n.Not(out, orOut)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

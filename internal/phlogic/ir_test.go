@@ -1,0 +1,241 @@
+package phlogic_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/phlogic"
+)
+
+// adderEvalBool runs the N-bit ripple-carry IR in the Boolean domain and
+// packs the result as an integer.
+func adderEvalBool(t *testing.T, bits, a, b int) int {
+	t.Helper()
+	n := phlogic.RippleCarryAdder(bits)
+	prog, err := n.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := make([]bool, 2*bits)
+	for i := 0; i < bits; i++ {
+		word[2*i] = a&(1<<i) != 0
+		word[2*i+1] = b&(1<<i) != 0
+	}
+	out, _, err := prog.EvalBool(word, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i, bit := range out {
+		if bit {
+			got |= 1 << i
+		}
+	}
+	return got
+}
+
+func TestRippleCarryAdderBooleanExhaustive4(t *testing.T) {
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if got := adderEvalBool(t, 4, a, b); got != a+b {
+				t.Fatalf("adder4: %d+%d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestRippleCarryAdderBooleanRandom8(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(256), rng.Intn(256)
+		if got := adderEvalBool(t, 8, a, b); got != a+b {
+			t.Fatalf("adder8: %d+%d = %d, want %d", a, b, got, a+b)
+		}
+	}
+}
+
+func TestShiftRegisterBooleanSequence(t *testing.T) {
+	n := phlogic.ShiftRegister(3)
+	prog, err := n.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumState() != 3 {
+		t.Fatalf("NumState = %d, want 3", prog.NumState())
+	}
+	stream := []bool{true, false, true, true, false, false, true}
+	state := make([]bool, 3)
+	for k, d := range stream {
+		var out []bool
+		out, state, err = prog.EvalBool([]bool{d}, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Before the clock edge, q_j holds the input from period k−1−j.
+		for j := range out {
+			want := false
+			if k-1-j >= 0 {
+				want = stream[k-1-j]
+			}
+			if out[j] != want {
+				t.Fatalf("period %d: q%d = %v, want %v", k, j, out[j], want)
+			}
+		}
+	}
+}
+
+func TestNetlistJSONRoundTrip(t *testing.T) {
+	n := phlogic.RippleCarryAdder(4)
+	data, err := n.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := phlogic.ParseNetlistJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != n.Name || len(back.Ops) != len(n.Ops) {
+		t.Fatalf("round trip lost structure: %q/%d ops vs %q/%d ops",
+			back.Name, len(back.Ops), n.Name, len(n.Ops))
+	}
+	// Round-tripped netlist must compute identically.
+	p1, _ := n.Compile()
+	p2, err := back.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := []bool{true, false, true, true, false, true, false, false}
+	o1, _, _ := p1.EvalBool(word, nil)
+	o2, _, _ := p2.EvalBool(word, nil)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("output %d differs after round trip", i)
+		}
+	}
+}
+
+func TestParseNetlistJSONRejectsUnknownFields(t *testing.T) {
+	_, err := phlogic.ParseNetlistJSON([]byte(`{"name":"x","inputs":["a"],"outputs":["y"],"ops":[{"kind":"not","out":"y","in":["a"]}],"extra":1}`))
+	if !errors.Is(err, phlogic.ErrInvalidNetlist) {
+		t.Fatalf("err = %v, want ErrInvalidNetlist", err)
+	}
+}
+
+func TestValidateRejectsBadNetlists(t *testing.T) {
+	cases := []struct {
+		name string
+		n    *phlogic.Netlist
+	}{
+		{"no name", &phlogic.Netlist{Outputs: []string{"y"}}},
+		{"no outputs", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}}
+			return n.Not("y", "a")
+		}()},
+		{"undriven input net", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"}}
+			return n.Not("y", "missing")
+		}()},
+		{"double driver", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"}}
+			return n.Not("y", "a").Maj("y", "a")
+		}()},
+		{"drives constant", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"1"}}
+			return n.Not("1", "a")
+		}()},
+		{"combinational cycle", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"}}
+			return n.Maj("y", "a", "z", "a").Maj("z", "a", "y", "a")
+		}()},
+		{"weight mismatch", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"}}
+			return n.MajW("y", []string{"a"}, []float64{1, 2})
+		}()},
+		{"zero weight", func() *phlogic.Netlist {
+			n := &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"}}
+			return n.MajW("y", []string{"a"}, []float64{0})
+		}()},
+		{"unknown kind", &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"},
+			Ops: []phlogic.Op{{Kind: "xor", Out: "y", In: []string{"a"}}}}},
+		{"latch arity", &phlogic.Netlist{Name: "x", Inputs: []string{"a"}, Outputs: []string{"y"},
+			Ops: []phlogic.Op{{Kind: phlogic.OpLatch, Out: "y", In: []string{"a", "a"}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.n.Validate(); !errors.Is(err, phlogic.ErrInvalidNetlist) {
+			t.Errorf("%s: err = %v, want ErrInvalidNetlist", tc.name, err)
+		}
+	}
+}
+
+func TestLatchCycleIsAnFSMNotACycle(t *testing.T) {
+	// A feedback loop broken by a latch (e.g. a toggle: q ← NOT q) is a
+	// valid FSM, not a combinational cycle.
+	n := &phlogic.Netlist{Name: "toggle", Outputs: []string{"q"}}
+	n.Not("nq", "q").DLatch("q", "nq")
+	prog, err := n.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []bool{false}
+	for k := 0; k < 4; k++ {
+		var out []bool
+		out, state, err = prog.EvalBool(nil, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := k%2 == 1; out[0] != want {
+			t.Fatalf("toggle period %d: q = %v, want %v", k, out[0], want)
+		}
+	}
+}
+
+// TestSynthesizeTruthTableBoolean: random truth tables (up to 4 inputs)
+// synthesize into MAJ/NOT networks whose Boolean evaluation reproduces the
+// table exactly, for every input word.
+func TestSynthesizeTruthTableBoolean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nIn := 1 + rng.Intn(4)
+		nOut := 1 + rng.Intn(3)
+		var inputs, outputs []string
+		for i := 0; i < nIn; i++ {
+			inputs = append(inputs, fmt.Sprintf("x%d", i))
+		}
+		for i := 0; i < nOut; i++ {
+			outputs = append(outputs, fmt.Sprintf("y%d", i))
+		}
+		table := make([][]bool, 1<<nIn)
+		for r := range table {
+			table[r] = make([]bool, nOut)
+			for c := range table[r] {
+				table[r][c] = rng.Intn(2) == 1
+			}
+		}
+		n, err := phlogic.SynthesizeTruthTable("tt", inputs, outputs, table)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		prog, err := n.Compile()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for row := range table {
+			word := make([]bool, nIn)
+			for j := range word {
+				word[j] = row&(1<<j) != 0
+			}
+			out, _, err := prog.EvalBool(word, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range out {
+				if out[c] != table[row][c] {
+					t.Fatalf("trial %d row %d out %d: got %v, want %v (netlist %d ops)",
+						trial, row, c, out[c], table[row][c], len(n.Ops))
+				}
+			}
+		}
+	}
+}

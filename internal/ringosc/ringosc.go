@@ -105,14 +105,27 @@ func (r *Ring) OutputIndex() int { return int(r.Nodes[0]) }
 // EstimatedF0 returns a first-order analytic estimate of the free-running
 // frequency (used only to size simulation windows; the true f0 comes from
 // PSS analysis).
-func (r *Ring) EstimatedF0() float64 {
+func (r *Ring) EstimatedF0() float64 { return estimatedF0(r.Cfg) }
+
+func estimatedF0(cfg Config) float64 {
 	// Average charging current ≈ half the saturation current at Vgs = Vdd.
-	vovN := r.Cfg.Vdd - r.Cfg.NMOS.VT0
-	idN := 0.5 * r.Cfg.NMOS.Beta * r.Cfg.NMOSMult * vovN * vovN
-	vovP := r.Cfg.Vdd - r.Cfg.PMOS.VT0
-	idP := 0.5 * r.Cfg.PMOS.Beta * vovP * vovP
+	vovN := cfg.Vdd - cfg.NMOS.VT0
+	idN := 0.5 * cfg.NMOS.Beta * cfg.NMOSMult * vovN * vovN
+	vovP := cfg.Vdd - cfg.PMOS.VT0
+	idP := 0.5 * cfg.PMOS.Beta * vovP * vovP
 	id := 0.5 * (idN + idP)
 	// Stage delay ≈ C·(Vdd/2)/id; period ≈ 2·N·delay.
-	td := r.Cfg.CLoad * (r.Cfg.Vdd / 2) / id
-	return 1 / (2 * float64(r.Cfg.Stages) * td)
+	td := cfg.CLoad * (cfg.Vdd / 2) / id
+	return 1 / (2 * float64(cfg.Stages) * td)
 }
+
+// System returns the assembled ODE system (the engine.Oscillator contract).
+func (r *Ring) System() *circuit.System { return r.Sys }
+
+// InitialState returns the kick-start state as a plain slice (the
+// engine.Oscillator contract; identical to KickStart).
+func (r *Ring) InitialState() []float64 { return []float64(r.KickStart()) }
+
+// OscillatorKey identifies the ring for content-addressed caching: the kind
+// tag and the full build configuration.
+func (r *Ring) OscillatorKey() (kind string, cfg any) { return "ring", r.Cfg }

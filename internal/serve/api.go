@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/gae"
@@ -223,6 +224,56 @@ type StreamRow struct {
 	Steps    int        `json:"steps,omitempty"`
 	Rejected int        `json:"rejected,omitempty"`
 	Err      *ErrorBody `json:"error,omitempty"`
+}
+
+// LogicRunRequest compiles a phase-logic netlist IR document and runs it as
+// a phase-macromodel network on the requested ring's extracted PPV. Exactly
+// one of Word (a single settled evaluation — combinational outputs plus one
+// latch capture) or Streams (a clocked multi-period bit-stream run) must be
+// set. The PSS→PPV chain rides the engine cache; only the macromodel
+// integration itself is per-request work.
+type LogicRunRequest struct {
+	Ring RingSpec `json:"ring"`
+	// Netlist is the IR document, in the JSON schema `phlogon-fsm compile`
+	// emits ({"name", "inputs", "outputs", "ops"}).
+	Netlist json.RawMessage `json:"netlist"`
+	// Word holds one bit per netlist input, in declaration order.
+	Word []bool `json:"word,omitempty"`
+	// Streams holds one equal-length bit stream per netlist input; outputs
+	// are decoded once per clock period.
+	Streams [][]bool `json:"streams,omitempty"`
+	// InputOscillators routes inputs through a wobblchip-style input
+	// oscillator array (one latch per input) instead of ideal phasor drives.
+	// Word mode only.
+	InputOscillators bool `json:"input_oscillators,omitempty"`
+	// SettleCycles overrides how many reference cycles a Word-mode run
+	// settles before decoding (default 60, capped at maxLogicCycles).
+	SettleCycles int `json:"settle_cycles,omitempty"`
+}
+
+// Bounds on one logic run: the op budget caps compiled network size (each
+// latch is two oscillators), the cycle and stream-bit budgets cap
+// integration time (each stream bit costs one CLK period, 100 reference
+// cycles by default).
+const (
+	maxLogicOps        = 1024
+	maxLogicCycles     = 4096
+	maxLogicStreamBits = 64
+)
+
+// LogicRunResponse carries the decoded outputs of a compiled logic run.
+type LogicRunResponse struct {
+	// Outputs names the decoded nets, in netlist declaration order.
+	Outputs []string `json:"outputs"`
+	// Bits is the decoded output word (Word mode).
+	Bits []bool `json:"bits,omitempty"`
+	// Streams is the decoded per-period bit stream of each output, indexed
+	// [output][period] (Streams mode).
+	Streams [][]bool `json:"streams,omitempty"`
+	// Latches is the number of phase-macromodel oscillators integrated.
+	Latches int     `json:"latches"`
+	F1      float64 `json:"f1_hz"`
+	Cold    bool    `json:"cold"`
 }
 
 // badRequestf builds a 400-coded apiError.

@@ -146,6 +146,16 @@ func (c *Client) GAESweep(ctx context.Context, req SweepRequest) (*SweepResponse
 	return &out, nil
 }
 
+// LogicRun compiles a phase-logic netlist IR document server-side and runs
+// it as a phase-macromodel network, returning the decoded output bits.
+func (c *Client) LogicRun(ctx context.Context, req LogicRunRequest) (*LogicRunResponse, error) {
+	var out LogicRunResponse
+	if err := c.post(ctx, "/v1/logic/run", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Transient requests a buffered SPICE-level transient (req.Stream must be
 // false; use TransientStream otherwise).
 func (c *Client) Transient(ctx context.Context, req TransientRequest) (*TransientResponse, error) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gae"
 	"repro/internal/linalg"
+	"repro/internal/phlogic"
 	"repro/internal/solver"
 	"repro/internal/transient"
 )
@@ -23,6 +24,8 @@ const (
 	CodeNoConvergence    = "no_convergence"    // phlogon.ErrNoConvergence → 422
 	CodeSingularJacobian = "singular_jacobian" // phlogon.ErrSingularJacobian → 422
 	CodeNoLock           = "no_lock"           // phlogon.ErrNoLock → 422
+	CodeInvalidNetlist   = "invalid_netlist"   // phlogon.ErrInvalidNetlist → 400
+	CodeUndecodable      = "undecodable"       // phlogon.ErrUndecodable → 422
 	CodeCanceled         = "canceled"          // client went away → 499
 	CodeTimeout          = "timeout"           // request deadline → 504
 	CodeSaturated        = "saturated"         // admission refused → 503 + Retry-After
@@ -99,6 +102,10 @@ func classify(err error) *apiError {
 		return &apiError{code: CodeSingularJacobian, status: http.StatusUnprocessableEntity, msg: err.Error(), cause: err}
 	case errors.Is(err, gae.ErrNoLock):
 		return &apiError{code: CodeNoLock, status: http.StatusUnprocessableEntity, msg: err.Error(), cause: err}
+	case errors.Is(err, phlogic.ErrInvalidNetlist):
+		return &apiError{code: CodeInvalidNetlist, status: http.StatusBadRequest, msg: err.Error(), cause: err}
+	case errors.Is(err, phlogic.ErrUndecodable):
+		return &apiError{code: CodeUndecodable, status: http.StatusUnprocessableEntity, msg: err.Error(), cause: err}
 	case errors.Is(err, ErrSaturated):
 		return &apiError{code: CodeSaturated, status: http.StatusServiceUnavailable, msg: err.Error(), cause: err}
 	case errors.Is(err, ErrDraining):
@@ -120,6 +127,10 @@ func sentinelFor(code string) error {
 		return linalg.ErrSingular
 	case CodeNoLock:
 		return gae.ErrNoLock
+	case CodeInvalidNetlist:
+		return phlogic.ErrInvalidNetlist
+	case CodeUndecodable:
+		return phlogic.ErrUndecodable
 	case CodeCanceled:
 		return context.Canceled
 	case CodeTimeout:

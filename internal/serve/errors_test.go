@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/gae"
 	"repro/internal/linalg"
+	"repro/internal/phlogic"
 	"repro/internal/solver"
 	"repro/internal/transient"
 )
@@ -30,6 +31,8 @@ func TestClassifyTaxonomy(t *testing.T) {
 		{"no convergence", wrap(solver.ErrNoConvergence), CodeNoConvergence, http.StatusUnprocessableEntity},
 		{"singular jacobian", wrap(linalg.ErrSingular), CodeSingularJacobian, http.StatusUnprocessableEntity},
 		{"no lock", wrap(gae.ErrNoLock), CodeNoLock, http.StatusUnprocessableEntity},
+		{"invalid netlist", wrap(phlogic.ErrInvalidNetlist), CodeInvalidNetlist, http.StatusBadRequest},
+		{"undecodable", wrap(phlogic.ErrUndecodable), CodeUndecodable, http.StatusUnprocessableEntity},
 		{"canceled", wrap(context.Canceled), CodeCanceled, StatusClientClosedRequest},
 		{"deadline", wrap(context.DeadlineExceeded), CodeTimeout, http.StatusGatewayTimeout},
 		{"unknown", errors.New("surprise"), CodeInternal, http.StatusInternalServerError},
@@ -59,6 +62,8 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		CodeNoConvergence:    solver.ErrNoConvergence,
 		CodeSingularJacobian: linalg.ErrSingular,
 		CodeNoLock:           gae.ErrNoLock,
+		CodeInvalidNetlist:   phlogic.ErrInvalidNetlist,
+		CodeUndecodable:      phlogic.ErrUndecodable,
 		CodeCanceled:         context.Canceled,
 		CodeTimeout:          context.DeadlineExceeded,
 		CodeSaturated:        ErrSaturated,

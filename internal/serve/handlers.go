@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/engine"
+	"repro/internal/phlogic"
 	"repro/internal/ppv"
 	"repro/internal/ringosc"
 	"repro/internal/transient"
@@ -198,6 +199,99 @@ func (s *Server) handleTransient(ctx context.Context, w http.ResponseWriter, r *
 		return writeJSON(w, resp)
 	}
 	return streamTransient(w, res)
+}
+
+// logicPlan validates the run-mode fields of a logic request and resolves
+// them into a macromodel lowering config plus the chosen mode.
+func (req *LogicRunRequest) logicPlan(n *phlogic.Netlist) (cfg phlogic.MacroConfig, nBits int, err error) {
+	wordMode := len(req.Word) > 0
+	streamMode := len(req.Streams) > 0
+	if wordMode == streamMode {
+		return cfg, 0, badRequestf("exactly one of word or streams must be set")
+	}
+	if req.SettleCycles < 0 || req.SettleCycles > maxLogicCycles {
+		return cfg, 0, badRequestf("settle_cycles %d: want 0 ≤ cycles ≤ %d", req.SettleCycles, maxLogicCycles)
+	}
+	cfg = phlogic.MacroConfig{
+		InputOscillators: req.InputOscillators,
+		SettleCycles:     float64(req.SettleCycles),
+	}
+	if wordMode {
+		if len(req.Word) != len(n.Inputs) {
+			return cfg, 0, badRequestf("word: %d bits for %d netlist inputs", len(req.Word), len(n.Inputs))
+		}
+		return cfg, 0, nil
+	}
+	if req.InputOscillators {
+		return cfg, 0, badRequestf("input_oscillators: word mode only")
+	}
+	if len(req.Streams) != len(n.Inputs) {
+		return cfg, 0, badRequestf("streams: %d streams for %d netlist inputs", len(req.Streams), len(n.Inputs))
+	}
+	nBits = len(req.Streams[0])
+	if nBits == 0 || nBits > maxLogicStreamBits {
+		return cfg, 0, badRequestf("streams: %d bits per stream, want 1 ≤ bits ≤ %d", nBits, maxLogicStreamBits)
+	}
+	for i, st := range req.Streams {
+		if len(st) != nBits {
+			return cfg, 0, badRequestf("streams[%d]: %d bits, want %d (all streams equal length)", i, len(st), nBits)
+		}
+	}
+	return cfg, nBits, nil
+}
+
+func (s *Server) handleLogicRun(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req LogicRunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	cfg, err := req.Ring.Config()
+	if err != nil {
+		return err
+	}
+	// An absent field decodes as the literal "null", not an empty message.
+	if len(req.Netlist) == 0 || string(req.Netlist) == "null" {
+		return badRequestf("netlist: required")
+	}
+	// Parse failures wrap phlogic.ErrInvalidNetlist, which classify maps to
+	// 400 "invalid_netlist" — distinct from bad_request so clients can tell
+	// a malformed IR document from a malformed request envelope.
+	n, err := phlogic.ParseNetlistJSON(req.Netlist)
+	if err != nil {
+		return err
+	}
+	if len(n.Ops) > maxLogicOps {
+		return badRequestf("netlist: %d ops exceeds the limit of %d", len(n.Ops), maxLogicOps)
+	}
+	mcfg, nBits, err := req.logicPlan(n)
+	if err != nil {
+		return err
+	}
+	// The latch PPV rides the engine cache; compilation and the macromodel
+	// integration are per-request work (cheap once the macromodel is warm).
+	_, _, p, err := s.eng.RingPPV(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := phlogic.CompileMacro(n, p, p.F0, mcfg)
+	if err != nil {
+		return err
+	}
+	resp := LogicRunResponse{
+		Outputs: n.Outputs,
+		Latches: m.NumLatches(),
+		F1:      p.F0,
+		Cold:    cold(ctx),
+	}
+	if nBits == 0 {
+		resp.Bits, _, err = m.RunWord(req.Word)
+	} else {
+		resp.Streams, _, err = m.RunStreams(req.Streams, nBits)
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, resp)
 }
 
 // streamTransient writes the trajectory as chunked NDJSON: one row per

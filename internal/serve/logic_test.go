@@ -1,0 +1,159 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/phlogic"
+	"repro/internal/serve"
+)
+
+// netlistDoc marshals a netlist into the request's raw IR document.
+func netlistDoc(t *testing.T, n *phlogic.Netlist) []byte {
+	t.Helper()
+	data, err := n.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestLogicRunValidation drives /v1/logic/run with malformed requests:
+// envelope-level mistakes are 400 "bad_request", while a structurally
+// invalid IR document is 400 "invalid_netlist" that satisfies errors.Is
+// against phlogon's sentinel across the wire.
+func TestLogicRunValidation(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	ctx := context.Background()
+	adder := netlistDoc(t, phlogic.RippleCarryAdder(2))
+
+	badReq := []struct {
+		name string
+		req  serve.LogicRunRequest
+	}{
+		{"no netlist", serve.LogicRunRequest{Word: []bool{true}}},
+		{"no word or streams", serve.LogicRunRequest{Netlist: adder}},
+		{"word and streams", serve.LogicRunRequest{Netlist: adder,
+			Word: make([]bool, 4), Streams: make([][]bool, 4)}},
+		{"word length mismatch", serve.LogicRunRequest{Netlist: adder, Word: []bool{true}}},
+		{"stream count mismatch", serve.LogicRunRequest{Netlist: adder,
+			Streams: [][]bool{{true}}}},
+		{"ragged streams", serve.LogicRunRequest{Netlist: adder,
+			Streams: [][]bool{{true}, {false}, {true}, {false, true}}}},
+		{"input oscillators with streams", serve.LogicRunRequest{Netlist: adder,
+			Streams: [][]bool{{true}, {false}, {true}, {false}}, InputOscillators: true}},
+		{"negative settle", serve.LogicRunRequest{Netlist: adder,
+			Word: make([]bool, 4), SettleCycles: -1}},
+	}
+	for _, tc := range badReq {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.LogicRun(ctx, tc.req)
+			var ae *serve.APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("err = %v, want *serve.APIError", err)
+			}
+			if ae.Status != http.StatusBadRequest || ae.Code != serve.CodeBadRequest {
+				t.Fatalf("got %d/%s, want 400/%s: %v", ae.Status, ae.Code, serve.CodeBadRequest, err)
+			}
+		})
+	}
+
+	// An IR document with an undriven output is invalid_netlist, and the
+	// sentinel survives the HTTP round trip.
+	bad := &phlogic.Netlist{Name: "bad", Inputs: []string{"a"}, Outputs: []string{"ghost"}}
+	_, err := c.LogicRun(ctx, serve.LogicRunRequest{
+		Netlist: netlistDoc(t, bad), Word: []bool{true},
+	})
+	var ae *serve.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("invalid netlist: err = %v, want *serve.APIError", err)
+	}
+	if ae.Status != http.StatusBadRequest || ae.Code != serve.CodeInvalidNetlist {
+		t.Fatalf("invalid netlist: got %d/%s, want 400/%s", ae.Status, ae.Code, serve.CodeInvalidNetlist)
+	}
+	if !errors.Is(err, phlogic.ErrInvalidNetlist) {
+		t.Fatal("errors.Is(err, phlogic.ErrInvalidNetlist) = false across the wire")
+	}
+}
+
+// TestLogicRunEndpoint runs a compiled 2-bit adder over HTTP in word mode
+// (cold PPV then warm repeat) and a shift register in streams mode, and
+// checks the decoded bits against the Boolean evaluator.
+func TestLogicRunEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold PPV chain skipped in -short")
+	}
+	_, c := newTestServer(t, serve.Options{})
+	ctx := context.Background()
+
+	n := phlogic.RippleCarryAdder(2)
+	prog, err := n.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := []bool{true, true, true, false} // a=11₂=3, b=01₂=1 → 100₂
+	truth, _, err := prog.EvalBool(word, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := c.LogicRun(ctx, serve.LogicRunRequest{Netlist: netlistDoc(t, n), Word: word})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Cold {
+		t.Error("first request should report cold")
+	}
+	if first.F1 <= 0 {
+		t.Errorf("f1 = %g, want > 0", first.F1)
+	}
+	// Reference + 3 readout latches (s0, s1, cout); no flip-flops.
+	if first.Latches != 4 {
+		t.Errorf("latches = %d, want 4", first.Latches)
+	}
+	if len(first.Outputs) != len(n.Outputs) || len(first.Bits) != len(n.Outputs) {
+		t.Fatalf("outputs = %v bits = %v, want %d of each", first.Outputs, first.Bits, len(n.Outputs))
+	}
+	for i, name := range n.Outputs {
+		if first.Bits[i] != truth[i] {
+			t.Errorf("output %s = %v, want %v", name, first.Bits[i], truth[i])
+		}
+	}
+
+	again, err := c.LogicRun(ctx, serve.LogicRunRequest{Netlist: netlistDoc(t, n), Word: word})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cold {
+		t.Error("repeat request should ride the warm macromodel")
+	}
+
+	// Streams mode: a 2-stage shift register clocked through 4 periods must
+	// reproduce the delayed input stream.
+	sr := phlogic.ShiftRegister(2)
+	stream := []bool{true, false, true, true}
+	resp, err := c.LogicRun(ctx, serve.LogicRunRequest{
+		Netlist: netlistDoc(t, sr), Streams: [][]bool{stream},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Streams) != len(sr.Outputs) {
+		t.Fatalf("streams = %d, want %d", len(resp.Streams), len(sr.Outputs))
+	}
+	for j, out := range resp.Streams {
+		if len(out) != len(stream) {
+			t.Fatalf("output %d: %d periods, want %d", j, len(out), len(stream))
+		}
+		for k, b := range out {
+			// Stage j's slave captures the bit presented k−j periods
+			// earlier; before anything reached it, it holds logic 0.
+			want := k-j >= 0 && stream[k-j]
+			if b != want {
+				t.Errorf("q%d[%d] = %v, want %v", j, k, b, want)
+			}
+		}
+	}
+}

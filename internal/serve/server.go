@@ -89,6 +89,7 @@ func New(opt Options) (*Server, error) {
 	mux.Handle("POST /v1/ppv", s.endpoint("ppv", s.handlePPV))
 	mux.Handle("POST /v1/gae/sweep", s.endpoint("gae_sweep", s.handleSweep))
 	mux.Handle("POST /v1/transient", s.endpoint("transient", s.handleTransient))
+	mux.Handle("POST /v1/logic/run", s.endpoint("logic_run", s.handleLogicRun))
 	s.mux = mux
 	return s, nil
 }

@@ -1,0 +1,229 @@
+package xval
+
+import (
+	"context"
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/phlogic"
+	"repro/internal/ringosc"
+	"repro/internal/transient"
+)
+
+// logicCases: the phase-logic compiler's two lowerings against each other
+// and the Boolean reference. The same netlist IR compiles to (a) a phase
+// macromodel network — scalar phase ODEs with the gates as phasor algebra —
+// and (b) a transistor-level circuit of op-amp summers, coupling networks,
+// and ring-oscillator latches; both must decode to the words the Boolean
+// evaluator predicts, and the wobblchip-style I/O path (input oscillator
+// array in, pairwise phase detectors out) must round-trip words at both
+// levels.
+func logicCases() []*Case {
+	return []*Case{adder4SliceCase(), detectorReadoutCase()}
+}
+
+// logicCircuitConfig assembles the transistor-level lowering config from
+// the shared 120 µA calibration, exactly as the hand-built serial adder
+// circuit derives its numbers.
+func logicCircuitConfig(ctx context.Context, fx *Fixtures) (phlogic.CircuitConfig, error) {
+	_, sol, _, err := fx.Ring1(ctx)
+	if err != nil {
+		return phlogic.CircuitConfig{}, err
+	}
+	cal, err := fx.AdderCal(ctx)
+	if err != nil {
+		return phlogic.CircuitConfig{}, err
+	}
+	cr, cc, inv, err := ringosc.CouplingFromCalibration(cal.Coupling, sol.F0)
+	if err != nil {
+		return phlogic.CircuitConfig{}, err
+	}
+	return phlogic.CircuitConfig{
+		Ring: ringosc.DefaultConfig(), F1: sol.F0,
+		SyncAmp: AdderCalSyncAmp, SyncPhase: cal.SyncPhase,
+		InputAmp: cmplx.Abs(cal.OutPhasor0), OutAngle: cmplx.Phase(cal.OutPhasor0),
+		CouplingR: cr, CouplingC: cc, Invert: inv,
+		ClockCycles: 120,
+	}, nil
+}
+
+// adder4SliceCase compiles the 4-bit ripple-carry adder IR through both
+// backends for one carry-propagating word pair and compares the decoded
+// output words bit by bit (and against integer truth).
+func adder4SliceCase() *Case {
+	return &Case{
+		ID:     "logic/adder4-macro-vs-spice",
+		Family: "logic",
+		Desc:   "compiled 4-bit ripple-carry adder: macromodel vs transistor-level vs boolean",
+		Slow:   true,
+		Golden: map[string]GoldenTol{
+			"macro_word": {Kind: Exact},
+			"spice_word": {Kind: Exact},
+		},
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+			const a, b = 11, 6 // 1011 + 0110: exercises a 3-stage carry ripple
+			n := phlogic.RippleCarryAdder(4)
+			prog, err := n.Compile()
+			if err != nil {
+				return nil, nil, err
+			}
+			word := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				word[2*i] = a&(1<<i) != 0
+				word[2*i+1] = b&(1<<i) != 0
+			}
+			truth, _, err := prog.EvalBool(word, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+
+			// Macromodel backend.
+			_, _, p, err := fx.Ring1(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := phlogic.CompileMacro(n, p, p.F0, phlogic.MacroConfig{})
+			if err != nil {
+				return nil, nil, err
+			}
+			macro, _, err := m.RunWord(word)
+			if err != nil {
+				return nil, nil, fmt.Errorf("macromodel: %w", err)
+			}
+
+			// Transistor-level backend.
+			cfg, err := logicCircuitConfig(ctx, fx)
+			if err != nil {
+				return nil, nil, err
+			}
+			streams := make([][]bool, len(word))
+			for i, bit := range word {
+				streams[i] = []bool{bit}
+			}
+			lc, err := phlogic.LowerCircuit(n, streams, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			_, sol, _, err := fx.Ring1(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := lc.Run(ctx, sol, nil, 0.5)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice: %w", err)
+			}
+			spice, err := lc.DecodePeriod(res, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice decode: %w", err)
+			}
+
+			var checks []Check
+			for i, name := range n.Outputs {
+				checks = append(checks,
+					Check{ID: fmt.Sprintf("logic/adder4-macro-vs-spice/%s-macro-vs-spice", name),
+						MethodA: "macromodel", MethodB: "spice",
+						A: boolTo01(macro[i]), B: boolTo01(spice[i]), Kind: Exact},
+					Check{ID: fmt.Sprintf("logic/adder4-macro-vs-spice/%s-vs-truth", name),
+						MethodA: "spice", MethodB: "boolean",
+						A: boolTo01(spice[i]), B: boolTo01(truth[i]), Kind: Exact},
+				)
+			}
+			obs := Observables{
+				"macro_word": bitWord(macro),
+				"spice_word": bitWord(spice),
+			}
+			return checks, obs, nil
+		},
+	}
+}
+
+// detectorReadoutCase round-trips a word through the wobblchip I/O path at
+// both levels: the transistor-level input oscillator array (switchable
+// coupling links in, pairwise Fourier phase detectors out) and the
+// macromodel input-oscillator mode of the compiler (input latches in,
+// pairwise DetectPair readout through buffer gates and readout latches).
+func detectorReadoutCase() *Case {
+	return &Case{
+		ID:     "logic/detector-readout",
+		Family: "logic",
+		Desc:   "wobblchip I/O conformance: input oscillator array + pairwise detectors round-trip a word",
+		Slow:   true,
+		Golden: map[string]GoldenTol{
+			"spice_word": {Kind: Exact},
+			"macro_word": {Kind: Exact},
+		},
+		Run: func(ctx context.Context, fx *Fixtures) ([]Check, Observables, error) {
+			word := []bool{true, false, true}
+
+			// Transistor level: build the array, let the oscillators lock to
+			// their links, decode with the pairwise detectors.
+			cfg, err := logicCircuitConfig(ctx, fx)
+			if err != nil {
+				return nil, nil, err
+			}
+			ia, err := phlogic.BuildInputArray(word, phlogic.InputArrayConfig{
+				Ring: cfg.Ring, F1: cfg.F1,
+				SyncAmp: cfg.SyncAmp, SyncPhase: cfg.SyncPhase,
+				InputAmp: cfg.InputAmp, OutAngle: cfg.OutAngle,
+				CouplingR: cfg.CouplingR, CouplingC: cfg.CouplingC, Invert: cfg.Invert,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			_, sol, _, err := fx.Ring1(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			T1 := 1 / cfg.F1
+			res, err := transient.RunCtx(ctx, ia.Sys, ia.InitialState(sol), 0, 40*T1,
+				transient.Options{Method: transient.Trap, Step: T1 / 256, Record: 4})
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice: %w", err)
+			}
+			spice, err := ia.DecodeWord(res.T, res.Node, 30*T1, 40*T1)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spice decode: %w", err)
+			}
+
+			// Macromodel: a buffer netlist through the compiler's input
+			// oscillator array and readout latches.
+			n := &phlogic.Netlist{Name: "buf3",
+				Inputs: []string{"x0", "x1", "x2"}, Outputs: []string{"y0", "y1", "y2"}}
+			n.Maj("y0", "x0").Maj("y1", "x1").Maj("y2", "x2")
+			_, _, p, err := fx.Ring1(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			m, err := phlogic.CompileMacro(n, p, p.F0, phlogic.MacroConfig{
+				InputOscillators: true, SettleCycles: 90,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			macro, _, err := m.RunWord(word)
+			if err != nil {
+				return nil, nil, fmt.Errorf("macromodel: %w", err)
+			}
+
+			var checks []Check
+			for k := range word {
+				checks = append(checks,
+					Check{ID: fmt.Sprintf("logic/detector-readout/bit%d-spice-vs-word", k),
+						MethodA: "spice-detector", MethodB: "encoded-word",
+						A: boolTo01(spice[k]), B: boolTo01(word[k]), Kind: Exact},
+					Check{ID: fmt.Sprintf("logic/detector-readout/bit%d-macro-vs-word", k),
+						MethodA: "macro-detector", MethodB: "encoded-word",
+						A: boolTo01(macro[k]), B: boolTo01(word[k]), Kind: Exact},
+					Check{ID: fmt.Sprintf("logic/detector-readout/bit%d-macro-vs-spice", k),
+						MethodA: "macro-detector", MethodB: "spice-detector",
+						A: boolTo01(macro[k]), B: boolTo01(spice[k]), Kind: Exact},
+				)
+			}
+			obs := Observables{
+				"spice_word": bitWord(spice),
+				"macro_word": bitWord(macro),
+			}
+			return checks, obs, nil
+		},
+	}
+}

@@ -24,7 +24,7 @@ var goldenFS embed.FS
 const goldenDir = "internal/xval/testdata/golden"
 
 // Families of the ledger, in declaration order; one golden file each.
-var Families = []string{"pss", "ppv", "gae", "fsm"}
+var Families = []string{"pss", "ppv", "gae", "fsm", "logic"}
 
 // goldenFile is the JSON schema of one per-family fixture.
 type goldenFile struct {

@@ -8,5 +8,6 @@ func Ledger() []*Case {
 	out = append(out, ppvCases()...)
 	out = append(out, gaeCases()...)
 	out = append(out, fsmCases()...)
+	out = append(out, logicCases()...)
 	return out
 }

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/gae"
 	"repro/internal/netlist"
 	"repro/internal/phasemacro"
@@ -79,6 +80,30 @@ type (
 	PhaseSystem = phasemacro.System
 	// SerialAdder is the Fig. 15 FSM on phase macromodels.
 	SerialAdder = phlogic.SerialAdder
+	// Netlist is the phase-logic compiler's IR: a combinational/FSM block
+	// of MAJ/NOT gates and phase-encoded D latches over named nets.
+	Netlist = phlogic.Netlist
+	// NetlistOp is one IR operation.
+	NetlistOp = phlogic.Op
+	// Program is a validated, compiled Netlist ready for Boolean or
+	// phase-domain evaluation.
+	Program = phlogic.Program
+	// MacroMachine is a Program lowered onto the phase-macromodel
+	// substrate, with wobblchip-style I/O (reference latch, optional input
+	// oscillator array, pairwise-detector readout).
+	MacroMachine = phlogic.MacroMachine
+	// MacroConfig tunes CompileMacro.
+	MacroConfig = phlogic.MacroConfig
+	// LogicCircuit is a Program lowered to a transistor-level circuit of
+	// ring-oscillator latches, op-amp summers, and coupling networks.
+	LogicCircuit = phlogic.LogicCircuit
+	// LogicCircuitConfig sizes LowerLogicCircuit.
+	LogicCircuitConfig = phlogic.CircuitConfig
+	// InputArray is the wobblchip-style transistor-level input stage: one
+	// oscillator per word bit behind switchable coupling links.
+	InputArray = phlogic.InputArray
+	// InputArrayConfig sizes BuildInputArray.
+	InputArrayConfig = phlogic.InputArrayConfig
 	// TransientOptions tunes SPICE-level transient analysis.
 	TransientOptions = transient.Options
 	// TransientResult is a recorded SPICE-level trajectory.
@@ -106,12 +131,21 @@ func BuildRing(cfg RingConfig) (*Ring, error) { return ringosc.Build(cfg) }
 // BuildDLatch assembles the Fig. 9 D latch.
 func BuildDLatch(cfg DLatchConfig) (*DLatch, error) { return ringosc.BuildLatch(cfg) }
 
-// FindPSSCtx computes a ring's periodic steady state by shooting. The
-// context carries cancellation and diagnostics (see package diag via the
-// cmd-line tools' -diag flag).
-func FindPSSCtx(ctx context.Context, r *Ring) (*PSS, error) {
-	return pss.ShootAutonomousCtx(ctx, r.Sys, r.KickStart(), pss.Options{
-		GuessT: 1 / r.EstimatedF0(), StepsPerPeriod: 1024,
+// Oscillator is the substrate abstraction of the analysis pipeline:
+// anything that assembles into an autonomous ODE system with a limit cycle.
+// *Ring, *DLatch, and the phase-logic compiler's emitted blocks implement
+// it, and every PSS/PPV entry point — FindPSSCtx, ExtractPPVCtx, and the
+// Engine's memoized PSS/PPV — accepts any implementation. See
+// engine.Oscillator for the method contract.
+type Oscillator = engine.Oscillator
+
+// FindPSSCtx computes an oscillator's periodic steady state by shooting.
+// The context carries cancellation and diagnostics (see package diag via
+// the cmd-line tools' -diag flag). Any Oscillator may be passed: the
+// paper's ring, a D latch, or a custom substrate.
+func FindPSSCtx(ctx context.Context, osc Oscillator) (*PSS, error) {
+	return pss.ShootAutonomousCtx(ctx, osc.System(), osc.InitialState(), pss.Options{
+		GuessT: 1 / osc.EstimatedF0(), StepsPerPeriod: 1024,
 	})
 }
 
@@ -120,9 +154,10 @@ func FindPSSCtx(ctx context.Context, r *Ring) (*PSS, error) {
 // Deprecated: use FindPSSCtx, or an Engine to memoize the solve.
 func FindPSS(r *Ring) (*PSS, error) { return FindPSSCtx(context.Background(), r) }
 
-// ExtractPPVCtx extracts the time-domain PPV macromodel from a PSS.
-func ExtractPPVCtx(ctx context.Context, r *Ring, sol *PSS) (*PPV, error) {
-	return ppv.FromSolutionCtx(ctx, r.Sys, sol, 1)
+// ExtractPPVCtx extracts the time-domain PPV macromodel from an
+// oscillator's PSS.
+func ExtractPPVCtx(ctx context.Context, osc Oscillator, sol *PSS) (*PPV, error) {
+	return ppv.FromSolutionCtx(ctx, osc.System(), sol, 1)
 }
 
 // ExtractPPV extracts the time-domain PPV macromodel from a PSS.
@@ -178,6 +213,47 @@ func RunTransient(sys *System, x0 []float64, t0, t1 float64, opt TransientOption
 // NewSerialAdder builds the Fig. 15 serial adder on phase macromodels.
 func NewSerialAdder(p *PPV, f1 float64, aBits, bBits []bool, cfg phlogic.SerialAdderConfig) (*SerialAdder, error) {
 	return phlogic.NewSerialAdder(p, f1, aBits, bBits, cfg)
+}
+
+// The phase-logic compiler: netlist IR in, runnable phase-logic systems
+// out. See internal/phlogic and the DESIGN.md compiler section.
+
+// ParseLogicNetlist decodes and validates a JSON IR document.
+func ParseLogicNetlist(data []byte) (*Netlist, error) { return phlogic.ParseNetlistJSON(data) }
+
+// RippleCarryAdderNetlist generates the IR of an N-bit ripple-carry adder
+// (inputs a0../b0.., outputs s0../cout, majority-logic full-adder slices).
+func RippleCarryAdderNetlist(bits int) *Netlist { return phlogic.RippleCarryAdder(bits) }
+
+// ShiftRegisterNetlist generates the IR of an N-stage serial shift register.
+func ShiftRegisterNetlist(stages int) *Netlist { return phlogic.ShiftRegister(stages) }
+
+// SynthesizeTruthTable compiles an arbitrary combinational truth table into
+// a two-level MAJ/NOT netlist (see phlogic.SynthesizeTruthTable).
+func SynthesizeTruthTable(name string, inputs, outputs []string, table [][]bool) (*Netlist, error) {
+	return phlogic.SynthesizeTruthTable(name, inputs, outputs, table)
+}
+
+// CompileMacro lowers a netlist onto the phase-macromodel substrate: one
+// oscillator latch per sequential element plus the wobblchip-style I/O
+// structure, with the MAJ/NOT gates evaluated as phasor algebra in the
+// coupled system's drive network.
+func CompileMacro(n *Netlist, p *PPV, f1 float64, cfg MacroConfig) (*MacroMachine, error) {
+	return phlogic.CompileMacro(n, p, f1, cfg)
+}
+
+// LowerLogicCircuit lowers a netlist to a transistor-level circuit:
+// ring-oscillator latch pairs with transmission-gate clocking for the
+// flip-flops, op-amp summers for the gates, phase-encoded rails for the
+// inputs (streams[i] drives input i, one bit per clock period).
+func LowerLogicCircuit(n *Netlist, streams [][]bool, cfg LogicCircuitConfig) (*LogicCircuit, error) {
+	return phlogic.LowerCircuit(n, streams, cfg)
+}
+
+// BuildInputArray assembles the wobblchip-style transistor-level input
+// stage encoding the given word.
+func BuildInputArray(word []bool, cfg InputArrayConfig) (*InputArray, error) {
+	return phlogic.BuildInputArray(word, cfg)
 }
 
 // Devices re-exported for programmatic circuit building.
