@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse bench-batch bench-serve lint-deprecated
+.PHONY: check fmt vet build test test-short race xval xval-update bench bench-baseline bench-compare bench-overhead bench-alloc bench-engine bench-sparse bench-batch bench-noise bench-serve lint-deprecated
 
 # The tier-1+ gate (see ROADMAP.md): formatting, vet, build, the full test
 # suite under the race detector, the cross-method conformance ledger, and
@@ -75,14 +75,16 @@ bench-overhead:
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
 			-only '^BenchmarkShootAutonomousRing$$' -tol 0.02 -alloc-tol 0
 
-# Allocation gate: the four headline hot-path benchmarks must hold the
+# Allocation gate: the headline hot-path benchmarks must hold the
 # zero-allocation transient plumbing — allocs/op is deterministic, so its
 # tolerance is essentially zero, and B/op is gated alongside it. Timing is
 # not this gate's job (bench-compare covers it), hence the wide -tol.
+# EffPhaseMacroFSM pins the scratch-pinned phase-macromodel integrator
+# (Result arrays only — 13 allocs/op, down from 9,652).
 bench-alloc:
-	$(GO) test -run '^$$' -bench '^Benchmark(EffSpiceTransientFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' -benchtime 1x -count 2 -benchmem . \
+	$(GO) test -run '^$$' -bench '^Benchmark(EffSpiceTransientFSM|EffPhaseMacroFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' -benchtime 1x -count 2 -benchmem . \
 		| $(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
-			-only '^Benchmark(EffSpiceTransientFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' \
+			-only '^Benchmark(EffSpiceTransientFSM|EffPhaseMacroFSM|Fig19FlipFlop|Fig20AdderStates|ShootAutonomousRing)$$' \
 			-tol 1.0 -alloc-tol 0.05 -bytes-tol 0.25
 
 # Sparse-backend scaling gate: the coupled-array benchmarks (transient and
@@ -116,6 +118,19 @@ bench-batch:
 	$(GO) run ./cmd/phlogon-benchdiff ratio \
 		-num BenchmarkVariationMCScalar -den BenchmarkVariationMCBatched -min 5 < bench-batch.tmp
 	rm -f bench-batch.tmp
+
+# Stochastic-ensemble gate: the 64-member BER study through the scalar
+# (interpreted, trajectory-retaining) and batched (compiled SoA lanes,
+# in-loop hop counting) pipelines. The same-run ratio holds the batched
+# path's ≥4x headline; the compare leg additionally pins both legs' absolute
+# allocation profiles against the baseline.
+bench-noise:
+	$(GO) test -run '^$$' -bench '^BenchmarkStochasticEnsemble(Scalar|Batched)$$' -benchtime 2x -count 2 -benchmem . > bench-noise.tmp
+	$(GO) run ./cmd/phlogon-benchdiff compare -baseline BENCH_baseline.json \
+		-only '^BenchmarkStochasticEnsemble(Scalar|Batched)$$' -tol 1.0 -alloc-tol 0.05 -bytes-tol 0.25 < bench-noise.tmp
+	$(GO) run ./cmd/phlogon-benchdiff ratio \
+		-num BenchmarkStochasticEnsembleScalar -den BenchmarkStochasticEnsembleBatched -min 4 < bench-noise.tmp
+	rm -f bench-noise.tmp
 
 # HTTP service load gate: boots the real phlogon-serve binary with a disk
 # store, completes 500+ concurrent mixed cold/warm requests with zero

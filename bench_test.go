@@ -470,6 +470,48 @@ func BenchmarkVariationMCBatched(b *testing.B) {
 	}
 }
 
+// --- Batched stochastic ensembles: a 64-member BER study of a six-injection
+// SHIL latch (SYNC plus logic/clock/neighbor couplings — the folded CompiledG
+// carries two harmonic stacks), 10,000 Euler–Maruyama steps per member. The
+// scalar leg runs the pre-batching interpreted pipeline (per-step Harmonic
+// pick-off, trajectory retention); the batched leg runs the compiled SoA
+// lanes with in-loop hop counting. Both run one worker so the ratio is pure
+// per-member cost; `make bench-noise` holds the batched path's ≥4x advantage
+// via `phlogon-benchdiff ratio`. ---
+
+func benchBERModel(b *testing.B) *gae.Model {
+	_, sol, p := benchFixture(b)
+	cal, err := phasemacro.Calibrate(&phasemacro.Latch{P: p, Node: 0, Out: 0}, 10e3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gae.NewModel(p, sol.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase},
+		gae.Injection{Name: "D", Node: 0, Amp: 20e-6, Harmonic: 1, Phase: 0.10},
+		gae.Injection{Name: "CLK", Node: 0, Amp: 15e-6, Harmonic: 1, Phase: 0.35},
+		gae.Injection{Name: "NB1", Node: 0, Amp: 10e-6, Harmonic: 1, Phase: 0.62},
+		gae.Injection{Name: "NB2", Node: 0, Amp: 8e-6, Harmonic: 2, Phase: 0.21},
+		gae.Injection{Name: "NB3", Node: 0, Amp: 6e-6, Harmonic: 1, Phase: 0.80},
+	)
+}
+
+func benchBER(b *testing.B, scalar bool) {
+	m := benchBERModel(b)
+	opt := noise.BEROptions{
+		TBit: 0.05, Bits: 20, Members: 64, Dt: 1e-4, Seed: 1, Workers: 1, Scalar: scalar,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noise.EstimateBER(context.Background(), m, 4e-3, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStochasticEnsembleScalar(b *testing.B)  { benchBER(b, true) }
+func BenchmarkStochasticEnsembleBatched(b *testing.B) { benchBER(b, false) }
+
 // BenchmarkFacadePipeline measures the whole designer flow through the
 // public API (build → PSS → PPV).
 func BenchmarkFacadePipeline(b *testing.B) {

@@ -8,7 +8,7 @@
 //	phlogon-char noise [-sync 100u] [-d 5e-3] [-runs 6] [-2n1p] [-workers n]
 //	phlogon-char sens  [-2n1p] [-workers n]
 //	phlogon-char mc    [-n 25] [-seed 1] [-sampler pseudo|sobol] [-batch] [-lanes 8] [-2n1p] [-workers n]
-//	phlogon-char yield [-n 25] [-seed 1] [-sampler pseudo|sobol] [-lanes 8] [-d 5e-3] [-ber 1e-2] [-2n1p] [-workers n]
+//	phlogon-char yield [-n 25] [-seed 1] [-sampler pseudo|sobol] [-lanes 8] [-d 5e-3] [-ber 1e-2] [-batch 64] [-scalar] [-2n1p] [-workers n]
 package main
 
 import (
@@ -42,7 +42,17 @@ func main() {
 	seed := fs.Int64("seed", 1, "Monte-Carlo / ensemble seed")
 	runs := fs.Int("runs", 6, "noise: stochastic ensemble members")
 	samplerName := fs.String("sampler", "pseudo", "mc/yield: corner sampler (pseudo|sobol)")
-	useBatch := fs.Bool("batch", false, "mc: evaluate corners through the batched PSS path")
+	// -batch is subcommand-specific: mc switches the corner PSS pipeline,
+	// yield sizes the stochastic SoA lane width.
+	var useBatch *bool
+	var berLanes *int
+	var berScalar *bool
+	if cmd == "yield" {
+		berLanes = fs.Int("batch", noise.DefaultEnsembleLanes, "yield: stochastic SoA lane width per ensemble batch")
+		berScalar = fs.Bool("scalar", false, "yield: use the scalar (pre-batching) stochastic pipeline")
+	} else {
+		useBatch = fs.Bool("batch", false, "mc: evaluate corners through the batched PSS path")
+	}
 	lanes := fs.Int("lanes", variation.DefaultBatchLanes, "mc/yield: corners per batched PSS solve")
 	berTarget := fs.Float64("ber", 1e-2, "yield: acceptable BER per corner")
 	workers := fs.Int("workers", 0, "worker pool size (0 = NumCPU)")
@@ -147,14 +157,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opt := noise.BEROptions{TBit: 0.05, Bits: 20, Members: *runs, Dt: 1e-4, Seed: *seed, Workers: *workers}
-		bers := make([]float64, len(corners))
+		// Always collect metrics for this phase: the lane-occupancy report
+		// below needs the stochastic-batch counters even when -metrics is off.
+		met := diag.FromContext(ctx)
+		if met == nil {
+			met = diag.New()
+			ctx = diag.WithMetrics(ctx, met)
+		}
+		opt := noise.BEROptions{TBit: 0.05, Bits: 20, Members: *runs, Dt: 1e-4, Seed: *seed,
+			Workers: *workers, Scalar: *berScalar, Lanes: *berLanes}
+		results, err := variation.CornerBERs(ctx, corners, *dStr, opt)
+		if err != nil {
+			fatal(err)
+		}
+		bers := make([]float64, len(results))
 		worst := 0.0
-		for i, cr := range corners {
-			res, err := noise.EstimateBER(ctx, cr.Model, *dStr, opt)
-			if err != nil {
-				fatal(err)
-			}
+		for i, res := range results {
 			bers[i] = res.BER
 			if res.BER > worst {
 				worst = res.BER
@@ -165,6 +183,13 @@ func main() {
 			len(corners), *seed, smp.Name(), *dStr, opt.Members*opt.Bits)
 		fmt.Printf("  worst corner BER %.3g, target %.3g\n", worst, *berTarget)
 		fmt.Printf("  parametric yield: %.1f %% of corners meet the BER target\n", 100*y)
+		if sw := met.Get(diag.StochBatchSteps); sw > 0 {
+			fmt.Printf("  stochastic lanes: %d SoA sweeps, mean occupancy %.1f of %d lanes, %d compiled g(Δφ) kernels\n",
+				sw, float64(met.Get(diag.StochBatchLaneSteps))/float64(sw), *berLanes,
+				met.Get(diag.CompiledGCompiles))
+		} else if *berScalar {
+			fmt.Printf("  stochastic lanes: scalar pipeline (batching disabled)\n")
+		}
 	default:
 		usage()
 	}

@@ -107,6 +107,20 @@ const (
 	// evaluation — the batched counterpart of CircuitEvals. The ratio
 	// BatchLaneEvals/BatchEvals is the realized batch occupancy.
 	BatchLaneEvals
+	// StochBatchSteps counts dense Euler–Maruyama sweeps of the SoA
+	// stochastic stepper (noise.StochasticBatch): one per time step over the
+	// batch's active lane set.
+	StochBatchSteps
+	// StochBatchLaneSteps accumulates the active-lane count of every
+	// stochastic sweep — the batched counterpart of per-member step counts.
+	// StochBatchLaneSteps/StochBatchSteps is the realized lane occupancy
+	// (mean active width after per-lane horizons and early stops retire
+	// lanes).
+	StochBatchLaneSteps
+	// CompiledGCompiles counts gae.Model → gae.CompiledG precompilations —
+	// the per-ensemble cost that replaced the per-step Harmonic pick-off of
+	// the interpreted g(Δφ).
+	CompiledGCompiles
 
 	numCounters
 )
@@ -140,6 +154,9 @@ var counterNames = [numCounters]string{
 	EngineDiskWrites:       "engine_disk_writes",
 	BatchEvals:             "batch_evals",
 	BatchLaneEvals:         "batch_lane_evals",
+	StochBatchSteps:        "stoch_batch_steps",
+	StochBatchLaneSteps:    "stoch_batch_lane_steps",
+	CompiledGCompiles:      "compiled_g_compiles",
 }
 
 // String returns the stable snake_case name used in snapshots and JSON.

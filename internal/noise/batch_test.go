@@ -1,0 +1,279 @@
+package noise_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gae"
+	"repro/internal/noise"
+	"repro/internal/parallel"
+)
+
+// lockedModel is the standard SHIL-locked latch model used across the batch
+// tests: a calibrated SYNC at harmonic 2 plus a weak logic input at 1, so
+// the folded CompiledG has a real multi-harmonic stack.
+func lockedModel(t testing.TB) *gae.Model {
+	p, cal := ringPPV(t)
+	return gae.NewModel(p, p.F0,
+		gae.Injection{Name: "SYNC", Node: 0, Amp: 100e-6, Harmonic: 2, Phase: cal.SyncPhase},
+		gae.Injection{Name: "D", Node: 0, Amp: 20e-6, Harmonic: 1, Phase: 0.1},
+	)
+}
+
+// sameResult compares two stochastic results bit for bit.
+func sameResult(t *testing.T, ctxMsg string, got, want *noise.StochasticResult) {
+	t.Helper()
+	if got.Hops != want.Hops {
+		t.Fatalf("%s: hops %d, want %d", ctxMsg, got.Hops, want.Hops)
+	}
+	if len(got.T) != len(want.T) || len(got.Dphi) != len(want.Dphi) {
+		t.Fatalf("%s: shape (%d,%d), want (%d,%d)", ctxMsg, len(got.T), len(got.Dphi), len(want.T), len(want.Dphi))
+	}
+	for k := range want.Dphi {
+		if got.T[k] != want.T[k] || got.Dphi[k] != want.Dphi[k] {
+			t.Fatalf("%s: sample %d: (%v,%v) want (%v,%v)", ctxMsg, k, got.T[k], got.Dphi[k], want.T[k], want.Dphi[k])
+		}
+	}
+}
+
+// The tentpole bit-identity property: a StochasticBatch lane must equal
+// StochasticTransient with the same sub-seed — trajectory and hop count —
+// for any lane grouping, any slot permutation, and per-lane horizons that
+// force compaction mid-run.
+func TestStochasticBatchLaneBitIdenticalToTransient(t *testing.T) {
+	m := lockedModel(t)
+	const (
+		d    = 2e-3
+		dt   = 1e-4
+		seed = 42
+	)
+	rng := rand.New(rand.NewSource(9))
+	ctx := context.Background()
+
+	// Staggered horizons: lanes retire at different sweeps, exercising the
+	// swap-compaction continuously.
+	lanes := make([]noise.BatchLane, 17)
+	for i := range lanes {
+		lanes[i] = noise.BatchLane{
+			Index: i,
+			Dphi0: 0.5 * float64(i%3),
+			T1:    0.01 + 0.005*float64(i%5),
+		}
+	}
+	want := make([]*noise.StochasticResult, len(lanes))
+	for i, ln := range lanes {
+		want[i] = noise.StochasticTransient(m, ln.Dphi0, d, 0, ln.T1, dt, parallel.SubSeed(seed, ln.Index))
+	}
+
+	cg := m.Compile()
+	opt := noise.BatchOptions{D: d, Dt: dt, Seed: seed, Record: true}
+
+	// One wide batch.
+	got, err := noise.StochasticBatch(ctx, cg, lanes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lanes {
+		sameResult(t, "wide batch", got[i], want[i])
+	}
+
+	// Random partitions into narrower batches, in shuffled lane order.
+	for trial := 0; trial < 4; trial++ {
+		perm := rng.Perm(len(lanes))
+		for lo := 0; lo < len(perm); {
+			w := 1 + rng.Intn(7)
+			hi := lo + w
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			sub := make([]noise.BatchLane, hi-lo)
+			for j := range sub {
+				sub[j] = lanes[perm[lo+j]]
+			}
+			res, err := noise.StochasticBatch(ctx, cg, sub, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range sub {
+				sameResult(t, "narrow batch", res[j], want[perm[lo+j]])
+			}
+			lo = hi
+		}
+	}
+}
+
+// A Stop predicate must retire the lane at the first sample where it fires:
+// the recorded trajectory is the exact prefix of the unstopped member, and
+// Hops matches CountHops of that prefix. Other lanes are unaffected.
+func TestStochasticBatchStopPredicate(t *testing.T) {
+	m := lockedModel(t)
+	const (
+		d    = 8e-3 // hot enough to hop within the window
+		dt   = 1e-4
+		seed = 7
+	)
+	ctx := context.Background()
+	cg := m.Compile()
+	lanes := []noise.BatchLane{
+		{Index: 0, Dphi0: 0, T1: 0.4},
+		{Index: 1, Dphi0: 0, T1: 0.4},
+		{Index: 2, Dphi0: 0.5, T1: 0.4},
+	}
+	full, err := noise.StochasticBatch(ctx, cg, lanes, noise.BatchOptions{D: d, Dt: dt, Seed: seed, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop lane 1 at its first committed hop; leave the others to run out.
+	stopped, err := noise.StochasticBatch(ctx, cg, lanes, noise.BatchOptions{
+		D: d, Dt: dt, Seed: seed, Record: true,
+		Stop: func(ln noise.BatchLane, _ float64, hops int) bool { return ln.Index == 1 && hops >= 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "unstopped lane 0", stopped[0], full[0])
+	sameResult(t, "unstopped lane 2", stopped[2], full[2])
+
+	s1 := stopped[1]
+	if full[1].Hops == 0 {
+		t.Skipf("lane 1 saw no hops in the window; cannot exercise Stop")
+	}
+	if s1.Hops != 1 {
+		t.Fatalf("stopped lane carries %d hops, want exactly 1", s1.Hops)
+	}
+	if len(s1.Dphi) > len(full[1].Dphi) {
+		t.Fatalf("stopped lane has %d samples, full member only %d", len(s1.Dphi), len(full[1].Dphi))
+	}
+	for k := range s1.Dphi {
+		if s1.Dphi[k] != full[1].Dphi[k] {
+			t.Fatalf("stopped lane diverges from full member at sample %d", k)
+		}
+	}
+	// The lane retired at exactly the first committed hop: the prefix holds
+	// one hop, and the prefix minus its last sample holds none.
+	if got := noise.CountHops(full[1].Dphi[:len(s1.Dphi)]); got != 1 {
+		t.Fatalf("prefix of %d samples holds %d hops, want 1", len(s1.Dphi), got)
+	}
+	if got := noise.CountHops(full[1].Dphi[:len(s1.Dphi)-1]); got != 0 {
+		t.Fatalf("lane outlived its stop condition (%d hops before final sample)", got)
+	}
+}
+
+// One CompiledG shared by concurrent batched ensembles must be race-free
+// (run under -race via make check) and give the same bits as a lone run.
+func TestStochasticBatchSharedCompiledGConcurrent(t *testing.T) {
+	m := lockedModel(t)
+	cg := m.Compile()
+	ctx := context.Background()
+	opt := noise.BatchOptions{D: 1e-3, Dt: 1e-4, Seed: 3, Record: true}
+	lanes := []noise.BatchLane{{Index: 0, T1: 0.02}, {Index: 1, Dphi0: 0.5, T1: 0.03}}
+	ref, err := noise.StochasticBatch(ctx, cg, lanes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := noise.StochasticBatch(ctx, cg, lanes, opt)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := range res {
+				for k := range res[i].Dphi {
+					if res[i].Dphi[k] != ref[i].Dphi[k] {
+						errs[g] = fmt.Errorf("lane %d sample %d diverged under concurrency", i, k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// The batched-by-default ensemble and BER paths must agree with per-member
+// StochasticTransient exactly, at any lane width.
+func TestEnsembleAndBERMatchTransientMembers(t *testing.T) {
+	m := lockedModel(t)
+	const (
+		members = 11
+		d       = 5e-3
+		t1      = 0.05
+		dt      = 1e-4
+		seed    = 13
+	)
+	ctx := context.Background()
+	wantHops := 0
+	want := make([]*noise.StochasticResult, members)
+	for i := range want {
+		want[i] = noise.StochasticTransient(m, 0, d, 0, t1, dt, parallel.SubSeed(seed, i))
+		wantHops += want[i].Hops
+	}
+	for _, lanes := range []int{1, 4, 64} {
+		ens, err := noise.StochasticEnsembleOpt(ctx, m, 0, d, 0, t1, dt, seed, members, 3,
+			noise.EnsembleOptions{Lanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ens {
+			sameResult(t, "ensemble member", ens[i], want[i])
+		}
+		ber, err := noise.EstimateBER(ctx, m, d, noise.BEROptions{
+			TBit: t1 / 5, Bits: 5, Members: members, Dt: dt, Seed: seed, Lanes: lanes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ber.Hops != wantHops {
+			t.Fatalf("lanes=%d: batched BER hops %d, transient members %d", lanes, ber.Hops, wantHops)
+		}
+		if ber.Bits != members*5 {
+			t.Fatalf("lanes=%d: bits %d, want %d", lanes, ber.Bits, members*5)
+		}
+	}
+	// The scalar fallback runs the interpreted pipeline: same shape and
+	// statistics machinery, hop counts within the same ballpark (not pinned
+	// bitwise — the kernels differ at the last ulp).
+	sc, err := noise.StochasticEnsembleOpt(ctx, m, 0, d, 0, t1, dt, seed, members, 2,
+		noise.EnsembleOptions{Scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sc {
+		if len(r.Dphi) != len(want[i].Dphi) {
+			t.Fatalf("scalar member %d: %d samples, want %d", i, len(r.Dphi), len(want[i].Dphi))
+		}
+	}
+}
+
+// The preallocation satellite: StochasticTransient must allocate only the
+// result struct, its two exact-length arrays, the compiled model and the
+// RNG — independent of the step count.
+func TestStochasticTransientAllocsFlat(t *testing.T) {
+	m := lockedModel(t)
+	alloc := func(steps int) float64 {
+		t1 := float64(steps) * 1e-4
+		return testing.AllocsPerRun(20, func() {
+			noise.StochasticTransient(m, 0, 1e-3, 0, t1, 1e-4, 1)
+		})
+	}
+	small, large := alloc(16), alloc(4096)
+	if large > small+1 {
+		t.Fatalf("allocs grow with steps: %.0f at 16 steps, %.0f at 4096 (arrays not preallocated?)", small, large)
+	}
+	if large > 16 {
+		t.Fatalf("StochasticTransient allocates %.0f objects/run; want ≤16", large)
+	}
+}

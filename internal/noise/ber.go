@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/diag"
 	"repro/internal/gae"
 )
 
@@ -24,6 +25,16 @@ type BEROptions struct {
 	Dt      float64 // Euler–Maruyama step, s
 	Seed    int64   // ensemble seed (member i uses parallel.SubSeed(Seed, i))
 	Workers int     // worker pool size (<= 0: one per CPU)
+	// Scalar falls back to the pre-batching pipeline: one interpreted
+	// trajectory per member with full trajectory retention. The default
+	// (batched) path counts hops in-loop through StochasticBatch without
+	// materializing trajectories; its hop counts agree with the fallback
+	// statistically but not necessarily sample-for-sample (the compiled g
+	// differs from the interpreted one at the last ulp).
+	Scalar bool
+	// Lanes is the SoA lane width of the batched path (≤0:
+	// DefaultEnsembleLanes).
+	Lanes int
 }
 
 // BERResult is a hop-counting bit-error estimate.
@@ -34,18 +45,32 @@ type BERResult struct {
 }
 
 // EstimateBER integrates Members stochastic GAE trajectories of length
-// TBit·Bits with phase diffusion d (cycles²/s) via StochasticEnsemble and
-// counts committed lock-basin hops as bit errors. The estimate is
-// reproducible for a given Seed at any worker count. Note the resolution
-// floor: with zero observed hops the true BER is only bounded, roughly
-// BER ≲ 1/Bits at 63 % confidence.
+// TBit·Bits with phase diffusion d (cycles²/s) and counts committed
+// lock-basin hops as bit errors. The default path batches members into SoA
+// lane groups (StochasticBatch) with in-loop hop counting, so no trajectory
+// is ever materialized; opt.Scalar restores the pre-batching per-member
+// pipeline. The estimate is reproducible for a given Seed at any worker
+// count. Note the resolution floor: with zero observed hops the true BER is
+// only bounded, roughly BER ≲ 1/Bits at 63 % confidence.
 func EstimateBER(ctx context.Context, m *gae.Model, d float64, opt BEROptions) (BERResult, error) {
 	if opt.TBit <= 0 || opt.Bits <= 0 || opt.Members <= 0 || opt.Dt <= 0 {
 		return BERResult{}, fmt.Errorf("noise: EstimateBER needs positive TBit, Bits, Members, Dt (got %g, %d, %d, %g)",
 			opt.TBit, opt.Bits, opt.Members, opt.Dt)
 	}
 	t1 := opt.TBit * float64(opt.Bits)
-	ens, err := StochasticEnsemble(ctx, m, opt.Dphi0, d, 0, t1, opt.Dt, opt.Seed, opt.Members, opt.Workers)
+	var ens []*StochasticResult
+	var err error
+	if opt.Scalar {
+		ens, err = StochasticEnsembleOpt(ctx, m, opt.Dphi0, d, 0, t1, opt.Dt, opt.Seed,
+			opt.Members, opt.Workers, EnsembleOptions{Scalar: true})
+	} else {
+		// Like StochasticEnsembleOpt, but with trajectory recording off:
+		// members carry only their in-loop hop counts.
+		span := diag.SpanFrom(ctx, "noise.ensemble")
+		ens, err = batchedEnsemble(ctx, m, opt.Dphi0, d, 0, t1, opt.Dt, opt.Seed,
+			opt.Members, opt.Workers, opt.Lanes, false)
+		span.End()
+	}
 	res := BERResult{}
 	for _, r := range ens {
 		if r == nil {

@@ -22,9 +22,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/diag"
 	"repro/internal/gae"
-	"repro/internal/parallel"
 	"repro/internal/ppv"
 )
 
@@ -116,13 +114,53 @@ func (r *StochasticResult) Var() float64 {
 // basin transitions along the recorded trajectory with hysteresis (see
 // CountHops): a transition registers only once Δφ penetrates within hopBand
 // of the new basin centre.
+//
+// The model is compiled once (gae.Model.Compile) and the step loop runs the
+// folded-coefficient kernel, so each trajectory is bit-identical to the
+// corresponding StochasticBatch lane. Trajectories therefore differ at the
+// last-ulp level from the pre-compilation interpreted stepper (retained as
+// the EnsembleOptions.Scalar reference).
 func StochasticTransient(m *gae.Model, dphi0 float64, d float64, t0, t1, dt float64, seed int64) *StochasticResult {
+	return stochasticTransientCompiled(m.Compile(), dphi0, d, t0, t1, dt, seed)
+}
+
+// stochasticTransientCompiled is the per-member scalar kernel: the same
+// grid, draw order and update expression as one StochasticBatch lane, with
+// the result arrays preallocated to their known steps+1 length.
+func stochasticTransientCompiled(cg *gae.CompiledG, dphi0 float64, d float64, t0, t1, dt float64, seed int64) *StochasticResult {
 	rng := rand.New(rand.NewSource(seed))
 	res := &StochasticResult{}
 	x := dphi0
 	sd := math.Sqrt(d * dt)
 	// steps = number of whole dt intervals in [t0, t1]; the relative guard
 	// keeps exact divisions (0.7/0.1, 1/0.1) from flooring one short.
+	steps := int(math.Floor((t1 - t0) / dt * (1 + 1e-12)))
+	if steps < 0 {
+		return res // empty window: no samples, zero hops
+	}
+	res.T = make([]float64, steps+1)
+	res.Dphi = make([]float64, steps+1)
+	hc := hopCounter{basin: nearestBasin(x)}
+	for k := 0; k <= steps; k++ {
+		res.T[k] = t0 + float64(k)*dt
+		res.Dphi[k] = x
+		hc.observe(x)
+		x += cg.RHS(x)*dt + sd*rng.NormFloat64()
+	}
+	res.Hops = hc.hops
+	return res
+}
+
+// stochasticTransientModel is the pre-compilation reference stepper,
+// preserved byte-for-byte (interpreted Model.RHS per step, trajectories
+// grown by append from nil): it reproduces pre-batching published numbers
+// exactly and is the "before" leg of the bench-noise ratio gate, reachable
+// through EnsembleOptions.Scalar / BEROptions.Scalar.
+func stochasticTransientModel(m *gae.Model, dphi0 float64, d float64, t0, t1, dt float64, seed int64) *StochasticResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := &StochasticResult{}
+	x := dphi0
+	sd := math.Sqrt(d * dt)
 	steps := int(math.Floor((t1 - t0) / dt * (1 + 1e-12)))
 	hc := hopCounter{basin: nearestBasin(x)}
 	for k := 0; k <= steps; k++ {
@@ -136,18 +174,17 @@ func StochasticTransient(m *gae.Model, dphi0 float64, d float64, t0, t1, dt floa
 	return res
 }
 
-// StochasticEnsemble runs n independent StochasticTransient realizations on
-// up to workers goroutines (workers <= 0 means one per CPU). Member i is
-// seeded with parallel.SubSeed(seed, i) — a pure function of (seed, i) — so
-// the ensemble is bit-identical at any worker count, including workers = 1.
-// On cancellation the partial ensemble is returned with ctx.Err(); members
-// that did not run are nil.
+// StochasticEnsemble runs n independent stochastic realizations on up to
+// workers goroutines (workers <= 0 means one per CPU). Member i is seeded
+// with parallel.SubSeed(seed, i) — a pure function of (seed, i) — so the
+// ensemble is bit-identical at any worker count, including workers = 1, and
+// member i matches StochasticTransient with the derived seed bit for bit.
+// Members run through the SoA batched stepper (StochasticBatch) in
+// DefaultEnsembleLanes-wide groups; see StochasticEnsembleOpt for the lane
+// width and the scalar fallback. On cancellation the partial ensemble is
+// returned with ctx.Err(); members that did not run are nil.
 func StochasticEnsemble(ctx context.Context, m *gae.Model, dphi0, d, t0, t1, dt float64, seed int64, n, workers int) ([]*StochasticResult, error) {
-	defer diag.SpanFrom(ctx, "noise.ensemble").End()
-	return parallel.MapWorkerCtx(ctx, n, workers, func(wctx context.Context, _, i int) (*StochasticResult, error) {
-		diag.FromContext(wctx).Inc(diag.EnsembleRuns)
-		return StochasticTransient(m, dphi0, d, t0, t1, dt, parallel.SubSeed(seed, i)), nil
-	})
+	return StochasticEnsembleOpt(ctx, m, dphi0, d, t0, t1, dt, seed, n, workers, EnsembleOptions{})
 }
 
 // nearestBasin maps a phase to the index of the nearest half-cycle basin

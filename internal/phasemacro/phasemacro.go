@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/ppv"
 )
@@ -97,9 +98,12 @@ func (c Calibration) LogicPhasor(level bool, amp float64) complex128 {
 }
 
 // DriveFunc computes, at time t, the input voltage phasor for every latch
-// given the current output phasors of all latches. This is where the
-// combinational network (majority / NOT gates, clock gating) lives.
-type DriveFunc func(t float64, out []complex128) []complex128
+// given the current output phasors of all latches, writing latch i's drive
+// into drives[i]. This is where the combinational network (majority / NOT
+// gates, clock gating) lives. drives is zeroed before every call and has one
+// entry per latch; both slices are scratch owned by the integrator — the
+// function must not retain them across calls.
+type DriveFunc func(t float64, outs []complex128, drives []complex128)
 
 // System couples latches through a combinational drive network.
 type System struct {
@@ -107,6 +111,54 @@ type System struct {
 	Latches []*Latch
 	Cal     Calibration
 	Drive   DriveFunc
+
+	// Per-latch constants (PPV harmonics, shifted f0) hoisted out of the
+	// step loop on first Run. Lazily built under a Once so a System value
+	// constructed by struct literal stays valid and concurrent first Runs
+	// do not race.
+	prepOnce sync.Once
+	prep     []latchPrep
+}
+
+// latchPrep caches the per-latch quantities rhs would otherwise re-derive
+// on every RK4 stage: the injection-node PPV harmonics and the shifted
+// free-running frequency.
+type latchPrep struct {
+	v1, v2 complex128
+	f0     float64
+}
+
+// prepare populates the per-latch constant cache exactly once.
+func (s *System) prepare() {
+	s.prepOnce.Do(func() {
+		s.prep = make([]latchPrep, len(s.Latches))
+		for i, l := range s.Latches {
+			s.prep[i] = latchPrep{
+				v1: l.P.Harmonic(l.Node, 1),
+				v2: l.P.Harmonic(l.Node, 2),
+				f0: l.P.F0 + l.F0Shift,
+			}
+		}
+	})
+}
+
+// Scratch pins every buffer of the Run hot loop — the RK4 stage slopes, the
+// stage state, and the phasor workspaces handed to DriveFunc — so repeated
+// runs allocate nothing in steady state. A Scratch must not be shared by
+// concurrent runs; callers that run systems in parallel give each goroutine
+// (or pool, see phlogic.MacroMachine) its own.
+type Scratch struct {
+	x, k1, k2, k3, k4, tmp []float64
+	outs, drives           []complex128
+}
+
+// NewScratch sizes a scratch for systems of n latches.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		x: make([]float64, n), k1: make([]float64, n), k2: make([]float64, n),
+		k3: make([]float64, n), k4: make([]float64, n), tmp: make([]float64, n),
+		outs: make([]complex128, n), drives: make([]complex128, n),
+	}
 }
 
 // Result is the multi-latch phase trajectory.
@@ -157,29 +209,40 @@ func (r *Result) FinalBits() []bool {
 	return out
 }
 
-// OutPhasors computes the output phasors of all latches at the given phases.
+// OutPhasorsInto computes the output phasors of all latches at the given
+// phases into out. math.Sincos builds the unit rotation e^{j2πΔφ}
+// bit-identically to cmplx.Exp(complex(0, θ)) (exp(0) = 1 exactly) at
+// roughly two thirds the cost.
+func (s *System) OutPhasorsInto(dphi []float64, out []complex128) {
+	for i := range s.Latches {
+		sn, cs := math.Sincos(2 * math.Pi * dphi[i])
+		out[i] = s.Cal.OutPhasor0 * complex(cs, sn)
+	}
+}
+
+// OutPhasors is the allocating convenience form of OutPhasorsInto.
 func (s *System) OutPhasors(dphi []float64) []complex128 {
 	out := make([]complex128, len(s.Latches))
-	for i := range s.Latches {
-		out[i] = s.Cal.OutPhasor0 * cmplx.Exp(complex(0, 2*math.Pi*dphi[i]))
-	}
+	s.OutPhasorsInto(dphi, out)
 	return out
 }
 
-// rhs evaluates dΔφ/dt for every latch.
-func (s *System) rhs(t float64, dphi []float64, dst []float64) {
-	outs := s.OutPhasors(dphi)
-	drives := s.Drive(t, outs)
+// rhs evaluates dΔφ/dt for every latch, using sc's phasor workspaces.
+// prepare must have run.
+func (s *System) rhs(t float64, dphi []float64, dst []float64, sc *Scratch) {
+	s.OutPhasorsInto(dphi, sc.outs)
+	for i := range sc.drives {
+		sc.drives[i] = 0
+	}
+	s.Drive(t, sc.outs, sc.drives)
 	for i, l := range s.Latches {
-		v2 := l.P.Harmonic(l.Node, 2)
-		v1 := l.P.Harmonic(l.Node, 1)
-		g := l.SyncAmp * real(v2*cmplx.Exp(complex(0, 2*math.Pi*(2*dphi[i]-s.Cal.SyncPhase))))
-		if i < len(drives) {
-			inj := s.Cal.Coupling * drives[i]
-			g += real(v1 * cmplx.Exp(complex(0, 2*math.Pi*dphi[i])) * cmplx.Conj(inj))
-		}
-		f0 := l.P.F0 + l.F0Shift
-		dst[i] = (f0 - s.F1) + f0*g
+		p := s.prep[i]
+		sn2, cs2 := math.Sincos(2 * math.Pi * (2*dphi[i] - s.Cal.SyncPhase))
+		g := l.SyncAmp * real(p.v2*complex(cs2, sn2))
+		inj := s.Cal.Coupling * sc.drives[i]
+		sn1, cs1 := math.Sincos(2 * math.Pi * dphi[i])
+		g += real(p.v1 * complex(cs1, sn1) * cmplx.Conj(inj))
+		dst[i] = (p.f0 - s.F1) + p.f0*g
 	}
 }
 
@@ -188,53 +251,86 @@ func (s *System) rhs(t float64, dphi []float64, dst []float64) {
 // dynamics' natural time scale is tens of cycles, so this is orders of
 // magnitude cheaper than SPICE-level simulation of the same FSM — the
 // paper's headline efficiency claim, measured in the benchmarks.
+//
+// The time grid is indexed by an integer step count, t = t0 + k·h, with the
+// final partial step to t1 handled explicitly — never by floating-point
+// accumulation, whose one-ulp-per-step drift makes the sample count depend
+// on (t0, t1, h) rounding and leaves the final time a hair off t1 (the same
+// bug class fixed in noise.StochasticTransient).
 func (s *System) Run(dphi0 []float64, t0, t1, dtCycles float64) (*Result, error) {
+	return s.RunScratch(nil, dphi0, t0, t1, dtCycles)
+}
+
+// RunScratch is Run with a caller-pinned Scratch: repeated runs through one
+// scratch are allocation-free apart from the returned Result. A nil scratch
+// allocates a private one. Trajectories are bit-identical to Run's.
+func (s *System) RunScratch(sc *Scratch, dphi0 []float64, t0, t1, dtCycles float64) (*Result, error) {
 	n := len(s.Latches)
 	if len(dphi0) != n {
 		return nil, fmt.Errorf("phasemacro: %d initial phases for %d latches", len(dphi0), n)
 	}
+	if sc == nil {
+		sc = NewScratch(n)
+	} else if len(sc.x) != n {
+		return nil, fmt.Errorf("phasemacro: scratch sized for %d latches, system has %d", len(sc.x), n)
+	}
 	if dtCycles <= 0 {
 		dtCycles = 0.25
 	}
+	s.prepare()
 	h := dtCycles / s.F1
-	res := &Result{Dphi: make([][]float64, n)}
-	x := append([]float64(nil), dphi0...)
-	k1 := make([]float64, n)
-	k2 := make([]float64, n)
-	k3 := make([]float64, n)
-	k4 := make([]float64, n)
-	tmp := make([]float64, n)
-	record := func(t float64) {
-		res.T = append(res.T, t)
+	// full = whole h intervals in [t0, t1]; the relative guard keeps exact
+	// divisions from flooring one short. A trailing partial step runs only
+	// when the remainder is a real fraction of h, not accumulation dust.
+	span := t1 - t0
+	full := int(math.Floor(span / h * (1 + 1e-12)))
+	if full < 0 {
+		full = 0
+	}
+	rem := span - float64(full)*h
+	partial := rem > h*1e-9
+	steps := full
+	if partial {
+		steps++
+	}
+	res := &Result{T: make([]float64, steps+1), Dphi: make([][]float64, n), Steps: steps}
+	for i := range res.Dphi {
+		res.Dphi[i] = make([]float64, steps+1)
+	}
+	x := sc.x
+	copy(x, dphi0)
+	record := func(k int, t float64) {
+		res.T[k] = t
 		for i := range x {
-			res.Dphi[i] = append(res.Dphi[i], x[i])
+			res.Dphi[i][k] = x[i]
 		}
 	}
-	record(t0)
-	for t := t0; t < t1; {
-		hh := h
-		if t+hh > t1 {
-			hh = t1 - t
-		}
-		s.rhs(t, x, k1)
+	step := func(t, hh float64) {
+		s.rhs(t, x, sc.k1, sc)
 		for i := range x {
-			tmp[i] = x[i] + hh/2*k1[i]
+			sc.tmp[i] = x[i] + hh/2*sc.k1[i]
 		}
-		s.rhs(t+hh/2, tmp, k2)
+		s.rhs(t+hh/2, sc.tmp, sc.k2, sc)
 		for i := range x {
-			tmp[i] = x[i] + hh/2*k2[i]
+			sc.tmp[i] = x[i] + hh/2*sc.k2[i]
 		}
-		s.rhs(t+hh/2, tmp, k3)
+		s.rhs(t+hh/2, sc.tmp, sc.k3, sc)
 		for i := range x {
-			tmp[i] = x[i] + hh*k3[i]
+			sc.tmp[i] = x[i] + hh*sc.k3[i]
 		}
-		s.rhs(t+hh, tmp, k4)
+		s.rhs(t+hh, sc.tmp, sc.k4, sc)
 		for i := range x {
-			x[i] += hh / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			x[i] += hh / 6 * (sc.k1[i] + 2*sc.k2[i] + 2*sc.k3[i] + sc.k4[i])
 		}
-		t += hh
-		res.Steps++
-		record(t)
+	}
+	record(0, t0)
+	for k := 1; k <= full; k++ {
+		step(t0+float64(k-1)*h, h)
+		record(k, t0+float64(k)*h)
+	}
+	if partial {
+		step(t0+float64(full)*h, t1-(t0+float64(full)*h))
+		record(steps, t1)
 	}
 	return res, nil
 }

@@ -78,8 +78,8 @@ func TestSingleLatchFollowsDrive(t *testing.T) {
 	for _, target := range []bool{true, false} {
 		sys := &phasemacro.System{
 			F1: p.F0, Latches: []*phasemacro.Latch{l}, Cal: cal,
-			Drive: func(tt float64, outs []complex128) []complex128 {
-				return []complex128{cal.LogicPhasor(target, cmplx.Abs(cal.OutPhasor0))}
+			Drive: func(tt float64, outs, drives []complex128) {
+				drives[0] = cal.LogicPhasor(target, cmplx.Abs(cal.OutPhasor0))
 			},
 		}
 		// Start from the opposite state.
@@ -107,9 +107,7 @@ func TestLatchHoldsWithoutDrive(t *testing.T) {
 	}
 	sys := &phasemacro.System{
 		F1: p.F0, Latches: []*phasemacro.Latch{l}, Cal: cal,
-		Drive: func(tt float64, outs []complex128) []complex128 {
-			return []complex128{0}
-		},
+		Drive: func(tt float64, outs, drives []complex128) {},
 	}
 	for _, start := range []float64{0.02, 0.52} {
 		res, err := sys.Run([]float64{start}, 0, 500/p.F0, 0.25)
@@ -132,7 +130,7 @@ func TestRunRejectsWrongInitialLength(t *testing.T) {
 	l := &phasemacro.Latch{P: p, Node: 0, Out: 0, SyncAmp: 100e-6}
 	cal, _ := phasemacro.Calibrate(l, 10e3)
 	sys := &phasemacro.System{F1: p.F0, Latches: []*phasemacro.Latch{l}, Cal: cal,
-		Drive: func(float64, []complex128) []complex128 { return []complex128{0} }}
+		Drive: func(float64, []complex128, []complex128) {}}
 	if _, err := sys.Run([]float64{0, 0}, 0, 1e-3, 0.25); err == nil {
 		t.Fatal("length mismatch must error")
 	}
@@ -147,7 +145,7 @@ func TestReconstructOutputMatchesPSSWaveform(t *testing.T) {
 	}
 	sys := &phasemacro.System{
 		F1: p.F0, Latches: []*phasemacro.Latch{l}, Cal: cal,
-		Drive: func(float64, []complex128) []complex128 { return []complex128{0} },
+		Drive: func(float64, []complex128, []complex128) {},
 	}
 	res, err := sys.Run([]float64{0}, 0, 5/p.F0, 0.25)
 	if err != nil {
@@ -195,7 +193,7 @@ func TestPhaseMacroMatchesGAETransient(t *testing.T) {
 	inj := cal.Coupling * driveP
 	sys := &phasemacro.System{
 		F1: p.F0, Latches: []*phasemacro.Latch{l}, Cal: cal,
-		Drive: func(float64, []complex128) []complex128 { return []complex128{driveP} },
+		Drive: func(tt float64, outs, drives []complex128) { drives[0] = driveP },
 	}
 	x0 := 0.3
 	res, err := sys.Run([]float64{x0}, 0, 200/p.F0, 0.1)

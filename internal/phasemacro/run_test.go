@@ -1,0 +1,216 @@
+package phasemacro_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/phasemacro"
+)
+
+// twoLatchSystem builds a cross-coupled two-latch system with a
+// time-dependent drive, distinct F0 shifts, and nonzero sync amplitude —
+// every term of the integrator's RHS is live.
+func twoLatchSystem(t *testing.T) *phasemacro.System {
+	p := ringPPV(t)
+	a := &phasemacro.Latch{Name: "A", P: p, Node: 0, Out: 0, SyncAmp: 100e-6, F0Shift: +5e-4 * p.F0}
+	b := &phasemacro.Latch{Name: "B", P: p, Node: 0, Out: 0, SyncAmp: 100e-6, F0Shift: -5e-4 * p.F0}
+	cal, err := phasemacro.Calibrate(a, 10e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &phasemacro.System{
+		F1: p.F0, Latches: []*phasemacro.Latch{a, b}, Cal: cal,
+		Drive: func(tt float64, outs, drives []complex128) {
+			gate := complex(math.Cos(2*math.Pi*tt*p.F0/50), 0)
+			drives[0] = outs[1] * gate
+			drives[1] = outs[0]
+		},
+	}
+}
+
+// The time-grid satellite: Run's grid must be t0 + k·h by integer k — not a
+// floating-point accumulation, whose per-step rounding drifts the recorded
+// times off the grid and can smuggle in a dust-sized extra step. This test
+// fails against the accumulating implementation: with h = 0.25/F1 not a
+// dyadic rational, Σ h ≠ k·h bitwise after a handful of steps.
+func TestRunTimeGridIsExact(t *testing.T) {
+	sys := twoLatchSystem(t)
+	sys.F1 = 3.0 // h = 0.25/3: every accumulation step rounds
+	h := 0.25 / sys.F1
+
+	// Exact-multiple horizon: t1 is the double nearest 1000·h.
+	t0, t1 := 0.125, 0.125+1000*h
+	res, err := sys.Run([]float64{0.1, 0.6}, t0, t1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1000 || len(res.T) != 1001 {
+		t.Fatalf("Steps=%d len(T)=%d, want 1000 steps / 1001 samples", res.Steps, len(res.T))
+	}
+	for k, tv := range res.T {
+		if want := t0 + float64(k)*h; tv != want {
+			t.Fatalf("T[%d] = %v, want the grid point %v (off by %g)", k, tv, want, tv-want)
+		}
+	}
+
+	// A genuine partial final step must land exactly on t1.
+	t1p := t0 + 1000*h + 0.4*h
+	res, err = sys.Run([]float64{0.1, 0.6}, t0, t1p, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1001 || len(res.T) != 1002 {
+		t.Fatalf("partial: Steps=%d len(T)=%d, want 1001/1002", res.Steps, len(res.T))
+	}
+	if got := res.T[len(res.T)-1]; got != t1p {
+		t.Fatalf("final time %v, want exactly t1 = %v", got, t1p)
+	}
+	if got, want := res.T[1000], t0+1000*h; got != want {
+		t.Fatalf("last full-step time %v, want %v", got, want)
+	}
+}
+
+// refRun is a deliberately naive reference integrator: the pre-optimization
+// RHS — cmplx.Exp rotations, per-stage Harmonic pick-off, allocating drive
+// buffers — on the same integer-step grid. The optimized Run must reproduce
+// it bit for bit; this certifies that hoisting the latch constants and
+// switching to math.Sincos changed cost, not values.
+func refRun(s *phasemacro.System, dphi0 []float64, t0, t1 float64, dtCycles float64) [][]float64 {
+	n := len(s.Latches)
+	h := dtCycles / s.F1
+	span := t1 - t0
+	full := int(math.Floor(span / h * (1 + 1e-12)))
+	if full < 0 {
+		full = 0
+	}
+	rem := span - float64(full)*h
+	partial := rem > h*1e-9
+
+	rhs := func(tt float64, x []float64) []float64 {
+		outs := make([]complex128, n)
+		for i := range outs {
+			outs[i] = s.Cal.OutPhasor0 * cmplx.Exp(complex(0, 2*math.Pi*x[i]))
+		}
+		drives := make([]complex128, n)
+		s.Drive(tt, outs, drives)
+		dst := make([]float64, n)
+		for i, l := range s.Latches {
+			v2 := l.P.Harmonic(l.Node, 2)
+			v1 := l.P.Harmonic(l.Node, 1)
+			g := l.SyncAmp * real(v2*cmplx.Exp(complex(0, 2*math.Pi*(2*x[i]-s.Cal.SyncPhase))))
+			inj := s.Cal.Coupling * drives[i]
+			g += real(v1 * cmplx.Exp(complex(0, 2*math.Pi*x[i])) * cmplx.Conj(inj))
+			f0 := l.P.F0 + l.F0Shift
+			dst[i] = (f0 - s.F1) + f0*g
+		}
+		return dst
+	}
+	x := append([]float64(nil), dphi0...)
+	traj := make([][]float64, n)
+	record := func() {
+		for i := range x {
+			traj[i] = append(traj[i], x[i])
+		}
+	}
+	step := func(tt, hh float64) {
+		k1 := rhs(tt, x)
+		tmp := make([]float64, n)
+		for i := range x {
+			tmp[i] = x[i] + hh/2*k1[i]
+		}
+		k2 := rhs(tt+hh/2, tmp)
+		for i := range x {
+			tmp[i] = x[i] + hh/2*k2[i]
+		}
+		k3 := rhs(tt+hh/2, tmp)
+		for i := range x {
+			tmp[i] = x[i] + hh*k3[i]
+		}
+		k4 := rhs(tt+hh, tmp)
+		for i := range x {
+			x[i] += hh / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	record()
+	for k := 1; k <= full; k++ {
+		step(t0+float64(k-1)*h, h)
+		record()
+	}
+	if partial {
+		step(t0+float64(full)*h, t1-(t0+float64(full)*h))
+		record()
+	}
+	return traj
+}
+
+// The zero-alloc tentpole's correctness half: the optimized hot path must be
+// bit-identical to the naive reference on a horizon with a partial final
+// step, and RunScratch through a reused scratch must equal Run exactly.
+func TestRunBitIdenticalToReferenceAndScratchReuse(t *testing.T) {
+	sys := twoLatchSystem(t)
+	p := sys.Latches[0].P
+	dphi0 := []float64{0.3, 0.55}
+	t0, t1 := 0.0, 150.4/p.F0
+
+	want := refRun(sys, dphi0, t0, t1, 0.25)
+	res, err := sys.Run(dphi0, t0, t1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if len(res.Dphi[i]) != len(want[i]) {
+			t.Fatalf("latch %d: %d samples, reference has %d", i, len(res.Dphi[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			if res.Dphi[i][k] != want[i][k] {
+				t.Fatalf("latch %d sample %d: %v, reference %v (diff %g)",
+					i, k, res.Dphi[i][k], want[i][k], res.Dphi[i][k]-want[i][k])
+			}
+		}
+	}
+
+	sc := phasemacro.NewScratch(len(sys.Latches))
+	for trial := 0; trial < 3; trial++ { // reuse the same scratch
+		res2, err := sys.RunScratch(sc, dphi0, t0, t1, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.Dphi {
+			for k := range res.Dphi[i] {
+				if res2.Dphi[i][k] != res.Dphi[i][k] {
+					t.Fatalf("trial %d: scratch reuse diverged at latch %d sample %d", trial, i, k)
+				}
+			}
+		}
+	}
+
+	if _, err := sys.RunScratch(phasemacro.NewScratch(5), dphi0, t0, t1, 0.25); err == nil {
+		t.Fatal("mis-sized scratch must error")
+	}
+}
+
+// The zero-steady-state-alloc property: with a pinned scratch, Run's
+// allocation count is the Result itself — independent of the step count.
+func TestRunScratchAllocsFlat(t *testing.T) {
+	sys := twoLatchSystem(t)
+	p := sys.Latches[0].P
+	sc := phasemacro.NewScratch(len(sys.Latches))
+	dphi0 := []float64{0.3, 0.55}
+	alloc := func(cycles float64) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := sys.RunScratch(sc, dphi0, 0, cycles/p.F0, 0.25); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := alloc(8), alloc(512)
+	// Result struct + T + n Dphi rows (+ a closure header or two): the only
+	// growth from 32→2048 steps is the same arrays at larger capacity.
+	if large > small+1 {
+		t.Fatalf("allocs grow with steps: %.0f at 8 cycles vs %.0f at 512 (hot loop allocating?)", small, large)
+	}
+	if large > 12 {
+		t.Fatalf("RunScratch allocates %.0f objects/run; want ≤12 (Result arrays only)", large)
+	}
+}

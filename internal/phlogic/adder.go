@@ -79,14 +79,12 @@ func NewSerialAdder(p *ppv.PPV, f1 float64, aBits, bBits []bool, cfg SerialAdder
 		F1:      f1,
 		Latches: []*phasemacro.Latch{master, slave},
 		Cal:     cal,
-		Drive: func(t float64, outs []complex128) []complex128 {
+		Drive: func(t float64, outs, drives []complex128) {
 			aP := cal.LogicPhasor(sa.A.At(t), cfg.InputAmp)
 			bP := cal.LogicPhasor(sa.B.At(t), cfg.InputAmp)
 			_, cout := FullAdder(cfg.GateSat, aP, bP, outs[1])
-			return []complex128{
-				cout * complex(clk.ENMaster(t), 0),   // master follows new carry
-				outs[0] * complex(clk.ENSlave(t), 0), // slave follows master
-			}
+			drives[0] = cout * complex(clk.ENMaster(t), 0)   // master follows new carry
+			drives[1] = outs[0] * complex(clk.ENSlave(t), 0) // slave follows master
 		},
 	}
 	return sa, nil

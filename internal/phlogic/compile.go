@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/phasemacro"
 	"repro/internal/ppv"
@@ -383,6 +384,10 @@ type MacroMachine struct {
 	msIdx  [][2]int // per Program latch: {master, slave}
 	roIdx  []int    // per output: readout latch, or −1 when the output is a latch q
 	roOut  []int    // indices of outputs that have readout latches
+
+	// scratch pools *phasemacro.Scratch for RunWord/RunStreams, so repeated
+	// words through one machine reuse the integrator's hot-path buffers.
+	scratch sync.Pool
 }
 
 // CompileMacro lowers a netlist onto the phase-macromodel substrate. All
@@ -468,15 +473,13 @@ func (m *MacroMachine) NumLatches() int { return len(m.latches) }
 func (m *MacroMachine) system(input func(i int, t float64) bool) *phasemacro.System {
 	prog, cfg := m.Prog, m.Cfg
 	scratch := prog.NewScratch()
-	drives := make([]complex128, len(m.latches))
 	return &phasemacro.System{
 		F1:      m.F1,
 		Latches: m.latches,
 		Cal:     m.Cal,
-		Drive: func(t float64, outs []complex128) []complex128 {
-			for i := range drives {
-				drives[i] = 0
-			}
+		// drives arrives zeroed from the integrator; only driven latches are
+		// written.
+		Drive: func(t float64, outs, drives []complex128) {
 			scratch.Sig[0] = m.Cal.LogicPhasor(false, cfg.InputAmp)
 			scratch.Sig[1] = m.Cal.LogicPhasor(true, cfg.InputAmp)
 			for i, net := range prog.Inputs {
@@ -505,9 +508,17 @@ func (m *MacroMachine) system(input func(i int, t float64) bool) *phasemacro.Sys
 			for _, oi := range m.roOut {
 				drives[m.roIdx[oi]] = scratch.Sig[prog.Outputs[oi]]
 			}
-			return drives
 		},
 	}
+}
+
+// getScratch borrows an integrator scratch sized for this machine from the
+// per-machine pool (RunWord/RunStreams may run concurrently on one machine).
+func (m *MacroMachine) getScratch() *phasemacro.Scratch {
+	if sc, ok := m.scratch.Get().(*phasemacro.Scratch); ok {
+		return sc
+	}
+	return phasemacro.NewScratch(len(m.latches))
 }
 
 // initialPhases starts the reference at Δφ = 0 and everything else at the
@@ -557,7 +568,9 @@ func (m *MacroMachine) RunWord(word []bool) ([]bool, *phasemacro.Result, error) 
 	}
 	sys := m.system(func(i int, t float64) bool { return word[i] })
 	t1 := m.Cfg.SettleCycles / m.F1
-	res, err := sys.Run(m.initialPhases(), 0, t1, m.Cfg.DtCycles)
+	sc := m.getScratch()
+	res, err := sys.RunScratch(sc, m.initialPhases(), 0, t1, m.Cfg.DtCycles)
+	m.scratch.Put(sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -587,7 +600,9 @@ func (m *MacroMachine) RunStreams(streams [][]bool, nBits int) ([][]bool, *phase
 	}
 	sys := m.system(func(i int, t float64) bool { return bs[i].At(t) })
 	t1 := float64(nBits) * m.Clock.Period
-	res, err := sys.Run(m.initialPhases(), 0, t1, m.Cfg.DtCycles)
+	sc := m.getScratch()
+	res, err := sys.RunScratch(sc, m.initialPhases(), 0, t1, m.Cfg.DtCycles)
+	m.scratch.Put(sc)
 	if err != nil {
 		return nil, nil, err
 	}

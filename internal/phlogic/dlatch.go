@@ -74,14 +74,14 @@ func NewPhaseDLatch(p *ppv.PPV, injNode, outNode int, f1 float64, bits []bool, c
 		F1:      f1,
 		Latches: []*phasemacro.Latch{l},
 		Cal:     cal,
-		Drive: func(t float64, outs []complex128) []complex128 {
+		Drive: func(t float64, outs, drives []complex128) {
 			dP := cal.LogicPhasor(dl.D.At(t), dl.amp)
 			// CLK as a phase-logic signal: logic 1 during the high half,
 			// logic 0 during the low half (smooth amplitude through the
 			// edge, phase flipping at the crossing).
 			lvl := 2*clk.ENMaster(t) - 1 // +1 … −1
 			cP := cal.LogicPhasor(true, dl.amp) * complex(lvl, 0)
-			return []complex128{Maj3(dl.sat, dP, cP, outs[0])}
+			drives[0] = Maj3(dl.sat, dP, cP, outs[0])
 		},
 	}
 	return dl, nil
